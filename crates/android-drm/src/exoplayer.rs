@@ -1,0 +1,267 @@
+//! An ExoPlayer-style convenience layer over the DRM framework.
+//!
+//! The paper notes (§IV-C) that "many apps call DRM API through ExoPlayer
+//! as recommended by Widevine. This playback library proposes some API
+//! allowing developers to provide encrypted audio and video, but not
+//! subtitles." This module reproduces exactly that surface:
+//!
+//! - one `DrmSessionManager`-like session covers the video *and* audio
+//!   renditions of a source, with as many distinct content keys as the
+//!   license carries (so the recommended multi-key policy is easy);
+//! - subtitle tracks are accepted **only in the clear** — feeding an
+//!   encrypted subtitle track is a type-level error, the API gap the
+//!   paper identifies as one reason subtitles ship unprotected.
+
+use std::sync::Arc;
+
+use wideleak_bmff::fragment::InitSegment;
+use wideleak_bmff::types::KeyId;
+
+use crate::binder::Binder;
+use crate::mediacodec::{Frame, MediaCodec};
+use crate::mediacrypto::MediaCrypto;
+use crate::mediadrm::MediaDrm;
+use crate::playback::MediaBundle;
+use crate::DrmError;
+
+/// Errors specific to the ExoPlayer layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExoError {
+    /// The source carried an encrypted subtitle track — the API has no
+    /// way to decrypt those.
+    EncryptedSubtitlesUnsupported,
+    /// The source had no video rendition.
+    NoVideoTrack,
+    /// An underlying framework failure.
+    Drm(DrmError),
+}
+
+impl std::fmt::Display for ExoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExoError::EncryptedSubtitlesUnsupported => {
+                f.write_str("the playback API cannot handle encrypted subtitle tracks")
+            }
+            ExoError::NoVideoTrack => f.write_str("source has no video rendition"),
+            ExoError::Drm(e) => write!(f, "framework error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExoError {}
+
+impl From<DrmError> for ExoError {
+    fn from(e: DrmError) -> Self {
+        ExoError::Drm(e)
+    }
+}
+
+/// A prepared media source: encrypted video/audio plus clear subtitles.
+#[derive(Debug, Clone)]
+pub struct ExoSource {
+    video: MediaBundle,
+    audio: Option<MediaBundle>,
+    subtitles: Option<String>,
+}
+
+impl ExoSource {
+    /// Starts a source from its video rendition.
+    pub fn new(video: MediaBundle) -> Self {
+        ExoSource { video, audio: None, subtitles: None }
+    }
+
+    /// Adds an audio rendition (clear or encrypted — both supported).
+    pub fn with_audio(mut self, audio: MediaBundle) -> Self {
+        self.audio = Some(audio);
+        self
+    }
+
+    /// Adds a subtitle track. Only clear subtitles are accepted; the
+    /// playback API has no decryption path for text tracks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExoError::EncryptedSubtitlesUnsupported`] for protected
+    /// subtitle inits.
+    pub fn with_subtitles(
+        mut self,
+        init: &InitSegment,
+        text: String,
+    ) -> Result<Self, ExoError> {
+        if init.is_protected() {
+            return Err(ExoError::EncryptedSubtitlesUnsupported);
+        }
+        self.subtitles = Some(text);
+        Ok(self)
+    }
+
+    /// Every key ID this source needs licensed.
+    pub fn required_key_ids(&self) -> Vec<KeyId> {
+        let mut out = Vec::new();
+        for bundle in std::iter::once(&self.video).chain(self.audio.iter()) {
+            if let Some(tenc) = &bundle.init.tenc {
+                let kid = KeyId(tenc.default_kid.0);
+                if !out.contains(&kid) {
+                    out.push(kid);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The played-out result.
+#[derive(Debug, Clone)]
+pub struct ExoPlayback {
+    /// Decrypted video frames.
+    pub video_frames: Vec<Frame>,
+    /// Decrypted (or clear) audio frames.
+    pub audio_frames: Vec<Frame>,
+    /// Subtitle text, passed through untouched.
+    pub subtitles: Option<String>,
+}
+
+/// The player: a thin session manager over `MediaDrm`.
+pub struct ExoPlayer {
+    drm: MediaDrm,
+}
+
+impl std::fmt::Debug for ExoPlayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ExoPlayer(widevine session manager)")
+    }
+}
+
+impl ExoPlayer {
+    /// Creates a player bound to a DRM scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExoError::Drm`] when the scheme is unsupported.
+    pub fn new(binder: Arc<dyn Binder>, uuid: [u8; 16]) -> Result<Self, ExoError> {
+        Ok(ExoPlayer { drm: MediaDrm::new(binder, uuid)? })
+    }
+
+    /// Licenses and plays a source: one session, one license request
+    /// covering every key the source needs, then decrypt video and audio.
+    ///
+    /// # Errors
+    ///
+    /// Propagates framework and license failures.
+    pub fn prepare_and_play(
+        &self,
+        content_id: &str,
+        nonce: [u8; 16],
+        source: &ExoSource,
+        mut fetch_license: impl FnMut(&[u8]) -> Result<Vec<u8>, DrmError>,
+    ) -> Result<ExoPlayback, ExoError> {
+        let key_ids = source.required_key_ids();
+        let session = self.drm.open_session(nonce)?;
+
+        if !key_ids.is_empty() {
+            let request = self.drm.get_key_request(session, content_id, &key_ids)?;
+            let response = fetch_license(&request)?;
+            let loaded = self.drm.provide_key_response(session, response)?;
+            // ExoPlayer surfaces missing keys as a session error up front
+            // rather than failing mid-decode.
+            for kid in &key_ids {
+                if !loaded.contains(kid) {
+                    return Err(ExoError::Drm(DrmError::Cdm(
+                        wideleak_cdm::CdmError::KeyNotLoaded,
+                    )));
+                }
+            }
+        }
+
+        let crypto = MediaCrypto::new(&self.drm, session);
+        let codec = MediaCodec::configure(&crypto);
+        let mut video_frames = Vec::new();
+        for seg in &source.video.segments {
+            video_frames.extend(codec.queue_secure_segment(&source.video.init, seg)?);
+        }
+        let mut audio_frames = Vec::new();
+        if let Some(audio) = &source.audio {
+            for seg in &audio.segments {
+                audio_frames.extend(codec.queue_secure_segment(&audio.init, seg)?);
+            }
+        }
+        self.drm.close_session(session)?;
+
+        Ok(ExoPlayback { video_frames, audio_frames, subtitles: source.subtitles.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wideleak_bmff::fragment::TrackKind;
+    use wideleak_bmff::types::Tenc;
+    use wideleak_bmff::FourCc;
+
+    fn clear_bundle(kind: TrackKind) -> MediaBundle {
+        MediaBundle { init: InitSegment::clear(1, kind), segments: vec![] }
+    }
+
+    #[test]
+    fn encrypted_subtitles_rejected_at_the_api() {
+        let protected_sub_init = InitSegment::protected(
+            3,
+            TrackKind::Subtitle,
+            FourCc(*b"cenc"),
+            Tenc::cenc(KeyId([1; 16])),
+            vec![],
+        );
+        let err = ExoSource::new(clear_bundle(TrackKind::Video))
+            .with_subtitles(&protected_sub_init, "WEBVTT".into())
+            .unwrap_err();
+        assert_eq!(err, ExoError::EncryptedSubtitlesUnsupported);
+    }
+
+    #[test]
+    fn clear_subtitles_accepted() {
+        let source = ExoSource::new(clear_bundle(TrackKind::Video))
+            .with_subtitles(&InitSegment::clear(3, TrackKind::Subtitle), "WEBVTT".into())
+            .unwrap();
+        assert_eq!(source.subtitles.as_deref(), Some("WEBVTT"));
+    }
+
+    #[test]
+    fn required_key_ids_deduplicate_shared_keys() {
+        let kid = KeyId([7; 16]);
+        let video = MediaBundle {
+            init: InitSegment::protected(
+                1,
+                TrackKind::Video,
+                FourCc(*b"cenc"),
+                Tenc::cenc(kid),
+                vec![],
+            ),
+            segments: vec![],
+        };
+        let audio = MediaBundle {
+            init: InitSegment::protected(
+                2,
+                TrackKind::Audio,
+                FourCc(*b"cenc"),
+                Tenc::cenc(kid),
+                vec![],
+            ),
+            segments: vec![],
+        };
+        let source = ExoSource::new(video).with_audio(audio);
+        assert_eq!(source.required_key_ids(), vec![kid], "shared key requested once");
+    }
+
+    #[test]
+    fn clear_source_needs_no_keys() {
+        let source =
+            ExoSource::new(clear_bundle(TrackKind::Video)).with_audio(clear_bundle(TrackKind::Audio));
+        assert!(source.required_key_ids().is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ExoError::EncryptedSubtitlesUnsupported.to_string().contains("subtitle"));
+        assert!(ExoError::NoVideoTrack.to_string().contains("video"));
+    }
+}

@@ -1,0 +1,82 @@
+//! The Android Media DRM framework model.
+//!
+//! Reproduces the architecture of Figure 1 in the paper: OTT apps talk to
+//! the Java-level [`MediaDrm`]/[`MediaCrypto`]/[`MediaCodec`] APIs, whose
+//! calls cross a Binder boundary into the **Media DRM Server** process,
+//! which routes them to the Widevine HAL plugin (`wideleak-cdm`).
+//!
+//! - [`binder`] — the IPC boundary, with a synchronous in-process
+//!   transport and a threaded transport (crossbeam channels) that actually
+//!   runs the server on its own thread like `mediadrmserver` does;
+//! - [`server`] — the Media DRM Server: DRM-scheme registry + call router;
+//! - [`mediadrm`] — license and provisioning session management
+//!   (`openSession`, `getKeyRequest`, `provideKeyResponse`, …);
+//! - [`mediacrypto`] / [`mediacodec`] — the decrypt path:
+//!   `queueSecureInputBuffer` hands encrypted samples to the codec, which
+//!   decrypts *inside the server process* so the app never sees keys or
+//!   plaintext buffers (the property that defeated MovieStealer);
+//! - [`playback`] — a driver that runs the complete Figure-1 sequence and
+//!   records an ordered [`playback::PlaybackTrace`];
+//! - [`exoplayer`] — the ExoPlayer-style convenience layer Widevine
+//!   recommends to apps, including its subtitle API gap.
+//!
+//! [`MediaDrm`]: mediadrm::MediaDrm
+//! [`MediaCrypto`]: mediacrypto::MediaCrypto
+//! [`MediaCodec`]: mediacodec::MediaCodec
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binder;
+pub mod exoplayer;
+pub mod mediacodec;
+pub mod mediacrypto;
+pub mod mediadrm;
+pub mod playback;
+pub mod server;
+
+use std::fmt;
+
+/// Errors surfaced by the Android DRM framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrmError {
+    /// The requested DRM scheme UUID is not supported on this device.
+    UnsupportedScheme {
+        /// The requested UUID.
+        uuid: [u8; 16],
+    },
+    /// The CDM rejected the operation.
+    Cdm(wideleak_cdm::CdmError),
+    /// The Binder transport failed (server thread gone).
+    BinderDied,
+    /// The reply had an unexpected shape (framework bug guard).
+    BadReply,
+}
+
+impl fmt::Display for DrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrmError::UnsupportedScheme { uuid } => {
+                write!(f, "unsupported DRM scheme {:02x?}", &uuid[..4])
+            }
+            DrmError::Cdm(e) => write!(f, "CDM error: {e}"),
+            DrmError::BinderDied => f.write_str("binder transaction failed: server died"),
+            DrmError::BadReply => f.write_str("unexpected reply shape from media drm server"),
+        }
+    }
+}
+
+impl std::error::Error for DrmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DrmError::Cdm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wideleak_cdm::CdmError> for DrmError {
+    fn from(e: wideleak_cdm::CdmError) -> Self {
+        DrmError::Cdm(e)
+    }
+}

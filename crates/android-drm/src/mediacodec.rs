@@ -1,0 +1,106 @@
+//! The `MediaCodec` secure decode path.
+//!
+//! `queueSecureInputBuffer()` hands encrypted samples (with their CENC
+//! metadata) to the codec. Decryption happens on the server side of the
+//! Binder boundary, through the registered [`MediaCrypto`]; the app never
+//! touches keys — this is why the MovieStealer attack (grabbing decrypted
+//! buffers in the app process) no longer applies, as §II-B of the paper
+//! notes.
+
+use wideleak_bmff::fragment::{InitSegment, MediaSegment};
+use wideleak_bmff::types::KeyId;
+use wideleak_cdm::oemcrypto::SampleCrypto;
+use wideleak_cenc::track::Scheme;
+
+use crate::binder::DrmCall;
+use crate::mediacrypto::MediaCrypto;
+use crate::DrmError;
+
+/// A decoded (decrypted) frame. The simulator stops at decryption; real
+/// codecs would go on to decode the bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The decrypted sample bytes.
+    pub data: Vec<u8>,
+}
+
+/// A secure decoder with a registered crypto object.
+pub struct MediaCodec<'a> {
+    crypto: &'a MediaCrypto,
+}
+
+impl std::fmt::Debug for MediaCodec<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MediaCodec(session: {})", self.crypto.session_id())
+    }
+}
+
+impl<'a> MediaCodec<'a> {
+    /// `configure(..., crypto)` — registers the crypto object.
+    pub fn configure(crypto: &'a MediaCrypto) -> Self {
+        MediaCodec { crypto }
+    }
+
+    /// `queueSecureInputBuffer()` for a whole media segment: decrypts
+    /// every sample using the segment's `senc` metadata and the init
+    /// segment's `tenc` defaults.
+    ///
+    /// Clear segments pass through untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DrmError`] when metadata is inconsistent or the key is
+    /// not loaded in the bound session.
+    pub fn queue_secure_segment(
+        &self,
+        init: &InitSegment,
+        segment: &MediaSegment,
+    ) -> Result<Vec<Frame>, DrmError> {
+        let samples = segment.samples().map_err(|_| DrmError::BadReply)?;
+        let Some(senc) = &segment.senc else {
+            return Ok(samples.into_iter().map(|s| Frame { data: s.to_vec() }).collect());
+        };
+        let tenc = init.tenc.as_ref().ok_or(DrmError::BadReply)?;
+        let scheme = init
+            .scheme
+            .and_then(Scheme::from_fourcc)
+            .ok_or(DrmError::BadReply)?;
+        if senc.entries.len() != samples.len() {
+            return Err(DrmError::BadReply);
+        }
+        let kid = KeyId(tenc.default_kid.0);
+
+        let mut frames = Vec::with_capacity(samples.len());
+        for (sample, entry) in samples.iter().zip(&senc.entries) {
+            let crypto = match scheme {
+                Scheme::Cenc => {
+                    let iv: [u8; 8] =
+                        entry.iv.as_slice().try_into().map_err(|_| DrmError::BadReply)?;
+                    SampleCrypto::Cenc { iv }
+                }
+                Scheme::Cbcs => {
+                    let constant_iv = tenc.constant_iv.ok_or(DrmError::BadReply)?;
+                    let pattern = tenc.pattern.ok_or(DrmError::BadReply)?;
+                    SampleCrypto::Cbcs {
+                        constant_iv,
+                        crypt_blocks: pattern.crypt_blocks,
+                        skip_blocks: pattern.skip_blocks,
+                    }
+                }
+            };
+            let data = self
+                .crypto
+                .binder()
+                .transact(DrmCall::DecryptSample {
+                    session_id: self.crypto.session_id(),
+                    kid,
+                    crypto,
+                    data: sample.to_vec(),
+                    subsamples: entry.subsamples.clone(),
+                })?
+                .into_bytes()?;
+            frames.push(Frame { data });
+        }
+        Ok(frames)
+    }
+}

@@ -1,0 +1,119 @@
+//! The `MediaCrypto` API: the decrypt-capable handle bound to an open
+//! session.
+//!
+//! Apps construct a `MediaCrypto` from a `MediaDrm` session and register
+//! it with a `MediaCodec`; they can never extract keys or plaintext from
+//! it. The generic (non-DASH) operations are also exposed here, matching
+//! how OTT apps reach them through the session.
+
+use std::sync::Arc;
+
+use wideleak_bmff::types::KeyId;
+
+use crate::binder::{Binder, DrmCall};
+use crate::mediadrm::MediaDrm;
+use crate::DrmError;
+
+/// A decrypt handle bound to one session.
+pub struct MediaCrypto {
+    binder: Arc<dyn Binder>,
+    session_id: u32,
+}
+
+impl std::fmt::Debug for MediaCrypto {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MediaCrypto(session: {})", self.session_id)
+    }
+}
+
+impl MediaCrypto {
+    /// Binds a crypto handle to an open session of a `MediaDrm`.
+    pub fn new(drm: &MediaDrm, session_id: u32) -> Self {
+        MediaCrypto { binder: drm.binder().clone(), session_id }
+    }
+
+    /// The bound session.
+    pub fn session_id(&self) -> u32 {
+        self.session_id
+    }
+
+    /// The shared binder (used by [`crate::mediacodec::MediaCodec`]).
+    pub(crate) fn binder(&self) -> &Arc<dyn Binder> {
+        &self.binder
+    }
+
+    /// Non-DASH generic encryption (the "secure channel" API).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CDM failures (unloaded key in particular).
+    pub fn generic_encrypt(
+        &self,
+        kid: KeyId,
+        iv: [u8; 16],
+        data: &[u8],
+    ) -> Result<Vec<u8>, DrmError> {
+        self.binder
+            .transact(DrmCall::GenericEncrypt {
+                session_id: self.session_id,
+                kid,
+                iv,
+                data: data.to_vec(),
+            })?
+            .into_bytes()
+    }
+
+    /// Non-DASH generic decryption.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CDM failures.
+    pub fn generic_decrypt(
+        &self,
+        kid: KeyId,
+        iv: [u8; 16],
+        data: &[u8],
+    ) -> Result<Vec<u8>, DrmError> {
+        self.binder
+            .transact(DrmCall::GenericDecrypt {
+                session_id: self.session_id,
+                kid,
+                iv,
+                data: data.to_vec(),
+            })?
+            .into_bytes()
+    }
+
+    /// Non-DASH generic signing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CDM failures.
+    pub fn generic_sign(&self, kid: KeyId, data: &[u8]) -> Result<Vec<u8>, DrmError> {
+        self.binder
+            .transact(DrmCall::GenericSign { session_id: self.session_id, kid, data: data.to_vec() })?
+            .into_bytes()
+    }
+
+    /// Non-DASH generic verification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; a failed verification returns
+    /// `Ok(false)`.
+    pub fn generic_verify(
+        &self,
+        kid: KeyId,
+        data: &[u8],
+        signature: &[u8],
+    ) -> Result<bool, DrmError> {
+        self.binder
+            .transact(DrmCall::GenericVerify {
+                session_id: self.session_id,
+                kid,
+                data: data.to_vec(),
+                signature: signature.to_vec(),
+            })?
+            .into_bool()
+    }
+}

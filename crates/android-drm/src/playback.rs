@@ -1,0 +1,182 @@
+//! The encrypted-playback driver: Figure 1 of the paper as executable
+//! code, with an ordered trace of every protocol step.
+
+use std::sync::Arc;
+
+use wideleak_bmff::fragment::{InitSegment, MediaSegment};
+use wideleak_bmff::types::KeyId;
+
+use crate::binder::Binder;
+use crate::mediacodec::{Frame, MediaCodec};
+use crate::mediacrypto::MediaCrypto;
+use crate::mediadrm::MediaDrm;
+use crate::DrmError;
+
+/// One step of the Figure-1 sequence, in the order the paper draws them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlaybackStep {
+    /// `MediaDrm(UUID)` construction.
+    MediaDrmNew,
+    /// `Initialize()` of the CDM plugin.
+    Initialize,
+    /// `openSession()` from the app.
+    OpenSessionApp,
+    /// `openSession()` relayed to the CDM.
+    OpenSessionCdm,
+    /// `getKeyRequest()` from the app.
+    GetKeyRequestApp,
+    /// `getKeyRequest()` relayed to the CDM, yielding the opaque request.
+    GetKeyRequestCdm,
+    /// The app sends `Get License` to the License Server.
+    GetLicense,
+    /// The License Server answers with the license.
+    License,
+    /// `provideKeyResponse()` from the app.
+    ProvideKeyResponseApp,
+    /// `provideKeyResponse()` relayed to the CDM.
+    ProvideKeyResponseCdm,
+    /// The app fetches media from the CDN.
+    GetMedia,
+    /// The CDN answers with media segments.
+    Media,
+    /// `queueSecureInputBuffer()` into the codec.
+    QueueSecureInputBuffer,
+    /// `Decrypt()` inside the CDM.
+    Decrypt,
+}
+
+/// The expected Figure-1 order (what the sequence diagram shows).
+pub const FIGURE_1_SEQUENCE: [PlaybackStep; 14] = [
+    PlaybackStep::MediaDrmNew,
+    PlaybackStep::Initialize,
+    PlaybackStep::OpenSessionApp,
+    PlaybackStep::OpenSessionCdm,
+    PlaybackStep::GetKeyRequestApp,
+    PlaybackStep::GetKeyRequestCdm,
+    PlaybackStep::GetLicense,
+    PlaybackStep::License,
+    PlaybackStep::ProvideKeyResponseApp,
+    PlaybackStep::ProvideKeyResponseCdm,
+    PlaybackStep::GetMedia,
+    PlaybackStep::Media,
+    PlaybackStep::QueueSecureInputBuffer,
+    PlaybackStep::Decrypt,
+];
+
+/// The ordered record of one playback run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlaybackTrace {
+    steps: Vec<PlaybackStep>,
+}
+
+impl PlaybackTrace {
+    fn push(&mut self, step: PlaybackStep) {
+        self.steps.push(step);
+    }
+
+    /// The recorded steps in order.
+    pub fn steps(&self) -> &[PlaybackStep] {
+        &self.steps
+    }
+
+    /// Whether the trace matches the Figure-1 sequence exactly.
+    pub fn matches_figure_1(&self) -> bool {
+        self.steps == FIGURE_1_SEQUENCE
+    }
+}
+
+/// The media bundle a playback run consumes (what the CDN delivered).
+#[derive(Debug, Clone)]
+pub struct MediaBundle {
+    /// Parsed init segment of the selected representation.
+    pub init: InitSegment,
+    /// Parsed media segments.
+    pub segments: Vec<MediaSegment>,
+}
+
+/// Runs the full Figure-1 sequence for one protected asset.
+///
+/// The caller supplies the two network interactions as closures (the OTT
+/// app owns its transport, pinning included):
+///
+/// - `fetch_license(request) -> response` talks to the License Server;
+/// - `fetch_media() -> MediaBundle` talks to the CDN.
+///
+/// Returns the decrypted frames and the recorded [`PlaybackTrace`].
+///
+/// # Errors
+///
+/// Propagates every framework, CDM and network failure; the trace
+/// accumulated so far is lost (a failed playback is diagnosed through the
+/// error, traces are for successful runs).
+pub fn play_protected_content(
+    binder: Arc<dyn Binder>,
+    uuid: [u8; 16],
+    content_id: &str,
+    key_ids: &[KeyId],
+    nonce: [u8; 16],
+    mut fetch_license: impl FnMut(&[u8]) -> Result<Vec<u8>, DrmError>,
+    mut fetch_media: impl FnMut() -> Result<MediaBundle, DrmError>,
+) -> Result<(Vec<Frame>, PlaybackTrace), DrmError> {
+    let mut trace = PlaybackTrace::default();
+
+    let drm = MediaDrm::new(binder, uuid)?;
+    trace.push(PlaybackStep::MediaDrmNew);
+    trace.push(PlaybackStep::Initialize);
+
+    trace.push(PlaybackStep::OpenSessionApp);
+    let session_id = drm.open_session(nonce)?;
+    trace.push(PlaybackStep::OpenSessionCdm);
+
+    trace.push(PlaybackStep::GetKeyRequestApp);
+    let request = drm.get_key_request(session_id, content_id, key_ids)?;
+    trace.push(PlaybackStep::GetKeyRequestCdm);
+
+    trace.push(PlaybackStep::GetLicense);
+    let response = fetch_license(&request)?;
+    trace.push(PlaybackStep::License);
+
+    trace.push(PlaybackStep::ProvideKeyResponseApp);
+    drm.provide_key_response(session_id, response)?;
+    trace.push(PlaybackStep::ProvideKeyResponseCdm);
+
+    trace.push(PlaybackStep::GetMedia);
+    let media = fetch_media()?;
+    trace.push(PlaybackStep::Media);
+
+    let crypto = MediaCrypto::new(&drm, session_id);
+    let codec = MediaCodec::configure(&crypto);
+    let mut frames = Vec::new();
+    trace.push(PlaybackStep::QueueSecureInputBuffer);
+    for segment in &media.segments {
+        frames.extend(codec.queue_secure_segment(&media.init, segment)?);
+    }
+    trace.push(PlaybackStep::Decrypt);
+
+    drm.close_session(session_id)?;
+    Ok((frames, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_sequence_is_complete_and_ordered() {
+        // The constant itself is the figure; pin its shape.
+        assert_eq!(FIGURE_1_SEQUENCE.len(), 14);
+        assert_eq!(FIGURE_1_SEQUENCE[0], PlaybackStep::MediaDrmNew);
+        assert_eq!(FIGURE_1_SEQUENCE[13], PlaybackStep::Decrypt);
+        // License fetch happens strictly after the key request and before
+        // provideKeyResponse.
+        let pos = |s: PlaybackStep| FIGURE_1_SEQUENCE.iter().position(|&x| x == s).unwrap();
+        assert!(pos(PlaybackStep::GetKeyRequestCdm) < pos(PlaybackStep::GetLicense));
+        assert!(pos(PlaybackStep::License) < pos(PlaybackStep::ProvideKeyResponseApp));
+        assert!(pos(PlaybackStep::GetMedia) < pos(PlaybackStep::QueueSecureInputBuffer));
+    }
+
+    #[test]
+    fn empty_trace_does_not_match() {
+        assert!(!PlaybackTrace::default().matches_figure_1());
+    }
+}

@@ -1,0 +1,213 @@
+//! The Media DRM Server: the HAL router living in `mediadrmserver`.
+//!
+//! Holds the registry of DRM plugins by system UUID (Widevine is one; a
+//! vendor could register others) and routes every [`DrmCall`] to the
+//! owning plugin's OEMCrypto backend.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use wideleak_cdm::cdm::Cdm;
+use wideleak_cdm::messages::{LicenseResponse, ProvisioningResponse};
+
+use crate::binder::{DrmCall, DrmReply};
+use crate::DrmError;
+
+/// The server-side router.
+pub struct MediaDrmServer {
+    plugins: HashMap<[u8; 16], Arc<Cdm>>,
+    /// The UUID most calls route to (sessions are not namespaced by UUID
+    /// in this subset; one active scheme per server instance, which is
+    /// what every evaluated OTT app uses).
+    active: Option<[u8; 16]>,
+}
+
+impl std::fmt::Debug for MediaDrmServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MediaDrmServer({} plugins)", self.plugins.len())
+    }
+}
+
+impl Default for MediaDrmServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MediaDrmServer {
+    /// Creates a server with no plugins.
+    pub fn new() -> Self {
+        MediaDrmServer { plugins: HashMap::new(), active: None }
+    }
+
+    /// Registers a DRM plugin under its system UUID. The first registered
+    /// plugin becomes the active one.
+    pub fn register_plugin(&mut self, uuid: [u8; 16], cdm: Arc<Cdm>) {
+        if self.active.is_none() {
+            self.active = Some(uuid);
+        }
+        self.plugins.insert(uuid, cdm);
+    }
+
+    /// Whether a scheme is available.
+    pub fn is_scheme_supported(&self, uuid: &[u8; 16]) -> bool {
+        self.plugins.contains_key(uuid)
+    }
+
+    fn active_cdm(&self) -> Result<&Arc<Cdm>, DrmError> {
+        let uuid = self.active.ok_or(DrmError::UnsupportedScheme { uuid: [0; 16] })?;
+        self.plugins
+            .get(&uuid)
+            .ok_or(DrmError::UnsupportedScheme { uuid })
+    }
+
+    /// Handles one transaction (called by the Binder transports).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DrmError`] for CDM failures and unsupported schemes.
+    pub fn handle(&self, call: DrmCall) -> Result<DrmReply, DrmError> {
+        match call {
+            DrmCall::IsSchemeSupported { uuid } => {
+                Ok(DrmReply::Bool(self.is_scheme_supported(&uuid)))
+            }
+            DrmCall::OpenSession { nonce } => {
+                let id = self.active_cdm()?.oemcrypto().open_session(nonce)?;
+                Ok(DrmReply::SessionId(id))
+            }
+            DrmCall::CloseSession { session_id } => {
+                self.active_cdm()?.oemcrypto().close_session(session_id)?;
+                Ok(DrmReply::Unit)
+            }
+            DrmCall::IsProvisioned => {
+                Ok(DrmReply::Bool(self.active_cdm()?.oemcrypto().is_provisioned()))
+            }
+            DrmCall::GetProvisionRequest { nonce } => {
+                let req = self.active_cdm()?.oemcrypto().provisioning_request(nonce)?;
+                Ok(DrmReply::Bytes(req.to_bytes()))
+            }
+            DrmCall::ProvideProvisionResponse { nonce, response } => {
+                let resp = ProvisioningResponse::parse(&response)?;
+                self.active_cdm()?.oemcrypto().install_rsa_key(nonce, &resp)?;
+                Ok(DrmReply::Unit)
+            }
+            DrmCall::GetKeyRequest { session_id, content_id, key_ids } => {
+                let req = self
+                    .active_cdm()?
+                    .oemcrypto()
+                    .license_request(session_id, &content_id, &key_ids)?;
+                Ok(DrmReply::Bytes(req.to_bytes()))
+            }
+            DrmCall::ProvideKeyResponse { session_id, response } => {
+                let resp = LicenseResponse::parse(&response)?;
+                let loaded = self.active_cdm()?.oemcrypto().load_license(session_id, &resp)?;
+                Ok(DrmReply::KeyIds(loaded))
+            }
+            DrmCall::DecryptSample { session_id, kid, crypto, data, subsamples } => {
+                let out = self.active_cdm()?.oemcrypto().decrypt_sample(
+                    session_id,
+                    &kid,
+                    &crypto,
+                    &data,
+                    &subsamples,
+                )?;
+                Ok(DrmReply::Bytes(out))
+            }
+            DrmCall::GenericEncrypt { session_id, kid, iv, data } => {
+                let out =
+                    self.active_cdm()?.oemcrypto().generic_encrypt(session_id, &kid, iv, &data)?;
+                Ok(DrmReply::Bytes(out))
+            }
+            DrmCall::GenericDecrypt { session_id, kid, iv, data } => {
+                let out =
+                    self.active_cdm()?.oemcrypto().generic_decrypt(session_id, &kid, iv, &data)?;
+                Ok(DrmReply::Bytes(out))
+            }
+            DrmCall::GenericSign { session_id, kid, data } => {
+                let out = self.active_cdm()?.oemcrypto().generic_sign(session_id, &kid, &data)?;
+                Ok(DrmReply::Bytes(out))
+            }
+            DrmCall::GenericVerify { session_id, kid, data, signature } => {
+                let ok = self
+                    .active_cdm()?
+                    .oemcrypto()
+                    .generic_verify(session_id, &kid, &data, &signature)
+                    .is_ok();
+                Ok(DrmReply::Bool(ok))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wideleak_bmff::types::WIDEVINE_SYSTEM_ID;
+    use wideleak_cdm::keybox::Keybox;
+    use wideleak_device::catalog::DeviceModel;
+    use wideleak_device::Device;
+
+    fn boot_server() -> MediaDrmServer {
+        let device = Device::new(DeviceModel::pixel_6());
+        let cdm = Cdm::boot(&device, Keybox::issue(b"server-test", &[2; 16])).unwrap();
+        let mut s = MediaDrmServer::new();
+        s.register_plugin(WIDEVINE_SYSTEM_ID, Arc::new(cdm));
+        s
+    }
+
+    #[test]
+    fn scheme_probe() {
+        let s = boot_server();
+        assert!(s.is_scheme_supported(&WIDEVINE_SYSTEM_ID));
+        assert!(!s.is_scheme_supported(&[0u8; 16]));
+        assert_eq!(
+            s.handle(DrmCall::IsSchemeSupported { uuid: [0; 16] }).unwrap(),
+            DrmReply::Bool(false)
+        );
+    }
+
+    #[test]
+    fn empty_server_rejects_calls() {
+        let s = MediaDrmServer::new();
+        assert!(matches!(
+            s.handle(DrmCall::OpenSession { nonce: [0; 16] }),
+            Err(DrmError::UnsupportedScheme { .. })
+        ));
+    }
+
+    #[test]
+    fn session_lifecycle_through_router() {
+        let s = boot_server();
+        let id = s
+            .handle(DrmCall::OpenSession { nonce: [3; 16] })
+            .unwrap()
+            .into_session_id()
+            .unwrap();
+        assert_eq!(s.handle(DrmCall::CloseSession { session_id: id }).unwrap(), DrmReply::Unit);
+        assert!(matches!(
+            s.handle(DrmCall::CloseSession { session_id: id }),
+            Err(DrmError::Cdm(_))
+        ));
+    }
+
+    #[test]
+    fn provisioning_probe() {
+        let s = boot_server();
+        assert_eq!(s.handle(DrmCall::IsProvisioned).unwrap(), DrmReply::Bool(false));
+        let req = s
+            .handle(DrmCall::GetProvisionRequest { nonce: [1; 16] })
+            .unwrap()
+            .into_bytes()
+            .unwrap();
+        assert!(!req.is_empty());
+    }
+
+    #[test]
+    fn garbage_provision_response_rejected() {
+        let s = boot_server();
+        assert!(matches!(
+            s.handle(DrmCall::ProvideProvisionResponse { nonce: [0; 16], response: vec![1, 2] }),
+            Err(DrmError::Cdm(_))
+        ));
+    }
+}

@@ -1,0 +1,85 @@
+//! The CVE-2021-0639 proof of concept: recovering DRM-free media from a
+//! discontinued Widevine L3 device.
+//!
+//! Reproduces §IV-D of the paper, step by step:
+//!
+//! 1. [`memscan`] — scan the CDM process's memory for the keybox by its
+//!    magic number, validating candidates with the CRC-32 (the insecure
+//!    storage is CWE-922);
+//! 2. [`keyladder`] — re-implement the proprietary key ladder over the
+//!    buffers dumped by the hooks: unwrap the provisioning response with
+//!    the keybox to get the Device RSA Key, RSA-OAEP-unwrap the session
+//!    key, CMAC-derive the unwrapping key, and decrypt every content key
+//!    in the license;
+//! 3. [`recover`] — orchestrate a full victim-style playback on the
+//!    instrumented device and run the two steps above;
+//! 4. [`reconstruct`] — decrypt the downloaded CENC segments with the
+//!    recovered keys and re-package them as clear MP4 playable anywhere,
+//!    without any OTT account.
+//!
+//! [`hd_spoof`] additionally reproduces the §V-C future-work experiment:
+//! forging an L1-claiming license request with the stolen credentials,
+//! which Android-like attestation clamps to qHD and web-like deployments
+//! (the netflix-1080p case) do not.
+//!
+//! The attack succeeds exactly where the paper says it does: apps that
+//! still serve discontinued devices through the platform CDM (six of the
+//! ten), at qHD (960×540) because L3 never receives HD keys. It fails
+//! against L1 devices (no keybox in normal-world memory), against
+//! patched CDMs (keybox zeroized), against revocation-enforcing apps (no
+//! license to observe), and against Amazon's embedded DRM (no platform
+//! CDM traffic at all).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hd_spoof;
+pub mod keyladder;
+pub mod memscan;
+pub mod reconstruct;
+pub mod recover;
+
+use std::fmt;
+
+/// Errors from the attack pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackError {
+    /// Memory scanning found no valid keybox.
+    KeyboxNotFound,
+    /// The hook log held no provisioning response to unwrap.
+    NoProvisioningTraffic,
+    /// The hook log held no license traffic to replay the ladder on.
+    NoLicenseTraffic,
+    /// A ladder step failed (wrong keybox, tampered dump...).
+    Ladder {
+        /// Which step failed.
+        step: &'static str,
+    },
+    /// The victim playback needed for observation failed.
+    Playback {
+        /// Why.
+        reason: String,
+    },
+    /// Device instrumentation failed.
+    Instrumentation {
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::KeyboxNotFound => f.write_str("no valid keybox in scanned memory"),
+            AttackError::NoProvisioningTraffic => {
+                f.write_str("no provisioning response observed in hook log")
+            }
+            AttackError::NoLicenseTraffic => f.write_str("no license traffic observed in hook log"),
+            AttackError::Ladder { step } => write!(f, "key ladder failed at {step}"),
+            AttackError::Playback { reason } => write!(f, "victim playback failed: {reason}"),
+            AttackError::Instrumentation { reason } => write!(f, "instrumentation failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}

@@ -1,0 +1,114 @@
+//! Keybox recovery by memory scanning (CWE-922).
+//!
+//! The software L3 CDM keeps its keybox in a plain data region of the
+//! media server process. The scan looks for the keybox magic number,
+//! rewinds to the candidate's start, and validates the 128-byte window
+//! with the structure's own CRC-32 — exactly the paper's methodology
+//! ("we searched for specific keybox structure (e.g., magic number)").
+
+use wideleak_cdm::keybox::{Keybox, KEYBOX_LEN, KEYBOX_MAGIC};
+use wideleak_device::memory::ProcessMemory;
+
+use crate::AttackError;
+
+/// Magic-number offset within the keybox structure.
+const MAGIC_OFFSET: usize = 120;
+
+/// Scans a process's memory for valid keyboxes.
+///
+/// Returns every distinct validated keybox (a device has one, but a scan
+/// over a dirty heap can surface stale copies).
+pub fn scan_for_keyboxes(memory: &ProcessMemory) -> Vec<Keybox> {
+    let mut found = Vec::new();
+    for (region, magic_offset) in memory.scan(&KEYBOX_MAGIC) {
+        let Some(start) = magic_offset.checked_sub(MAGIC_OFFSET) else { continue };
+        let Some(window) = memory.read(region, start, KEYBOX_LEN) else { continue };
+        if let Ok(keybox) = Keybox::parse(&window) {
+            if !found.contains(&keybox) {
+                found.push(keybox);
+            }
+        }
+    }
+    found
+}
+
+/// Scans and returns the device keybox, or the canonical failure.
+///
+/// # Errors
+///
+/// Returns [`AttackError::KeyboxNotFound`] when no candidate validates.
+pub fn recover_keybox(memory: &ProcessMemory) -> Result<Keybox, AttackError> {
+    scan_for_keyboxes(memory)
+        .into_iter()
+        .next()
+        .ok_or(AttackError::KeyboxNotFound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keybox() -> Keybox {
+        Keybox::issue(b"memscan-target", &[0xA5; 16])
+    }
+
+    #[test]
+    fn finds_keybox_amid_noise() {
+        let mem = ProcessMemory::new("mediaserver");
+        let mut region = vec![0x11u8; 500];
+        region.extend_from_slice(&keybox().to_bytes());
+        region.extend(vec![0x22u8; 300]);
+        mem.map_region("libwvdrmengine.so:.data", region);
+        assert_eq!(recover_keybox(&mem).unwrap(), keybox());
+    }
+
+    #[test]
+    fn rejects_magic_without_valid_crc() {
+        let mem = ProcessMemory::new("p");
+        // A decoy: magic bytes with garbage around them.
+        let mut region = vec![0u8; 120];
+        region.extend_from_slice(&KEYBOX_MAGIC);
+        region.extend(vec![0u8; 100]);
+        mem.map_region("heap", region);
+        assert_eq!(recover_keybox(&mem), Err(AttackError::KeyboxNotFound));
+    }
+
+    #[test]
+    fn magic_too_close_to_region_start_is_skipped() {
+        let mem = ProcessMemory::new("p");
+        // Magic at offset 10: cannot rewind 120 bytes.
+        let mut region = vec![0u8; 10];
+        region.extend_from_slice(&KEYBOX_MAGIC);
+        mem.map_region("heap", region);
+        assert!(scan_for_keyboxes(&mem).is_empty());
+    }
+
+    #[test]
+    fn finds_multiple_distinct_keyboxes() {
+        let mem = ProcessMemory::new("p");
+        let kb_a = Keybox::issue(b"device-a", &[1; 16]);
+        let kb_b = Keybox::issue(b"device-b", &[2; 16]);
+        let mut region = kb_a.to_bytes().to_vec();
+        region.extend_from_slice(&kb_b.to_bytes());
+        // A duplicate of the first: deduplicated.
+        region.extend_from_slice(&kb_a.to_bytes());
+        mem.map_region("heap", region);
+        let found = scan_for_keyboxes(&mem);
+        assert_eq!(found.len(), 2);
+        assert!(found.contains(&kb_a) && found.contains(&kb_b));
+    }
+
+    #[test]
+    fn empty_memory_yields_nothing() {
+        let mem = ProcessMemory::new("p");
+        assert_eq!(recover_keybox(&mem), Err(AttackError::KeyboxNotFound));
+    }
+
+    #[test]
+    fn zeroized_keybox_is_not_found() {
+        let mem = ProcessMemory::new("p");
+        let r = mem.map_region("heap", keybox().to_bytes().to_vec());
+        mem.zeroize(r, 0, KEYBOX_LEN);
+        assert_eq!(recover_keybox(&mem), Err(AttackError::KeyboxNotFound));
+    }
+}

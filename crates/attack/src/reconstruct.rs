@@ -1,0 +1,246 @@
+//! DRM-free media reconstruction.
+//!
+//! With recovered content keys the attacker decrypts the CENC segments
+//! straight from the CDN (no CDM, no account needed for the asset
+//! fetches) and repackages them as clear fragmented MP4 — "we reconstruct
+//! the pirated media and play it on another device (i.e., personal
+//! computer) without any OTT account" (§IV-D).
+
+use wideleak_bmff::fragment::{InitSegment, MediaSegment, TrackKind};
+use wideleak_bmff::types::KeyId;
+use wideleak_cenc::keys::{ContentKey, KeyStore, MemoryKeyStore};
+use wideleak_cenc::track::{clear_segment, decrypt_segment};
+use wideleak_dash::mpd::{ContentType, Mpd};
+use wideleak_device::net::RemoteEndpoint;
+
+use crate::AttackError;
+
+/// One reconstructed, DRM-free track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClearTrack {
+    /// Representation id the track came from.
+    pub rep_id: String,
+    /// Resolution for video tracks.
+    pub resolution: Option<(u32, u32)>,
+    /// The decrypted samples.
+    pub samples: Vec<Vec<u8>>,
+    /// The repackaged clear MP4 byte stream (init + segments).
+    pub clear_mp4: Vec<u8>,
+}
+
+/// The full reconstructed media for one title.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReconstructedMedia {
+    /// Every track that decrypted successfully.
+    pub tracks: Vec<ClearTrack>,
+}
+
+impl ReconstructedMedia {
+    /// The best video resolution recovered (the paper's qHD ceiling check).
+    pub fn best_resolution(&self) -> Option<(u32, u32)> {
+        self.tracks.iter().filter_map(|t| t.resolution).max_by_key(|&(_, h)| h)
+    }
+
+    /// Whether any track at all was recovered.
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+}
+
+/// Downloads one representation and decrypts it with the recovered keys.
+///
+/// Returns `None` when the needed key is missing (e.g. HD renditions the
+/// L3 license never contained) or the track fails to decrypt.
+fn reconstruct_rep(
+    endpoint: &dyn RemoteEndpoint,
+    keys: &dyn KeyStore,
+    rep_id: &str,
+    resolution: Option<(u32, u32)>,
+    init_url: &str,
+    segment_urls: &[String],
+) -> Option<ClearTrack> {
+    let init_bytes = endpoint.handle(init_url, &[]).ok()?;
+    let init = InitSegment::from_bytes(&init_bytes).ok()?;
+    if let Some(tenc) = &init.tenc {
+        // Without the key, skip (the qHD cap in action for HD renditions).
+        keys.key_for(&KeyId(tenc.default_kid.0))?;
+    }
+    let mut samples = Vec::new();
+    let mut clear_segments = Vec::new();
+    for (i, url) in segment_urls.iter().enumerate() {
+        let seg_bytes = endpoint.handle(url, &[]).ok()?;
+        let seg = MediaSegment::from_bytes(&seg_bytes).ok()?;
+        let decrypted = decrypt_segment(&init, &seg, keys).ok()?;
+        clear_segments.push(clear_segment(init.track_id, (i + 1) as u32, &decrypted));
+        samples.extend(decrypted);
+    }
+    // Repackage: a clear init segment plus clear media segments.
+    let clear_init = InitSegment::clear(init.track_id, init.kind);
+    let mut clear_mp4 = clear_init.to_bytes();
+    for seg in &clear_segments {
+        clear_mp4.extend(seg.to_bytes());
+    }
+    Some(ClearTrack { rep_id: rep_id.to_owned(), resolution, samples, clear_mp4 })
+}
+
+/// Reconstructs every track of an MPD that the recovered keys unlock.
+///
+/// # Errors
+///
+/// Returns [`AttackError::Ladder`] when *nothing* could be reconstructed.
+pub fn reconstruct_media(
+    endpoint: &dyn RemoteEndpoint,
+    mpd: &Mpd,
+    recovered: &[(KeyId, ContentKey)],
+) -> Result<ReconstructedMedia, AttackError> {
+    let keys: MemoryKeyStore = recovered.iter().copied().collect();
+    let mut media = ReconstructedMedia::default();
+    for set in mpd.adaptation_sets() {
+        if set.content_type == ContentType::Text {
+            continue; // subtitles are clear; nothing to reconstruct
+        }
+        for rep in &set.representations {
+            if rep.init_url.is_empty() {
+                continue;
+            }
+            if let Some(track) = reconstruct_rep(
+                endpoint,
+                &keys,
+                &rep.id,
+                rep.resolution,
+                &rep.init_url,
+                &rep.segment_urls,
+            ) {
+                media.tracks.push(track);
+            }
+        }
+    }
+    if media.is_empty() {
+        return Err(AttackError::Ladder { step: "media reconstruction" });
+    }
+    Ok(media)
+}
+
+/// "Plays" a reconstructed track on another device: parses the clear MP4
+/// with nothing but the container parser and returns the samples. Any
+/// player could do this — no DRM stack involved.
+///
+/// # Errors
+///
+/// Returns [`AttackError::Ladder`] when the byte stream is not valid
+/// clear MP4.
+pub fn play_on_another_device(track: &ClearTrack) -> Result<Vec<Vec<u8>>, AttackError> {
+    let boxes = wideleak_bmff::Mp4Box::parse_sequence(&track.clear_mp4)
+        .map_err(|_| AttackError::Ladder { step: "clear MP4 parse" })?;
+    // Split the stream back into init + media segments by moof markers.
+    let mut samples = Vec::new();
+    let mut i = 0;
+    while i < boxes.len() {
+        if boxes[i].typ == wideleak_bmff::FourCc(*b"moof") {
+            let mut bytes = boxes[i].to_bytes();
+            if let Some(mdat) = boxes.get(i + 1) {
+                bytes.extend(mdat.to_bytes());
+            }
+            let seg = MediaSegment::from_bytes(&bytes)
+                .map_err(|_| AttackError::Ladder { step: "clear segment parse" })?;
+            if seg.senc.is_some() {
+                return Err(AttackError::Ladder { step: "clear MP4 still has senc" });
+            }
+            samples.extend(
+                seg.samples()
+                    .map_err(|_| AttackError::Ladder { step: "clear sample split" })?
+                    .into_iter()
+                    .map(<[u8]>::to_vec),
+            );
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(samples)
+}
+
+/// Convenience: the init-segment track kind of a clear track (parsed back
+/// from the repackaged bytes).
+pub fn track_kind(track: &ClearTrack) -> Option<TrackKind> {
+    let boxes = wideleak_bmff::Mp4Box::parse_sequence(&track.clear_mp4).ok()?;
+    let hdlr = wideleak_bmff::find_in(&boxes, wideleak_bmff::FourCc(*b"hdlr"))?;
+    let bytes: [u8; 4] = hdlr.payload()?.get(..4)?.try_into().ok()?;
+    TrackKind::from_handler(wideleak_bmff::FourCc(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wideleak_ott::content::{key_from_label, kid_from_label, synth_samples, TrackSelector};
+    use wideleak_device::net::RemoteEndpoint;
+    use wideleak_ott::ecosystem::{Ecosystem, EcosystemConfig};
+
+    fn eco() -> Ecosystem {
+        Ecosystem::new(EcosystemConfig::fast_for_tests())
+    }
+
+    fn hulu_mpd(eco: &Ecosystem) -> Mpd {
+        // Build it the way the monitor would: straight from the backend's
+        // CDN behaviour (hulu hides kids, but URLs are all there).
+        let token = eco.accounts().subscribe("hulu", "recon-test");
+        let raw = eco.backend().handle("manifest/hulu/title-001", token.as_bytes()).unwrap();
+        Mpd::parse(&String::from_utf8(raw).unwrap()).unwrap()
+    }
+
+    fn hulu_540_keys() -> Vec<(KeyId, ContentKey)> {
+        let label = "hulu/title-001/video-540";
+        vec![(kid_from_label(label), key_from_label(label))]
+    }
+
+    #[test]
+    fn reconstructs_only_what_keys_unlock() {
+        let eco = eco();
+        let mpd = hulu_mpd(&eco);
+        let media = reconstruct_media(eco.backend().as_ref(), &mpd, &hulu_540_keys()).unwrap();
+        // 540p video + audio (shared key) unlock; 720/1080 do not.
+        assert_eq!(media.best_resolution(), Some((960, 540)), "qHD ceiling");
+        let rep_ids: Vec<&str> = media.tracks.iter().map(|t| t.rep_id.as_str()).collect();
+        assert!(rep_ids.contains(&"video-540p"));
+        assert!(rep_ids.contains(&"audio-en"), "shared key unlocks audio too: {rep_ids:?}");
+        assert!(!rep_ids.contains(&"video-720p"));
+        assert!(!rep_ids.contains(&"video-1080p"));
+    }
+
+    #[test]
+    fn reconstructed_samples_match_the_original_plaintext() {
+        let eco = eco();
+        let mpd = hulu_mpd(&eco);
+        let media = reconstruct_media(eco.backend().as_ref(), &mpd, &hulu_540_keys()).unwrap();
+        let video = media.tracks.iter().find(|t| t.rep_id == "video-540p").unwrap();
+        let expected: Vec<Vec<u8>> = (1..=wideleak_ott::content::SEGMENTS_PER_REP)
+            .flat_map(|seg| {
+                synth_samples("hulu", "title-001", &TrackSelector::Video { height: 540 }, seg)
+            })
+            .collect();
+        assert_eq!(video.samples, expected);
+    }
+
+    #[test]
+    fn clear_mp4_plays_anywhere() {
+        let eco = eco();
+        let mpd = hulu_mpd(&eco);
+        let media = reconstruct_media(eco.backend().as_ref(), &mpd, &hulu_540_keys()).unwrap();
+        for track in &media.tracks {
+            let replayed = play_on_another_device(track).unwrap();
+            assert_eq!(replayed, track.samples, "{}", track.rep_id);
+        }
+        let video = media.tracks.iter().find(|t| t.rep_id == "video-540p").unwrap();
+        assert_eq!(track_kind(video), Some(TrackKind::Video));
+    }
+
+    #[test]
+    fn no_keys_means_no_media() {
+        let eco = eco();
+        let mpd = hulu_mpd(&eco);
+        assert_eq!(
+            reconstruct_media(eco.backend().as_ref(), &mpd, &[]),
+            Err(AttackError::Ladder { step: "media reconstruction" })
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! The orchestrated end-to-end attack against one app on a discontinued
+//! device.
+//!
+//! The attacker controls the handset (rooted), owns a valid subscription,
+//! and wants DRM-free media. Pipeline: instrument → victim-style playback
+//! → memory scan → ladder → reconstruction.
+
+use std::sync::Arc;
+
+use wideleak_bmff::types::KeyId;
+use wideleak_cenc::keys::ContentKey;
+use wideleak_dash::mpd::Mpd;
+use wideleak_device::catalog::DeviceModel;
+use wideleak_device::net::Interceptor;
+use wideleak_monitor::{netcap, trace};
+use wideleak_ott::ecosystem::Ecosystem;
+
+use crate::keyladder::{recover_content_keys, recover_rsa_key};
+use crate::memscan::recover_keybox;
+use crate::reconstruct::{reconstruct_media, ReconstructedMedia};
+use crate::AttackError;
+
+/// The outcome of attacking one app.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// App display name.
+    pub app_name: String,
+    /// Whether a keybox was scanned out of process memory.
+    pub keybox_recovered: bool,
+    /// Whether the Device RSA Key was unwrapped.
+    pub rsa_key_recovered: bool,
+    /// The content keys recovered through the ladder.
+    pub content_keys: Vec<(KeyId, ContentKey)>,
+    /// The reconstructed media, when the pipeline completed.
+    pub media: Option<ReconstructedMedia>,
+    /// The terminal failure, when it did not.
+    pub failure: Option<AttackError>,
+}
+
+impl AttackOutcome {
+    /// Whether DRM-free media was obtained.
+    pub fn succeeded(&self) -> bool {
+        self.media.as_ref().is_some_and(|m| !m.is_empty())
+    }
+
+    fn failed(app_name: String, keybox: bool, rsa: bool, failure: AttackError) -> Self {
+        AttackOutcome {
+            app_name,
+            keybox_recovered: keybox,
+            rsa_key_recovered: rsa,
+            content_keys: Vec::new(),
+            media: None,
+            failure: Some(failure),
+        }
+    }
+}
+
+/// The attack title (same catalog entry the study uses).
+pub const ATTACK_TITLE: &str = "title-001";
+
+/// Runs the full attack against one app on the given device model
+/// (the paper uses the Nexus-5-class configuration; passing an L1 model
+/// demonstrates why the attack fails there).
+///
+/// The returned outcome is descriptive rather than an `Err` for expected
+/// defense-driven failures, so callers can tabulate results per app.
+pub fn attack_app_on(eco: &Ecosystem, slug: &str, model: DeviceModel) -> AttackOutcome {
+    let profile = match eco.profile(slug) {
+        Some(p) => p.clone(),
+        None => {
+            return AttackOutcome::failed(
+                slug.to_owned(),
+                false,
+                false,
+                AttackError::Playback { reason: format!("unknown app {slug}") },
+            )
+        }
+    };
+    let app_name = profile.name.to_owned();
+
+    // Instrumented, rooted device.
+    let stack = eco.boot_device(model, true);
+    let app = eco.install_app(&stack, slug, "attacker-subscription");
+    let proxy = Arc::new(Interceptor::new());
+    stack.device.network().attach_interceptor(proxy.clone());
+    if let Err(e) = stack.device.apply_ssl_repinning_bypass() {
+        return AttackOutcome::failed(
+            app_name,
+            false,
+            false,
+            AttackError::Instrumentation { reason: e.to_string() },
+        );
+    }
+    stack.device.hook_engine().start_recording();
+
+    // Victim-style playback (the attacker *is* a paying subscriber).
+    let play_result = app.play(ATTACK_TITLE);
+    let log = stack.device.hook_engine().stop_recording();
+    let capture = proxy.captured();
+
+    if let Err(e) = play_result {
+        return AttackOutcome::failed(
+            app_name,
+            false,
+            false,
+            AttackError::Playback { reason: e.to_string() },
+        );
+    }
+
+    // Step 1: keybox from process memory (CWE-922).
+    let memory = match stack.device.scan_drm_process_memory() {
+        Ok(m) => m,
+        Err(e) => {
+            return AttackOutcome::failed(
+                app_name,
+                false,
+                false,
+                AttackError::Instrumentation { reason: e.to_string() },
+            )
+        }
+    };
+    let keybox = match recover_keybox(memory) {
+        Ok(kb) => kb,
+        Err(e) => return AttackOutcome::failed(app_name, false, false, e),
+    };
+
+    // Step 2: Device RSA Key from the dumped provisioning response.
+    let rsa = match recover_rsa_key(&keybox, &log) {
+        Ok(k) => k,
+        Err(e) => return AttackOutcome::failed(app_name, true, false, e),
+    };
+
+    // Steps 3–4: content keys from the dumped license traffic.
+    let content_keys = match recover_content_keys(&rsa, &log) {
+        Ok(k) => k,
+        Err(e) => return AttackOutcome::failed(app_name, true, true, e),
+    };
+
+    // Step 5: fetch the manifest like the monitor does (plaintext capture
+    // or generic-decrypt dump) and reconstruct DRM-free media.
+    let mpd: Option<Mpd> =
+        netcap::find_mpd(&capture).or_else(|| trace::recover_mpd_from_trace(&log));
+    let Some(mpd) = mpd else {
+        return AttackOutcome::failed(
+            app_name,
+            true,
+            true,
+            AttackError::Playback { reason: "no manifest observable".into() },
+        );
+    };
+    match reconstruct_media(eco.backend().as_ref(), &mpd, &content_keys) {
+        Ok(media) => AttackOutcome {
+            app_name,
+            keybox_recovered: true,
+            rsa_key_recovered: true,
+            content_keys,
+            media: Some(media),
+            failure: None,
+        },
+        Err(e) => {
+            let mut outcome = AttackOutcome::failed(app_name, true, true, e);
+            outcome.content_keys = content_keys;
+            outcome
+        }
+    }
+}
+
+/// Attacks one app on the canonical discontinued device.
+pub fn attack_app(eco: &Ecosystem, slug: &str) -> AttackOutcome {
+    attack_app_on(eco, slug, DeviceModel::nexus_5())
+}
+
+/// Attacks every evaluated app on the discontinued device, in Table-I
+/// order — the paper's practical-impact sweep.
+pub fn attack_all(eco: &Ecosystem) -> Vec<AttackOutcome> {
+    eco.profiles()
+        .to_vec()
+        .iter()
+        .map(|p| attack_app(eco, p.slug))
+        .collect()
+}
+
+/// §IV-D: "OTT apps use the same keys for all their subscribers for a
+/// given media." Runs the attack twice under different accounts and
+/// compares the recovered key sets.
+pub fn keys_identical_across_subscribers(eco: &Ecosystem, slug: &str) -> bool {
+    let a = attack_app(eco, slug);
+    let b = attack_app(eco, slug);
+    if !(a.succeeded() && b.succeeded()) {
+        return false;
+    }
+    let mut ka = a.content_keys;
+    let mut kb = b.content_keys;
+    ka.sort_by_key(|(kid, _)| kid.0);
+    kb.sort_by_key(|(kid, _)| kid.0);
+    ka == kb
+}

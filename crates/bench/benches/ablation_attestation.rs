@@ -1,0 +1,51 @@
+//! A3 — ablation: security-level attestation at the license server.
+//!
+//! Reproduces the paper's §V-C observation: the `netflix-1080p` browser
+//! exploit got HD on L3 because web deployments do not strongly verify
+//! the claimed security level. With Android-like attestation the forged
+//! L1 claim is clamped to qHD; without it HD keys leak.
+//!
+//! ```text
+//! cargo bench -p wideleak-bench --bench ablation_attestation
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wideleak::attack::hd_spoof::hd_spoof_experiment;
+use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
+use wideleak_bench::bench_config;
+
+fn eco(verify: bool) -> Ecosystem {
+    Ecosystem::new(EcosystemConfig { verify_attested_level: verify, ..bench_config() })
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    eprintln!("\n=== Ablation A3: attested-level verification vs the forged-L1 spoof ===\n");
+    let android = eco(true);
+    let web = eco(false);
+    let android_outcome = hd_spoof_experiment(&android, "netflix").expect("spoof runs");
+    let web_outcome = hd_spoof_experiment(&web, "netflix").expect("spoof runs");
+    eprintln!("forged L1 license request from stolen L3 credentials:");
+    eprintln!(
+        "  Android-like server (attestation on) : best height {:?}, HD leaked: {}",
+        android_outcome.best_height,
+        android_outcome.got_hd_keys()
+    );
+    eprintln!(
+        "  web-like server (attestation off)    : best height {:?}, HD leaked: {}\n",
+        web_outcome.best_height,
+        web_outcome.got_hd_keys()
+    );
+
+    let mut group = c.benchmark_group("ablation_attestation");
+    group.sample_size(10);
+    group.bench_function("hd_spoof/attested", |b| {
+        b.iter(|| hd_spoof_experiment(&android, "netflix").unwrap());
+    });
+    group.bench_function("hd_spoof/unverified", |b| {
+        b.iter(|| hd_spoof_experiment(&web, "netflix").unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! A2 — ablation: key-usage policy versus the blast radius of a single
+//! content-key compromise.
+//!
+//! Under the widespread "minimal" practice the audio track shares the
+//! lowest video key, so one leaked key unlocks two asset classes; under
+//! the recommended policy it unlocks one. This bench counts the assets a
+//! single recovered key decrypts under each policy and measures the
+//! reconstruction cost.
+//!
+//! ```text
+//! cargo bench -p wideleak-bench --bench ablation_key_policy
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wideleak::attack::reconstruct::reconstruct_media;
+use wideleak::dash::mpd::Mpd;
+use wideleak::device::net::RemoteEndpoint;
+use wideleak::ott::apps::evaluated_apps;
+use wideleak::ott::content::{demo_catalog, key_from_label, kid_from_label, AudioProtection};
+use wideleak::ott::ecosystem::Ecosystem;
+use wideleak_bench::bench_config;
+
+fn fleet_with_audio(policy: AudioProtection) -> Ecosystem {
+    let mut profiles = evaluated_apps();
+    for p in &mut profiles {
+        p.audio = policy;
+        p.metadata_kids_visible = true; // observe everything in the ablation
+    }
+    Ecosystem::with_profiles(bench_config(), profiles, demo_catalog())
+}
+
+fn manifest(eco: &Ecosystem, slug: &str) -> Mpd {
+    let token = eco.accounts().subscribe(slug, "ablation");
+    let raw = eco
+        .backend()
+        .handle(&format!("manifest/{slug}/title-001"), token.as_bytes())
+        .expect("manifest");
+    Mpd::parse(&String::from_utf8(raw).unwrap()).unwrap()
+}
+
+/// Assets decryptable with *only* the leaked 540p video key.
+fn blast_radius(eco: &Ecosystem, slug: &str) -> usize {
+    let label = format!("{slug}/title-001/video-540");
+    let keys = vec![(kid_from_label(&label), key_from_label(&label))];
+    let mpd = manifest(eco, slug);
+    reconstruct_media(eco.backend().as_ref(), &mpd, &keys)
+        .map(|m| m.tracks.len())
+        .unwrap_or(0)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    eprintln!("\n=== Ablation A2: key policy vs blast radius of one leaked key ===\n");
+    let shared = fleet_with_audio(AudioProtection::SharedKeyWithVideo);
+    let distinct = fleet_with_audio(AudioProtection::DistinctKey);
+    let clear = fleet_with_audio(AudioProtection::Clear);
+    eprintln!("assets unlocked by leaking ONLY the 540p video key (hulu):");
+    eprintln!("  minimal policy (shared audio key) : {}", blast_radius(&shared, "hulu"));
+    eprintln!("  recommended policy (distinct key) : {}", blast_radius(&distinct, "hulu"));
+    eprintln!(
+        "  clear audio policy                : {} (audio needs no key at all)\n",
+        blast_radius(&clear, "hulu")
+    );
+
+    let mut group = c.benchmark_group("ablation_key_policy");
+    group.sample_size(10);
+    group.bench_function("blast_radius/minimal", |b| {
+        b.iter(|| blast_radius(&shared, "hulu"));
+    });
+    group.bench_function("blast_radius/recommended", |b| {
+        b.iter(|| blast_radius(&distinct, "hulu"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! P2 — CENC segment encryption/decryption throughput: `cenc` (AES-CTR)
+//! versus `cbcs` (AES-CBC 1:9 pattern).
+//!
+//! The cbcs pattern touches only 1 block in 10, so its throughput should
+//! exceed cenc's on large samples — a shape worth pinning.
+//!
+//! ```text
+//! cargo bench -p wideleak-bench --bench cenc_throughput
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wideleak::bmff::fragment::{InitSegment, TrackKind};
+use wideleak::bmff::types::{KeyId, Tenc};
+use wideleak::cenc::keys::{ContentKey, MemoryKeyStore};
+use wideleak::cenc::track::{decrypt_segment, encrypt_segment, Scheme};
+
+fn bench_cenc(c: &mut Criterion) {
+    let key = ContentKey([0x11; 16]);
+    let kid = KeyId([0x22; 16]);
+
+    let mut group = c.benchmark_group("cenc_throughput");
+    for size in [64 * 1024usize, 1 << 20] {
+        // One big sample per segment, the worst case for per-sample setup.
+        let samples = vec![vec![0xCDu8; size]];
+        group.throughput(Throughput::Bytes(size as u64));
+
+        for (scheme, tenc) in [
+            (Scheme::Cenc, Tenc::cenc(kid)),
+            (Scheme::Cbcs, Tenc::cbcs(kid, [3; 16])),
+        ] {
+            let label = match scheme {
+                Scheme::Cenc => "cenc",
+                Scheme::Cbcs => "cbcs",
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("encrypt/{label}"), size),
+                &samples,
+                |b, samples| {
+                    b.iter(|| {
+                        encrypt_segment(scheme, &key, &tenc, TrackKind::Video, 1, 1, samples, 7)
+                            .unwrap()
+                    });
+                },
+            );
+
+            let init = InitSegment::protected(1, TrackKind::Video, scheme.fourcc(), tenc.clone(), vec![]);
+            let seg =
+                encrypt_segment(scheme, &key, &tenc, TrackKind::Video, 1, 1, &samples, 7).unwrap();
+            let mut store = MemoryKeyStore::new();
+            store.insert(kid, key);
+            group.bench_with_input(
+                BenchmarkId::new(format!("decrypt/{label}"), size),
+                &seg,
+                |b, seg| {
+                    b.iter(|| decrypt_segment(&init, seg, &store).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cenc);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! P1 — throughput of the from-scratch primitives backing the simulated
+//! CDM: AES-128, CTR keystream, AES-CMAC, SHA-256, HMAC, RSA.
+//!
+//! ```text
+//! cargo bench -p wideleak-bench --bench crypto_primitives
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wideleak::crypto::aes::Aes128;
+use wideleak::crypto::cmac::aes_cmac_with_key;
+use wideleak::crypto::hmac::Hmac;
+use wideleak::crypto::modes::ctr_xcrypt;
+use wideleak::crypto::rng::seeded_rng;
+use wideleak::crypto::rsa::RsaPrivateKey;
+use wideleak::crypto::sha256::{sha256, Sha256};
+
+fn bench_symmetric(c: &mut Criterion) {
+    let cipher = Aes128::new(&[7; 16]);
+
+    let mut group = c.benchmark_group("aes128");
+    group.throughput(Throughput::Bytes(16));
+    group.bench_function("encrypt_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| cipher.encrypt_block(&mut block));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("bulk");
+    for size in [1024usize, 65_536, 1 << 20] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("ctr_xcrypt", size), &data, |b, data| {
+            b.iter(|| ctr_xcrypt(&cipher, &[1; 16], data));
+        });
+        group.bench_with_input(BenchmarkId::new("aes_cmac", size), &data, |b, data| {
+            b.iter(|| aes_cmac_with_key(&[7; 16], data));
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, data| {
+            b.iter(|| sha256(data));
+        });
+        group.bench_with_input(BenchmarkId::new("hmac_sha256", size), &data, |b, data| {
+            b.iter(|| Hmac::<Sha256>::mac(b"key", data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsa");
+    group.sample_size(10);
+    for bits in [1024usize, 2048] {
+        let key = RsaPrivateKey::generate(&mut seeded_rng(42), bits);
+        let msg = b"license request body";
+        let sig = key.sign_pkcs1v15_sha256(msg).unwrap();
+        let ct = key.public_key().encrypt_oaep(&mut seeded_rng(1), &[9u8; 16]).unwrap();
+
+        group.bench_function(format!("sign_pkcs1v15/{bits}"), |b| {
+            b.iter(|| key.sign_pkcs1v15_sha256(msg).unwrap());
+        });
+        group.bench_function(format!("verify_pkcs1v15/{bits}"), |b| {
+            b.iter(|| key.public_key().verify_pkcs1v15_sha256(msg, &sig).unwrap());
+        });
+        group.bench_function(format!("encrypt_oaep/{bits}"), |b| {
+            b.iter(|| key.public_key().encrypt_oaep(&mut seeded_rng(1), &[9u8; 16]).unwrap());
+        });
+        group.bench_function(format!("decrypt_oaep/{bits}"), |b| {
+            b.iter(|| key.decrypt_oaep(&ct).unwrap());
+        });
+    }
+    group.bench_function("keygen/1024", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            RsaPrivateKey::generate(&mut seeded_rng(seed), 1024)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_symmetric, bench_rsa);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! P3 — key-ladder latency: the derive→load→decrypt cycle on the L3
+//! (in-process) versus the L1 (TEE world-switch) backend.
+//!
+//! The comparison quantifies the world-switch overhead the paper's §II-C
+//! architecture implies: every L1 operation crosses `liboemcrypto.so`.
+//!
+//! ```text
+//! cargo bench -p wideleak-bench --bench key_ladder
+//! ```
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wideleak::bmff::types::KeyId;
+use wideleak::cdm::ladder::{derive_provisioning_keys, derive_session_keys};
+use wideleak::cdm::messages::{LicenseResponse, ProvisioningResponse};
+use wideleak::cdm::oemcrypto::{L1OemCrypto, L3OemCrypto, OemCrypto, SampleCrypto};
+use wideleak::device::catalog::CdmVersion;
+use wideleak::device::hooks::HookEngine;
+use wideleak::device::memory::ProcessMemory;
+use wideleak::device::net::RemoteEndpoint;
+use wideleak::tee::SecureWorld;
+use wideleak_bench::bench_ecosystem;
+
+/// Provisions and licenses a backend against the real servers, returning
+/// the session and a usable key id plus encrypted payload.
+fn primed(
+    backend: &dyn OemCrypto,
+    eco: &wideleak::ott::ecosystem::Ecosystem,
+    device: &str,
+) -> (u32, KeyId, Vec<u8>) {
+    backend.install_keybox(eco.trust().issue_keybox(device)).unwrap();
+    let preq = backend.provisioning_request([1; 16]).unwrap();
+    let raw = eco.backend().handle("provision/showtime", &preq.to_bytes()).unwrap();
+    backend.install_rsa_key([1; 16], &ProvisioningResponse::parse(&raw).unwrap()).unwrap();
+    let token = eco.accounts().subscribe("showtime", device);
+    let sid = backend.open_session([2; 16]).unwrap();
+    let req = backend.license_request(sid, "title-001", &[]).unwrap();
+    let mut w = wideleak::cdm::wire::TlvWriter::new();
+    w.string(1, &token).bytes(2, &req.to_bytes());
+    let raw = eco.backend().handle("license/showtime/title-001", &w.finish()).unwrap();
+    let resp = LicenseResponse::parse(&raw).unwrap();
+    let kids = backend.load_license(sid, &resp).unwrap();
+    let kid = kids[0];
+    // A one-block sample to decrypt.
+    (sid, kid, vec![0xEE; 1024])
+}
+
+fn bench_ladder(c: &mut Criterion) {
+    let eco = bench_ecosystem();
+
+    // Pure derivation cost (what the attack replays offline).
+    let mut group = c.benchmark_group("ladder");
+    group.bench_function("derive_session_keys", |b| {
+        b.iter(|| derive_session_keys(&[7; 16], b"ENC|app|title", b"MAC|app|title"));
+    });
+    group.bench_function("derive_provisioning_keys", |b| {
+        b.iter(|| derive_provisioning_keys(&[7; 16], b"device-id-32-bytes-padded-to-32b"));
+    });
+    group.finish();
+
+    // Per-sample decrypt latency: L3 in-process vs L1 world-switch.
+    let mut group = c.benchmark_group("decrypt_1kib_sample");
+    let hooks = Arc::new(HookEngine::new());
+
+    let l3 = L3OemCrypto::new(
+        CdmVersion::new(16, 0, 0),
+        hooks.clone(),
+        Arc::new(ProcessMemory::new("mediaserver")),
+    );
+    let (sid3, kid3, data) = primed(&l3, &eco, "ladder-l3");
+    group.bench_function("l3_in_process", |b| {
+        b.iter(|| {
+            l3.decrypt_sample(sid3, &kid3, &SampleCrypto::Cenc { iv: [5; 8] }, &data, &[])
+                .unwrap()
+        });
+    });
+
+    let world = Arc::new(SecureWorld::new());
+    let l1 = L1OemCrypto::new(CdmVersion::new(16, 0, 0), world.clone(), hooks);
+    let (sid1, kid1, data) = primed(&l1, &eco, "ladder-l1");
+    group.bench_function("l1_world_switch", |b| {
+        b.iter(|| {
+            l1.decrypt_sample(sid1, &kid1, &SampleCrypto::Cenc { iv: [5; 8] }, &data, &[])
+                .unwrap()
+        });
+    });
+    group.finish();
+
+    eprintln!("\nworld switches performed by the L1 backend: {}", world.switch_count());
+}
+
+criterion_group!(benches, bench_ladder);
+criterion_main!(benches);

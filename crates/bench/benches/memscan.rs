@@ -1,0 +1,46 @@
+//! P4 — keybox memory-scan cost as a function of process memory size.
+//!
+//! The paper scans the `mediaserver` process for the keybox magic; this
+//! bench sweeps the scannable memory from 1 MiB to 64 MiB with the keybox
+//! planted near the end (worst case for a left-to-right scan).
+//!
+//! ```text
+//! cargo bench -p wideleak-bench --bench memscan
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wideleak::attack::memscan::recover_keybox;
+use wideleak::cdm::keybox::Keybox;
+use wideleak::device::memory::ProcessMemory;
+
+fn planted_memory(total_bytes: usize) -> ProcessMemory {
+    let mem = ProcessMemory::new("mediaserver");
+    let keybox = Keybox::issue(b"memscan-bench-device", &[0x5A; 16]);
+    // Noise that contains no spurious magic.
+    let filler = |len: usize| vec![0x6Bu8; len]; // 'k' bytes but never "kbox"
+    let before = total_bytes - 128 - 4096;
+    mem.map_region("libc.so", filler(before / 2));
+    mem.map_region("heap", filler(before - before / 2));
+    let mut tail = filler(2048);
+    tail.extend_from_slice(&keybox.to_bytes());
+    tail.extend(filler(2048 - 128));
+    mem.map_region("libwvdrmengine.so:.data", tail);
+    mem
+}
+
+fn bench_memscan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memscan");
+    group.sample_size(10);
+    for mib in [1usize, 4, 16, 64] {
+        let total = mib << 20;
+        let mem = planted_memory(total);
+        group.throughput(Throughput::Bytes(total as u64));
+        group.bench_with_input(BenchmarkId::new("recover_keybox", format!("{mib}MiB")), &mem, |b, mem| {
+            b.iter(|| recover_keybox(mem).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memscan);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E6/E7 — regenerates the **§IV-D practical impact** results (the
+//! DRM-free recovery sweep) and benchmarks the attack pipeline stages.
+//!
+//! ```text
+//! cargo bench -p wideleak-bench --bench practical_impact
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wideleak::attack::recover::{attack_all, attack_app, keys_identical_across_subscribers};
+use wideleak_bench::bench_ecosystem;
+
+fn bench_practical_impact(c: &mut Criterion) {
+    let eco = bench_ecosystem();
+
+    // Regenerate the sweep table.
+    eprintln!("\n=== Practical impact (Section IV-D): attack sweep on the discontinued device ===\n");
+    eprintln!(
+        "{:<22} {:>7} {:>8} {:>6} {:>12}  outcome",
+        "app", "keybox", "RSA key", "keys", "best quality"
+    );
+    let outcomes = attack_all(&eco);
+    let mut succeeded = 0;
+    for o in &outcomes {
+        let quality = o
+            .media
+            .as_ref()
+            .and_then(|m| m.best_resolution())
+            .map_or("-".to_owned(), |(w, h)| format!("{w}x{h}"));
+        eprintln!(
+            "{:<22} {:>7} {:>8} {:>6} {:>12}  {}",
+            o.app_name,
+            if o.keybox_recovered { "yes" } else { "no" },
+            if o.rsa_key_recovered { "yes" } else { "no" },
+            o.content_keys.len(),
+            quality,
+            if o.succeeded() { "DRM-free media" } else { "blocked" },
+        );
+        succeeded += o.succeeded() as usize;
+    }
+    eprintln!("\n{succeeded}/10 apps compromised (paper: 6/10, best quality 960x540 qHD)");
+    eprintln!(
+        "same keys across subscribers (Showtime probe): {}\n",
+        keys_identical_across_subscribers(&eco, "showtime")
+    );
+
+    // Benchmark the full pipeline and a blocked path for contrast.
+    let mut group = c.benchmark_group("practical_impact");
+    group.sample_size(10);
+    group.bench_function("attack_app/netflix (succeeds)", |b| {
+        b.iter(|| attack_app(&eco, "netflix"));
+    });
+    group.bench_function("attack_app/disney (revoked)", |b| {
+        b.iter(|| attack_app(&eco, "disney"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_practical_impact);
+criterion_main!(benches);

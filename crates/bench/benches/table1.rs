@@ -1,0 +1,34 @@
+//! E1 — regenerates **Table I** (Widevine usage and asset protections by
+//! OTTs) and benchmarks the per-app study cost.
+//!
+//! ```text
+//! cargo bench -p wideleak-bench --bench table1
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wideleak::monitor::report::{render_insights, render_table_1};
+use wideleak::monitor::study::{run_study, study_app};
+use wideleak_bench::bench_ecosystem;
+
+fn bench_table1(c: &mut Criterion) {
+    // Regenerate and print the paper's table once, up front.
+    let eco = bench_ecosystem();
+    let report = run_study(&eco).expect("study completes");
+    eprintln!("\n=== Table I — Widevine usage and asset protections by OTTs ===\n");
+    eprintln!("{}", render_table_1(&report));
+    eprintln!("{}", render_insights(&report));
+
+    // Benchmark: the full two-device study of a single app (the paper's
+    // per-app manual effort, automated).
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for slug in ["netflix", "disney", "amazon"] {
+        group.bench_function(format!("study_app/{slug}"), |b| {
+            b.iter(|| study_app(&eco, slug).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

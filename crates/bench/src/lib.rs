@@ -1,0 +1,23 @@
+//! Shared helpers for the WideLeak benchmark harness.
+//!
+//! Every table and figure of the paper has a bench target in
+//! `benches/`; see `EXPERIMENTS.md` at the workspace root for the
+//! experiment-to-target index.
+
+use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
+
+/// The RSA key size the benches use: large enough to exercise the real
+/// code paths, small enough that Criterion iteration counts stay sane.
+/// (Production Widevine uses 2048-bit keys; the asymmetric operations
+/// scale cubically, the *shape* of every comparison is size-independent.)
+pub const BENCH_RSA_BITS: usize = 1024;
+
+/// The ecosystem configuration every bench shares.
+pub fn bench_config() -> EcosystemConfig {
+    EcosystemConfig { rsa_bits: BENCH_RSA_BITS, ..Default::default() }
+}
+
+/// Boots a bench ecosystem.
+pub fn bench_ecosystem() -> Ecosystem {
+    Ecosystem::new(bench_config())
+}

@@ -1,0 +1,301 @@
+//! Signed arbitrary-precision integers (sign-magnitude over [`BigUint`]).
+//!
+//! Only the operations needed by the extended Euclidean algorithm are
+//! provided; the unsigned type is the workhorse everywhere else.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::BigUint;
+
+/// Sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Zero (magnitude is zero).
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// A signed arbitrary-precision integer in sign-magnitude form.
+///
+/// # Examples
+///
+/// ```
+/// use wideleak_bigint::{BigInt, BigUint};
+///
+/// let a = BigInt::from(-5i64);
+/// let b = BigInt::from(3i64);
+/// assert_eq!(&a + &b, BigInt::from(-2i64));
+/// assert_eq!((&a * &b).magnitude(), &BigUint::from_u64(15));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Positive, mag: BigUint::one() }
+    }
+
+    /// Builds a non-negative integer from an unsigned magnitude.
+    pub fn from_biguint(mag: BigUint) -> Self {
+        let sign = if mag.is_zero() { Sign::Zero } else { Sign::Positive };
+        BigInt { sign, mag }
+    }
+
+    /// Builds a value with an explicit sign; a zero magnitude forces
+    /// [`Sign::Zero`].
+    pub fn with_sign(sign: Sign, mag: BigUint) -> Self {
+        let sign = if mag.is_zero() { Sign::Zero } else { sign };
+        BigInt { sign, mag }
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude (absolute value).
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Converts to the unsigned type, if non-negative.
+    pub fn to_biguint(&self) -> Option<BigUint> {
+        match self.sign {
+            Sign::Negative => None,
+            _ => Some(self.mag.clone()),
+        }
+    }
+
+    /// Euclidean remainder in `[0, m)`, used to canonicalize the output of
+    /// the extended Euclidean algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem_euclid(&self, m: &BigUint) -> BigUint {
+        let r = &self.mag % m;
+        match self.sign {
+            Sign::Negative if !r.is_zero() => m - &r,
+            _ => r,
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Less => BigInt::with_sign(Sign::Negative, BigUint::from_u64(v.unsigned_abs())),
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::with_sign(Sign::Positive, BigUint::from_u64(v as u64)),
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        BigInt::from_biguint(mag)
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+
+    fn neg(self) -> BigInt {
+        let sign = match self.sign {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        };
+        BigInt { sign, mag: self.mag.clone() }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+
+    fn neg(self) -> BigInt {
+        -&self
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::with_sign(a, &self.mag + &rhs.mag),
+            _ => {
+                // Opposite signs: subtract the smaller magnitude.
+                match self.mag.cmp(&rhs.mag) {
+                    Ordering::Equal => BigInt::zero(),
+                    Ordering::Greater => BigInt::with_sign(self.sign, &self.mag - &rhs.mag),
+                    Ordering::Less => BigInt::with_sign(rhs.sign, &rhs.mag - &self.mag),
+                }
+            }
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = match (self.sign, rhs.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        BigInt::with_sign(sign, &self.mag * &rhs.mag)
+    }
+}
+
+macro_rules! forward_owned_binop_int {
+    ($($trait:ident :: $method:ident),+) => {$(
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                $trait::$method(&self, rhs)
+            }
+        }
+    )+};
+}
+
+forward_owned_binop_int!(Add::add, Sub::sub, Mul::mul);
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.sign {
+            Sign::Negative => write!(f, "BigInt(-0x{})", self.mag.to_hex()),
+            _ => write!(f, "BigInt(0x{})", self.mag.to_hex()),
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            f.write_str("-")?;
+        }
+        fmt::Display::fmt(&self.mag, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn from_i64_signs() {
+        assert_eq!(int(0).sign(), Sign::Zero);
+        assert_eq!(int(5).sign(), Sign::Positive);
+        assert_eq!(int(-5).sign(), Sign::Negative);
+        assert_eq!(int(i64::MIN).magnitude(), &BigUint::from_u64(1u64 << 63));
+    }
+
+    #[test]
+    fn addition_sign_cases() {
+        assert_eq!(&int(5) + &int(3), int(8));
+        assert_eq!(&int(-5) + &int(-3), int(-8));
+        assert_eq!(&int(5) + &int(-3), int(2));
+        assert_eq!(&int(-5) + &int(3), int(-2));
+        assert_eq!(&int(5) + &int(-5), int(0));
+        assert_eq!(&int(0) + &int(-7), int(-7));
+        assert_eq!(&int(7) + &int(0), int(7));
+    }
+
+    #[test]
+    fn subtraction() {
+        assert_eq!(&int(5) - &int(8), int(-3));
+        assert_eq!(&int(-5) - &int(-8), int(3));
+        assert_eq!(int(10) - int(10), int(0));
+    }
+
+    #[test]
+    fn multiplication_signs() {
+        assert_eq!(&int(4) * &int(-3), int(-12));
+        assert_eq!(&int(-4) * &int(-3), int(12));
+        assert_eq!(&int(-4) * &int(0), int(0));
+        assert_eq!((&int(-4) * &int(0)).sign(), Sign::Zero);
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(-int(5), int(-5));
+        assert_eq!(-int(0), int(0));
+        assert_eq!(-(-int(9)), int(9));
+    }
+
+    #[test]
+    fn rem_euclid_canonicalizes() {
+        let m = BigUint::from_u64(7);
+        assert_eq!(int(10).rem_euclid(&m), BigUint::from_u64(3));
+        assert_eq!(int(-10).rem_euclid(&m), BigUint::from_u64(4));
+        assert_eq!(int(-7).rem_euclid(&m), BigUint::zero());
+        assert_eq!(int(0).rem_euclid(&m), BigUint::zero());
+    }
+
+    #[test]
+    fn zero_magnitude_forces_zero_sign() {
+        let z = BigInt::with_sign(Sign::Negative, BigUint::zero());
+        assert_eq!(z.sign(), Sign::Zero);
+        assert!(!z.is_negative());
+    }
+
+    #[test]
+    fn to_biguint() {
+        assert_eq!(int(5).to_biguint(), Some(BigUint::from_u64(5)));
+        assert_eq!(int(-5).to_biguint(), None);
+        assert_eq!(int(0).to_biguint(), Some(BigUint::zero()));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(int(-42).to_string(), "-42");
+        assert_eq!(int(42).to_string(), "42");
+        assert_eq!(format!("{:?}", int(-1)), "BigInt(-0x1)");
+    }
+}

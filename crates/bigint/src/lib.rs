@@ -1,0 +1,36 @@
+//! Arbitrary-precision unsigned and signed integer arithmetic.
+//!
+//! This crate is the numeric substrate for the WideLeak reproduction's RSA
+//! implementation (`wideleak-crypto`). It provides [`BigUint`], a
+//! little-endian limb-based unsigned integer, a signed companion
+//! [`BigInt`] used by the extended Euclidean algorithm, modular arithmetic
+//! helpers in [`modular`], and probabilistic primality testing plus prime
+//! generation in [`prime`].
+//!
+//! The implementation favours clarity and testability over raw speed: all
+//! algorithms are textbook (schoolbook multiplication, Knuth Algorithm D
+//! division, square-and-multiply exponentiation). At the workspace's
+//! test/bench optimisation levels this comfortably handles the 2048-bit RSA
+//! moduli used by the simulated Widevine CDM.
+//!
+//! # Examples
+//!
+//! ```
+//! use wideleak_bigint::BigUint;
+//!
+//! let a = BigUint::from_u64(0xdead_beef);
+//! let b = BigUint::from_u64(0x1234_5678);
+//! let product = &a * &b;
+//! assert_eq!(product, BigUint::from_u128(0xdead_beef * 0x1234_5678));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod int;
+pub mod modular;
+pub mod prime;
+mod uint;
+
+pub use int::{BigInt, Sign};
+pub use uint::{BigUint, ParseBigUintError};

@@ -1,0 +1,219 @@
+//! Probabilistic primality testing and prime search.
+//!
+//! This crate deliberately has no dependency on a random-number generator:
+//! Miller–Rabin witnesses are derived deterministically (small primes plus a
+//! xorshift stream seeded from the candidate), and callers supply random
+//! *candidates* themselves (see `wideleak_crypto::rsa`). This keeps the
+//! whole stack reproducible from a single seed.
+
+use crate::modular::mod_pow;
+use crate::BigUint;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199,
+];
+
+/// Default number of Miller–Rabin rounds; gives an error probability well
+/// below `2^-80` for the sizes used by the simulated CDM.
+pub const DEFAULT_ROUNDS: u32 = 40;
+
+/// Tests `n` for primality with trial division followed by `rounds` rounds
+/// of Miller–Rabin with deterministically derived witnesses.
+///
+/// # Examples
+///
+/// ```
+/// use wideleak_bigint::{prime::is_prime, BigUint};
+///
+/// assert!(is_prime(&BigUint::from_u64(104_729), 16)); // 10000th prime
+/// assert!(!is_prime(&BigUint::from_u64(104_730), 16));
+/// ```
+pub fn is_prime(n: &BigUint, rounds: u32) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p_big = BigUint::from_u64(p);
+        if *n == p_big {
+            return true;
+        }
+        if (n % &p_big).is_zero() {
+            return false;
+        }
+    }
+    miller_rabin(n, rounds)
+}
+
+/// Runs `rounds` Miller–Rabin rounds on odd `n > 3`.
+fn miller_rabin(n: &BigUint, rounds: u32) -> bool {
+    debug_assert!(n.is_odd());
+    let one = BigUint::one();
+    let n_minus_1 = n - &one;
+    let n_minus_2 = &n_minus_1 - &one;
+
+    // n - 1 = d * 2^s with d odd.
+    let mut s = 0usize;
+    let mut d = n_minus_1.clone();
+    while d.is_even() {
+        d = &d >> 1;
+        s += 1;
+    }
+
+    let mut witness_stream = WitnessStream::new(n);
+    'rounds: for _ in 0..rounds {
+        let a = witness_stream.next_witness(&n_minus_2);
+        let mut x = mod_pow(&a, &d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mod_pow(&x, &BigUint::from_u64(2), n);
+            if x == n_minus_1 {
+                continue 'rounds;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Deterministic stream of Miller–Rabin witnesses: the small primes first,
+/// then xorshift-derived values seeded from the candidate.
+struct WitnessStream {
+    index: usize,
+    state: u64,
+}
+
+impl WitnessStream {
+    fn new(n: &BigUint) -> Self {
+        // Seed from the candidate so distinct candidates see distinct
+        // witness tails; keep it non-zero for xorshift.
+        let seed = n.low_u64() ^ (n.bit_len() as u64) | 1;
+        WitnessStream { index: 0, state: seed }
+    }
+
+    /// Produces a witness in `[2, n-2]` (caller passes `n - 2` as `max`).
+    fn next_witness(&mut self, max: &BigUint) -> BigUint {
+        let two = BigUint::from_u64(2);
+        if self.index < SMALL_PRIMES.len() {
+            let w = BigUint::from_u64(SMALL_PRIMES[self.index]);
+            self.index += 1;
+            if &w <= max {
+                return w;
+            }
+        }
+        // xorshift64*
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let span = max.checked_sub(&two).unwrap_or_else(BigUint::zero);
+        if span.is_zero() {
+            return two;
+        }
+        &(&BigUint::from_u64(self.state) % &span) + &two
+    }
+}
+
+/// Finds the smallest probable prime `>= candidate`, forcing oddness first.
+///
+/// Used by RSA key generation: the caller draws a random candidate of the
+/// right bit length and this routine walks forward to a prime.
+///
+/// # Panics
+///
+/// Panics if `candidate` is zero or one (no meaningful search start).
+pub fn next_prime_from(candidate: &BigUint, rounds: u32) -> BigUint {
+    assert!(
+        !candidate.is_zero() && !candidate.is_one(),
+        "prime search requires a candidate >= 2"
+    );
+    let two = BigUint::from_u64(2);
+    if *candidate == two {
+        return two;
+    }
+    let mut n = candidate.clone();
+    if n.is_even() {
+        n = &n + &BigUint::one();
+    }
+    loop {
+        if is_prime(&n, rounds) {
+            return n;
+        }
+        n = &n + &two;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn small_primes_recognized() {
+        for p in [2u64, 3, 5, 7, 199, 211, 104_729] {
+            assert!(is_prime(&n(p), 16), "{p} should be prime");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        for c in [0u64, 1, 4, 9, 15, 21, 100, 104_730, 1_000_000] {
+            assert!(!is_prime(&n(c), 16), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat tests but not Miller–Rabin.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825_265] {
+            assert!(!is_prime(&n(c), 16), "Carmichael {c} should be composite");
+        }
+    }
+
+    #[test]
+    fn known_large_primes() {
+        // 2^61 - 1 is a Mersenne prime.
+        assert!(is_prime(&n((1u64 << 61) - 1), 16));
+        // 2^89 - 1 is a Mersenne prime.
+        let m89 = &(&BigUint::one() << 89) - &BigUint::one();
+        assert!(is_prime(&m89, 16));
+        // 2^67 - 1 = 193707721 * 761838257287 (famously composite).
+        let m67 = &(&BigUint::one() << 67) - &BigUint::one();
+        assert!(!is_prime(&m67, 16));
+    }
+
+    #[test]
+    fn semiprime_rejected() {
+        // Product of two 32-bit primes.
+        let p = n(4_294_967_291); // 2^32 - 5, prime
+        let q = n(4_294_967_279); // prime
+        assert!(!is_prime(&(&p * &q), 16));
+    }
+
+    #[test]
+    fn next_prime_walks_forward() {
+        assert_eq!(next_prime_from(&n(2), 16), n(2));
+        assert_eq!(next_prime_from(&n(14), 16), n(17));
+        assert_eq!(next_prime_from(&n(17), 16), n(17));
+        assert_eq!(next_prime_from(&n(90), 16), n(97));
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate >= 2")]
+    fn next_prime_rejects_zero() {
+        next_prime_from(&BigUint::zero(), 16);
+    }
+
+    #[test]
+    fn prime_density_sanity() {
+        // Count primes below 1000: should be exactly 168.
+        let count = (2u64..1000).filter(|&v| is_prime(&n(v), 8)).count();
+        assert_eq!(count, 168);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the big-integer substrate: ring axioms,
+//! division invariants, codec round-trips, and modular-arithmetic laws.
+
+use proptest::prelude::*;
+use wideleak_bigint::modular::{gcd, mod_inv, mod_mul, mod_pow};
+use wideleak_bigint::{BigInt, BigUint};
+
+/// Strategy producing BigUints of up to ~4 limbs from random byte strings.
+fn biguint() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..32).prop_map(|b| BigUint::from_bytes_be(&b))
+}
+
+/// Non-zero variant.
+fn biguint_nonzero() -> impl Strategy<Value = BigUint> {
+    biguint().prop_map(|n| if n.is_zero() { BigUint::one() } else { n })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn div_rem_invariant(a in biguint(), d in biguint_nonzero()) {
+        let (q, r) = a.div_rem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(&(&q * &d) + &r, a);
+    }
+
+    #[test]
+    fn bytes_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let n = BigUint::from_bytes_be(&bytes);
+        let round = BigUint::from_bytes_be(&n.to_bytes_be());
+        prop_assert_eq!(n, round);
+    }
+
+    #[test]
+    fn hex_round_trip(a in biguint()) {
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn padded_bytes_parse_back(a in biguint()) {
+        let padded = a.to_bytes_be_padded(40);
+        prop_assert_eq!(padded.len(), 40);
+        prop_assert_eq!(BigUint::from_bytes_be(&padded), a);
+    }
+
+    #[test]
+    fn shl_shr_round_trip(a in biguint(), s in 0usize..200) {
+        prop_assert_eq!(&(&a << s) >> s, a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in biguint(), s in 0usize..100) {
+        let mut pow2 = BigUint::one();
+        pow2 = &pow2 << s;
+        prop_assert_eq!(&a << s, &a * &pow2);
+    }
+
+    #[test]
+    fn mod_pow_multiplicative(a in biguint(), b in biguint(), m in biguint_nonzero()) {
+        // (a*b) mod m == (a mod m)(b mod m) mod m
+        prop_assert_eq!(mod_mul(&a, &b, &m), &(&a * &b) % &m);
+    }
+
+    #[test]
+    fn mod_pow_exponent_addition(
+        a in biguint_nonzero(),
+        e1 in 0u64..64,
+        e2 in 0u64..64,
+        m in biguint_nonzero(),
+    ) {
+        // a^(e1+e2) == a^e1 * a^e2 (mod m)
+        let lhs = mod_pow(&a, &BigUint::from_u64(e1 + e2), &m);
+        let rhs = mod_mul(
+            &mod_pow(&a, &BigUint::from_u64(e1), &m),
+            &mod_pow(&a, &BigUint::from_u64(e2), &m),
+            &m,
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in biguint_nonzero(), b in biguint_nonzero()) {
+        let g = gcd(&a, &b);
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+    }
+
+    #[test]
+    fn mod_inv_is_inverse(a in biguint_nonzero(), m in biguint_nonzero()) {
+        if let Some(inv) = mod_inv(&a, &m) {
+            if !m.is_one() {
+                prop_assert_eq!(mod_mul(&a, &inv, &m), BigUint::one());
+            }
+        }
+    }
+
+    #[test]
+    fn signed_add_sub_round_trip(a in any::<i64>(), b in any::<i64>()) {
+        let ba = BigInt::from(a);
+        let bb = BigInt::from(b);
+        prop_assert_eq!(&(&ba + &bb) - &bb, ba);
+    }
+
+    #[test]
+    fn ordering_consistent_with_subtraction(a in biguint(), b in biguint()) {
+        if a >= b {
+            prop_assert!(a.checked_sub(&b).is_some());
+        } else {
+            prop_assert!(a.checked_sub(&b).is_none());
+        }
+    }
+}

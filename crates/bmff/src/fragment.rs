@@ -1,0 +1,444 @@
+//! Fragmented-MP4 builders and parsers.
+//!
+//! A DASH representation as packaged by the simulated CDN consists of an
+//! [`InitSegment`] (ftyp + moov, carrying `pssh` and `tenc`) followed by
+//! [`MediaSegment`]s (moof carrying `senc`/`trun` + mdat). These are the
+//! byte streams the OTT apps download, the monitor inspects, and the
+//! attack PoC decrypts.
+
+use crate::types::{Frma, Pssh, Schm, Senc, Tenc, Trun};
+use crate::{find_in, BmffError, FourCc, Mp4Box};
+
+/// Track content kind, mirrored in the `hdlr` box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrackKind {
+    /// A video track.
+    Video,
+    /// An audio track.
+    Audio,
+    /// A subtitle/text track.
+    Subtitle,
+}
+
+impl TrackKind {
+    /// The `hdlr` handler type fourcc.
+    pub fn handler(self) -> FourCc {
+        match self {
+            TrackKind::Video => FourCc(*b"vide"),
+            TrackKind::Audio => FourCc(*b"soun"),
+            TrackKind::Subtitle => FourCc(*b"text"),
+        }
+    }
+
+    /// The unencrypted sample-entry format.
+    pub fn sample_format(self) -> FourCc {
+        match self {
+            TrackKind::Video => FourCc(*b"avc1"),
+            TrackKind::Audio => FourCc(*b"mp4a"),
+            TrackKind::Subtitle => FourCc(*b"wvtt"),
+        }
+    }
+
+    /// The encrypted sample-entry format (`encv`/`enca`/`enct`).
+    pub fn encrypted_format(self) -> FourCc {
+        match self {
+            TrackKind::Video => FourCc(*b"encv"),
+            TrackKind::Audio => FourCc(*b"enca"),
+            TrackKind::Subtitle => FourCc(*b"enct"),
+        }
+    }
+
+    /// Parses a handler fourcc back to a kind.
+    pub fn from_handler(h: FourCc) -> Option<Self> {
+        match &h.0 {
+            b"vide" => Some(TrackKind::Video),
+            b"soun" => Some(TrackKind::Audio),
+            b"text" => Some(TrackKind::Subtitle),
+            _ => None,
+        }
+    }
+}
+
+/// An initialization segment: `ftyp` + `moov` with protection signalling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InitSegment {
+    /// Track id referenced by media segments.
+    pub track_id: u32,
+    /// What kind of track this is.
+    pub kind: TrackKind,
+    /// Protection defaults; `None` for clear tracks.
+    pub tenc: Option<Tenc>,
+    /// Protection scheme (`cenc`/`cbcs`); `None` for clear tracks.
+    pub scheme: Option<FourCc>,
+    /// DRM headers; empty for clear tracks.
+    pub pssh: Vec<Pssh>,
+}
+
+impl InitSegment {
+    /// Builds a clear (unprotected) init segment.
+    pub fn clear(track_id: u32, kind: TrackKind) -> Self {
+        InitSegment { track_id, kind, tenc: None, scheme: None, pssh: Vec::new() }
+    }
+
+    /// Builds a protected init segment.
+    pub fn protected(
+        track_id: u32,
+        kind: TrackKind,
+        scheme: FourCc,
+        tenc: Tenc,
+        pssh: Vec<Pssh>,
+    ) -> Self {
+        InitSegment { track_id, kind, tenc: Some(tenc), scheme: Some(scheme), pssh }
+    }
+
+    /// Whether the track is signalled as encrypted.
+    pub fn is_protected(&self) -> bool {
+        self.tenc.as_ref().is_some_and(|t| t.is_protected)
+    }
+
+    /// Serializes to the full init-segment byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let ftyp = {
+            let mut payload = b"isom".to_vec();
+            payload.extend_from_slice(&0u32.to_be_bytes());
+            payload.extend_from_slice(b"isomiso2");
+            Mp4Box::leaf(FourCc(*b"ftyp"), payload)
+        };
+
+        let tkhd = {
+            let mut payload = vec![0u8; 4];
+            payload.extend_from_slice(&self.track_id.to_be_bytes());
+            Mp4Box::leaf(FourCc(*b"tkhd"), payload)
+        };
+        let hdlr = Mp4Box::leaf(FourCc(*b"hdlr"), self.kind.handler().0.to_vec());
+
+        // Sample description: for protected tracks the entry is enc* with a
+        // sinf carrying frma/schm/schi(tenc).
+        let stsd = match (&self.tenc, self.scheme) {
+            (Some(tenc), Some(scheme)) => {
+                let sinf = Mp4Box::container(
+                    FourCc(*b"sinf"),
+                    vec![
+                        Frma { original_format: self.kind.sample_format() }.to_box(),
+                        Schm { scheme, version: 0x0001_0000 }.to_box(),
+                        Mp4Box::container(FourCc(*b"schi"), vec![tenc.to_box()]),
+                    ],
+                );
+                // Encode the sample entry as a leaf that embeds the sinf
+                // bytes (real stsd entries carry codec config too; the
+                // simulator keeps only the protection data).
+                Mp4Box::leaf(self.kind.encrypted_format(), sinf.to_bytes())
+            }
+            _ => Mp4Box::leaf(self.kind.sample_format(), Vec::new()),
+        };
+        let stbl = Mp4Box::container(FourCc(*b"stbl"), vec![stsd]);
+        let minf = Mp4Box::container(FourCc(*b"minf"), vec![stbl]);
+        let mdia = Mp4Box::container(FourCc(*b"mdia"), vec![hdlr, minf]);
+        let trak = Mp4Box::container(FourCc(*b"trak"), vec![tkhd, mdia]);
+
+        let mut moov_children = vec![trak];
+        for p in &self.pssh {
+            moov_children.push(p.to_box());
+        }
+        let moov = Mp4Box::container(FourCc(*b"moov"), moov_children);
+
+        let mut out = ftyp.to_bytes();
+        out.extend(moov.to_bytes());
+        out
+    }
+
+    /// Parses an init segment from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError`] when required boxes are missing or malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, BmffError> {
+        let boxes = Mp4Box::parse_sequence(bytes)?;
+        let moov = find_in(&boxes, FourCc(*b"moov"))
+            .ok_or(BmffError::MissingBox { expected: FourCc(*b"moov") })?;
+
+        let tkhd = moov
+            .find(FourCc(*b"tkhd"))
+            .ok_or(BmffError::MissingBox { expected: FourCc(*b"tkhd") })?;
+        let tkhd_payload = tkhd.payload().expect("tkhd is a leaf");
+        if tkhd_payload.len() < 8 {
+            return Err(BmffError::Truncated { context: "tkhd" });
+        }
+        let track_id = u32::from_be_bytes(tkhd_payload[4..8].try_into().expect("4 bytes"));
+
+        let hdlr = moov
+            .find(FourCc(*b"hdlr"))
+            .ok_or(BmffError::MissingBox { expected: FourCc(*b"hdlr") })?;
+        let handler_bytes: [u8; 4] = hdlr
+            .payload()
+            .and_then(|p| p.get(..4))
+            .ok_or(BmffError::Truncated { context: "hdlr" })?
+            .try_into()
+            .expect("4 bytes");
+        let kind = TrackKind::from_handler(FourCc(handler_bytes))
+            .ok_or(BmffError::Malformed { reason: "unknown handler type" })?;
+
+        // Protection data lives inside the sample entry payload.
+        let stsd_entry = moov
+            .find(FourCc(*b"stbl"))
+            .and_then(|stbl| match &stbl.data {
+                crate::BoxData::Container(children) => children.first(),
+                crate::BoxData::Leaf(_) => None,
+            })
+            .ok_or(BmffError::MissingBox { expected: FourCc(*b"stbl") })?;
+
+        let (tenc, scheme) = if stsd_entry.typ == kind.encrypted_format() {
+            let sinf_bytes = stsd_entry.payload().expect("sample entry is a leaf");
+            let (sinf, _) = Mp4Box::parse(sinf_bytes)?;
+            let schm = sinf
+                .find(FourCc(*b"schm"))
+                .ok_or(BmffError::MissingBox { expected: FourCc(*b"schm") })?;
+            let schm = Schm::from_payload(schm.payload().expect("schm is a leaf"))?;
+            let tenc_box = sinf
+                .find(FourCc(*b"tenc"))
+                .ok_or(BmffError::MissingBox { expected: FourCc(*b"tenc") })?;
+            let tenc = Tenc::from_payload(tenc_box.payload().expect("tenc is a leaf"))?;
+            (Some(tenc), Some(schm.scheme))
+        } else {
+            (None, None)
+        };
+
+        let pssh = match &moov.data {
+            crate::BoxData::Container(children) => children
+                .iter()
+                .filter(|c| c.typ == FourCc(*b"pssh"))
+                .map(|c| Pssh::from_payload(c.payload().expect("pssh is a leaf")))
+                .collect::<Result<Vec<_>, _>>()?,
+            crate::BoxData::Leaf(_) => Vec::new(),
+        };
+
+        Ok(InitSegment { track_id, kind, tenc, scheme, pssh })
+    }
+}
+
+/// A media segment: `moof` (mfhd/traf with trun + optional senc) + `mdat`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MediaSegment {
+    /// Fragment sequence number.
+    pub sequence_number: u32,
+    /// Track id, must match the init segment.
+    pub track_id: u32,
+    /// Per-sample sizes describing how `data` splits into samples.
+    pub sample_sizes: Vec<u32>,
+    /// Sample encryption info; `None` for clear segments.
+    pub senc: Option<Senc>,
+    /// The (possibly encrypted) concatenated sample payload.
+    pub data: Vec<u8>,
+}
+
+impl MediaSegment {
+    /// Splits `data` into per-sample slices according to `sample_sizes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError::Malformed`] when sizes do not cover the data.
+    pub fn samples(&self) -> Result<Vec<&[u8]>, BmffError> {
+        let mut out = Vec::with_capacity(self.sample_sizes.len());
+        let mut offset = 0usize;
+        for &size in &self.sample_sizes {
+            let end = offset + size as usize;
+            if end > self.data.len() {
+                return Err(BmffError::Malformed { reason: "sample sizes exceed mdat" });
+            }
+            out.push(&self.data[offset..end]);
+            offset = end;
+        }
+        if offset != self.data.len() {
+            return Err(BmffError::Malformed { reason: "sample sizes do not cover mdat" });
+        }
+        Ok(out)
+    }
+
+    /// Serializes to the full media-segment byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mfhd = crate::types::Mfhd { sequence_number: self.sequence_number }.to_box();
+        let tfhd = crate::types::Tfhd { track_id: self.track_id }.to_box();
+        let trun = Trun { sample_sizes: self.sample_sizes.clone() }.to_box();
+        let mut traf_children = vec![tfhd, trun];
+        if let Some(senc) = &self.senc {
+            traf_children.push(senc.to_box());
+        }
+        let traf = Mp4Box::container(FourCc(*b"traf"), traf_children);
+        let moof = Mp4Box::container(FourCc(*b"moof"), vec![mfhd, traf]);
+        let mdat = Mp4Box::leaf(FourCc(*b"mdat"), self.data.clone());
+
+        let mut out = moof.to_bytes();
+        out.extend(mdat.to_bytes());
+        out
+    }
+
+    /// Parses a media segment from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError`] when required boxes are missing or malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, BmffError> {
+        let boxes = Mp4Box::parse_sequence(bytes)?;
+        let moof = find_in(&boxes, FourCc(*b"moof"))
+            .ok_or(BmffError::MissingBox { expected: FourCc(*b"moof") })?;
+        let mdat = find_in(&boxes, FourCc(*b"mdat"))
+            .ok_or(BmffError::MissingBox { expected: FourCc(*b"mdat") })?;
+
+        let mfhd = moof
+            .find(FourCc(*b"mfhd"))
+            .ok_or(BmffError::MissingBox { expected: FourCc(*b"mfhd") })?;
+        let mfhd = crate::types::Mfhd::from_payload(mfhd.payload().expect("mfhd is a leaf"))?;
+
+        let tfhd = moof
+            .find(FourCc(*b"tfhd"))
+            .ok_or(BmffError::MissingBox { expected: FourCc(*b"tfhd") })?;
+        let tfhd = crate::types::Tfhd::from_payload(tfhd.payload().expect("tfhd is a leaf"))?;
+
+        let trun = moof
+            .find(FourCc(*b"trun"))
+            .ok_or(BmffError::MissingBox { expected: FourCc(*b"trun") })?;
+        let trun = Trun::from_payload(trun.payload().expect("trun is a leaf"))?;
+
+        let senc = moof
+            .find(FourCc(*b"senc"))
+            .map(|b| Senc::from_payload(b.payload().expect("senc is a leaf")))
+            .transpose()?;
+
+        Ok(MediaSegment {
+            sequence_number: mfhd.sequence_number,
+            track_id: tfhd.track_id,
+            sample_sizes: trun.sample_sizes,
+            senc,
+            data: mdat.payload().expect("mdat is a leaf").to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{KeyId, SampleEncryption, Subsample};
+
+    fn kid(b: u8) -> KeyId {
+        KeyId([b; 16])
+    }
+
+    #[test]
+    fn track_kind_mappings() {
+        assert_eq!(TrackKind::Video.handler(), FourCc(*b"vide"));
+        assert_eq!(TrackKind::Audio.sample_format(), FourCc(*b"mp4a"));
+        assert_eq!(TrackKind::Subtitle.encrypted_format(), FourCc(*b"enct"));
+        for kind in [TrackKind::Video, TrackKind::Audio, TrackKind::Subtitle] {
+            assert_eq!(TrackKind::from_handler(kind.handler()), Some(kind));
+        }
+        assert_eq!(TrackKind::from_handler(FourCc(*b"meta")), None);
+    }
+
+    #[test]
+    fn clear_init_round_trip() {
+        let init = InitSegment::clear(1, TrackKind::Audio);
+        let parsed = InitSegment::from_bytes(&init.to_bytes()).unwrap();
+        assert_eq!(parsed, init);
+        assert!(!parsed.is_protected());
+    }
+
+    #[test]
+    fn protected_init_round_trip() {
+        let init = InitSegment::protected(
+            2,
+            TrackKind::Video,
+            FourCc(*b"cenc"),
+            Tenc::cenc(kid(5)),
+            vec![Pssh::widevine(vec![kid(5)], b"req".to_vec())],
+        );
+        let parsed = InitSegment::from_bytes(&init.to_bytes()).unwrap();
+        assert_eq!(parsed, init);
+        assert!(parsed.is_protected());
+        assert_eq!(parsed.scheme, Some(FourCc(*b"cenc")));
+        assert_eq!(parsed.tenc.unwrap().default_kid, kid(5));
+    }
+
+    #[test]
+    fn protected_cbcs_init_round_trip() {
+        let init = InitSegment::protected(
+            3,
+            TrackKind::Audio,
+            FourCc(*b"cbcs"),
+            Tenc::cbcs(kid(8), [1; 16]),
+            vec![],
+        );
+        let parsed = InitSegment::from_bytes(&init.to_bytes()).unwrap();
+        assert_eq!(parsed.scheme, Some(FourCc(*b"cbcs")));
+        assert_eq!(parsed.tenc.unwrap().constant_iv, Some([1; 16]));
+    }
+
+    #[test]
+    fn init_missing_moov_rejected() {
+        let only_ftyp = Mp4Box::leaf(FourCc(*b"ftyp"), b"isom".to_vec()).to_bytes();
+        assert_eq!(
+            InitSegment::from_bytes(&only_ftyp),
+            Err(BmffError::MissingBox { expected: FourCc(*b"moov") })
+        );
+    }
+
+    #[test]
+    fn media_segment_round_trip_clear() {
+        let seg = MediaSegment {
+            sequence_number: 1,
+            track_id: 1,
+            sample_sizes: vec![3, 4],
+            senc: None,
+            data: b"aaabbbb".to_vec(),
+        };
+        let parsed = MediaSegment::from_bytes(&seg.to_bytes()).unwrap();
+        assert_eq!(parsed, seg);
+        let samples = parsed.samples().unwrap();
+        assert_eq!(samples, vec![&b"aaa"[..], &b"bbbb"[..]]);
+    }
+
+    #[test]
+    fn media_segment_round_trip_encrypted() {
+        let seg = MediaSegment {
+            sequence_number: 7,
+            track_id: 2,
+            sample_sizes: vec![10],
+            senc: Some(Senc {
+                entries: vec![SampleEncryption {
+                    iv: vec![1; 8],
+                    subsamples: vec![Subsample { clear_bytes: 2, encrypted_bytes: 8 }],
+                }],
+            }),
+            data: vec![0xaa; 10],
+        };
+        let parsed = MediaSegment::from_bytes(&seg.to_bytes()).unwrap();
+        assert_eq!(parsed, seg);
+    }
+
+    #[test]
+    fn samples_validate_sizes() {
+        let mut seg = MediaSegment {
+            sequence_number: 1,
+            track_id: 1,
+            sample_sizes: vec![5],
+            senc: None,
+            data: vec![0; 4],
+        };
+        assert!(seg.samples().is_err(), "sizes exceed data");
+        seg.sample_sizes = vec![2];
+        assert!(seg.samples().is_err(), "sizes undershoot data");
+        seg.sample_sizes = vec![2, 2];
+        assert!(seg.samples().is_ok());
+    }
+
+    #[test]
+    fn media_segment_missing_mdat_rejected() {
+        let moof = Mp4Box::container(
+            FourCc(*b"moof"),
+            vec![crate::types::Mfhd { sequence_number: 1 }.to_box()],
+        );
+        assert_eq!(
+            MediaSegment::from_bytes(&moof.to_bytes()),
+            Err(BmffError::MissingBox { expected: FourCc(*b"mdat") })
+        );
+    }
+}

@@ -1,0 +1,371 @@
+//! ISO Base Media File Format (ISO/IEC 14496-12) box codec.
+//!
+//! The WideLeak CDN packager stores media in fragmented MP4 files, the
+//! standard container for MPEG-DASH delivery. This crate implements the
+//! subset of ISO-BMFF that content protection needs:
+//!
+//! - a generic box tree ([`Mp4Box`]) with parse/serialize round-tripping,
+//! - the CENC signalling boxes: `pssh` (protection system specific header,
+//!   [`types::Pssh`]), `tenc` (track encryption defaults, [`types::Tenc`]),
+//!   `senc` (per-sample IVs and subsample maps, [`types::Senc`]),
+//!   `schm`/`frma` (scheme signalling),
+//! - fragment builders/parsers ([`fragment`]) that the CDN and the attack
+//!   PoC use to package and to reconstruct media.
+//!
+//! # Examples
+//!
+//! ```
+//! use wideleak_bmff::{BoxData, FourCc, Mp4Box};
+//!
+//! let mdat = Mp4Box::leaf(FourCc(*b"mdat"), b"payload".to_vec());
+//! let bytes = mdat.to_bytes();
+//! let (parsed, used) = Mp4Box::parse(&bytes).unwrap();
+//! assert_eq!(used, bytes.len());
+//! assert_eq!(parsed, mdat);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fragment;
+mod reader;
+pub mod types;
+
+pub use reader::ByteReader;
+
+use std::fmt;
+
+/// A four-character box type code.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FourCc(pub [u8; 4]);
+
+impl fmt::Debug for FourCc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FourCc({self})")
+    }
+}
+
+impl fmt::Display for FourCc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.0 {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<&[u8; 4]> for FourCc {
+    fn from(v: &[u8; 4]) -> Self {
+        FourCc(*v)
+    }
+}
+
+/// Container box types: their payload is a sequence of child boxes.
+pub const CONTAINER_TYPES: [&[u8; 4]; 12] = [
+    b"moov", b"trak", b"mdia", b"minf", b"stbl", b"moof", b"traf", b"sinf", b"schi", b"edts",
+    b"dinf", b"udta",
+];
+
+/// Errors produced when decoding box structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BmffError {
+    /// The byte stream ended before the structure was complete.
+    Truncated {
+        /// What was being parsed when the data ran out.
+        context: &'static str,
+    },
+    /// A size field is inconsistent (smaller than the header, or past EOF).
+    BadSize {
+        /// The offending declared size.
+        size: u64,
+    },
+    /// A versioned box carried an unsupported version.
+    UnsupportedVersion {
+        /// The version encountered.
+        version: u8,
+    },
+    /// A box of an expected type was not found.
+    MissingBox {
+        /// The box type that was required.
+        expected: FourCc,
+    },
+    /// A structural invariant of a typed payload was violated.
+    Malformed {
+        /// Human-readable description of the violation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for BmffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BmffError::Truncated { context } => write!(f, "truncated input while parsing {context}"),
+            BmffError::BadSize { size } => write!(f, "inconsistent box size {size}"),
+            BmffError::UnsupportedVersion { version } => {
+                write!(f, "unsupported box version {version}")
+            }
+            BmffError::MissingBox { expected } => write!(f, "missing required box {expected}"),
+            BmffError::Malformed { reason } => write!(f, "malformed box payload: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for BmffError {}
+
+/// Payload of a box: either child boxes or raw bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoxData {
+    /// A container whose payload is a sequence of child boxes.
+    Container(Vec<Mp4Box>),
+    /// A leaf carrying opaque payload bytes.
+    Leaf(Vec<u8>),
+}
+
+/// A single box in the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mp4Box {
+    /// The four-character type code.
+    pub typ: FourCc,
+    /// The payload.
+    pub data: BoxData,
+}
+
+impl Mp4Box {
+    /// Creates a leaf box from raw payload bytes.
+    pub fn leaf(typ: FourCc, payload: Vec<u8>) -> Self {
+        Mp4Box { typ, data: BoxData::Leaf(payload) }
+    }
+
+    /// Creates a container box from children.
+    pub fn container(typ: FourCc, children: Vec<Mp4Box>) -> Self {
+        Mp4Box { typ, data: BoxData::Container(children) }
+    }
+
+    /// Whether `typ` is one of the known container types.
+    pub fn is_container_type(typ: FourCc) -> bool {
+        CONTAINER_TYPES.iter().any(|&t| FourCc(*t) == typ)
+    }
+
+    /// Parses one box from the front of `input`; returns it with the number
+    /// of bytes consumed.
+    ///
+    /// Known container types are parsed recursively; everything else stays
+    /// a leaf. Only the 32-bit size form is supported, which is ample for
+    /// simulated segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError::Truncated`] or [`BmffError::BadSize`] on
+    /// malformed input.
+    pub fn parse(input: &[u8]) -> Result<(Mp4Box, usize), BmffError> {
+        if input.len() < 8 {
+            return Err(BmffError::Truncated { context: "box header" });
+        }
+        let size = u32::from_be_bytes(input[..4].try_into().expect("4 bytes")) as usize;
+        let typ = FourCc(input[4..8].try_into().expect("4 bytes"));
+        if size < 8 || size > input.len() {
+            return Err(BmffError::BadSize { size: size as u64 });
+        }
+        let payload = &input[8..size];
+        let data = if Self::is_container_type(typ) {
+            BoxData::Container(Self::parse_sequence(payload)?)
+        } else {
+            BoxData::Leaf(payload.to_vec())
+        };
+        Ok((Mp4Box { typ, data }, size))
+    }
+
+    /// Parses a back-to-back sequence of boxes covering all of `input`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first structural error encountered.
+    pub fn parse_sequence(mut input: &[u8]) -> Result<Vec<Mp4Box>, BmffError> {
+        let mut boxes = Vec::new();
+        while !input.is_empty() {
+            let (b, used) = Self::parse(input)?;
+            boxes.push(b);
+            input = &input[used..];
+        }
+        Ok(boxes)
+    }
+
+    /// Serializes the box (and its subtree) to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = match &self.data {
+            BoxData::Leaf(bytes) => bytes.clone(),
+            BoxData::Container(children) => {
+                children.iter().flat_map(|c| c.to_bytes()).collect()
+            }
+        };
+        let mut out = Vec::with_capacity(8 + payload.len());
+        out.extend_from_slice(&((payload.len() + 8) as u32).to_be_bytes());
+        out.extend_from_slice(&self.typ.0);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Finds the first direct child of the given type (containers only).
+    pub fn child(&self, typ: FourCc) -> Option<&Mp4Box> {
+        match &self.data {
+            BoxData::Container(children) => children.iter().find(|c| c.typ == typ),
+            BoxData::Leaf(_) => None,
+        }
+    }
+
+    /// Depth-first search for the first box of the given type in the
+    /// subtree rooted at `self` (including `self`).
+    pub fn find(&self, typ: FourCc) -> Option<&Mp4Box> {
+        if self.typ == typ {
+            return Some(self);
+        }
+        match &self.data {
+            BoxData::Container(children) => children.iter().find_map(|c| c.find(typ)),
+            BoxData::Leaf(_) => None,
+        }
+    }
+
+    /// Leaf payload bytes, if this is a leaf.
+    pub fn payload(&self) -> Option<&[u8]> {
+        match &self.data {
+            BoxData::Leaf(bytes) => Some(bytes),
+            BoxData::Container(_) => None,
+        }
+    }
+}
+
+/// Finds the first box of `typ` in a box sequence (depth-first).
+pub fn find_in(boxes: &[Mp4Box], typ: FourCc) -> Option<&Mp4Box> {
+    boxes.iter().find_map(|b| b.find(typ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourcc_display() {
+        assert_eq!(FourCc(*b"moov").to_string(), "moov");
+        assert_eq!(FourCc([0x01, b'a', b'b', b'c']).to_string(), "\\x01abc");
+        assert_eq!(format!("{:?}", FourCc(*b"mdat")), "FourCc(mdat)");
+    }
+
+    #[test]
+    fn leaf_round_trip() {
+        let b = Mp4Box::leaf(FourCc(*b"mdat"), vec![1, 2, 3, 4, 5]);
+        let bytes = b.to_bytes();
+        assert_eq!(bytes.len(), 13);
+        assert_eq!(&bytes[..4], &13u32.to_be_bytes());
+        let (parsed, used) = Mp4Box::parse(&bytes).unwrap();
+        assert_eq!(used, 13);
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn empty_leaf_round_trip() {
+        let b = Mp4Box::leaf(FourCc(*b"free"), vec![]);
+        let (parsed, used) = Mp4Box::parse(&b.to_bytes()).unwrap();
+        assert_eq!(used, 8);
+        assert_eq!(parsed.payload(), Some(&[][..]));
+    }
+
+    #[test]
+    fn container_round_trip() {
+        let tree = Mp4Box::container(
+            FourCc(*b"moov"),
+            vec![
+                Mp4Box::leaf(FourCc(*b"mvhd"), vec![0; 20]),
+                Mp4Box::container(
+                    FourCc(*b"trak"),
+                    vec![Mp4Box::leaf(FourCc(*b"tkhd"), vec![7; 12])],
+                ),
+            ],
+        );
+        let bytes = tree.to_bytes();
+        let (parsed, used) = Mp4Box::parse(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(parsed, tree);
+    }
+
+    #[test]
+    fn nested_search() {
+        let tree = Mp4Box::container(
+            FourCc(*b"moov"),
+            vec![Mp4Box::container(
+                FourCc(*b"trak"),
+                vec![Mp4Box::container(
+                    FourCc(*b"mdia"),
+                    vec![Mp4Box::leaf(FourCc(*b"hdlr"), b"vide".to_vec())],
+                )],
+            )],
+        );
+        let hdlr = tree.find(FourCc(*b"hdlr")).unwrap();
+        assert_eq!(hdlr.payload(), Some(&b"vide"[..]));
+        assert!(tree.find(FourCc(*b"zzzz")).is_none());
+        assert!(tree.child(FourCc(*b"trak")).is_some());
+        assert!(tree.child(FourCc(*b"hdlr")).is_none(), "child() is not recursive");
+    }
+
+    #[test]
+    fn parse_sequence_covers_input() {
+        let a = Mp4Box::leaf(FourCc(*b"ftyp"), b"isom".to_vec());
+        let b = Mp4Box::leaf(FourCc(*b"mdat"), vec![9; 3]);
+        let mut bytes = a.to_bytes();
+        bytes.extend(b.to_bytes());
+        let seq = Mp4Box::parse_sequence(&bytes).unwrap();
+        assert_eq!(seq, vec![a, b]);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert_eq!(
+            Mp4Box::parse(&[0, 0, 0]),
+            Err(BmffError::Truncated { context: "box header" })
+        );
+    }
+
+    #[test]
+    fn size_smaller_than_header_rejected() {
+        let mut bytes = vec![0, 0, 0, 4];
+        bytes.extend_from_slice(b"mdat");
+        assert_eq!(Mp4Box::parse(&bytes), Err(BmffError::BadSize { size: 4 }));
+    }
+
+    #[test]
+    fn size_past_eof_rejected() {
+        let mut bytes = vec![0, 0, 1, 0];
+        bytes.extend_from_slice(b"mdat");
+        assert_eq!(Mp4Box::parse(&bytes), Err(BmffError::BadSize { size: 256 }));
+    }
+
+    #[test]
+    fn garbage_inside_container_rejected() {
+        // A moov whose payload is not a valid box sequence.
+        let mut bytes = vec![0, 0, 0, 11];
+        bytes.extend_from_slice(b"moov");
+        bytes.extend_from_slice(&[1, 2, 3]);
+        assert!(Mp4Box::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn find_in_sequence() {
+        let seq = vec![
+            Mp4Box::leaf(FourCc(*b"ftyp"), vec![]),
+            Mp4Box::container(FourCc(*b"moov"), vec![Mp4Box::leaf(FourCc(*b"pssh"), vec![1])]),
+        ];
+        assert!(find_in(&seq, FourCc(*b"pssh")).is_some());
+        assert!(find_in(&seq, FourCc(*b"moof")).is_none());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(BmffError::Truncated { context: "x" }.to_string().contains("truncated"));
+        assert!(BmffError::MissingBox { expected: FourCc(*b"tenc") }
+            .to_string()
+            .contains("tenc"));
+    }
+}

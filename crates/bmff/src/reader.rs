@@ -1,0 +1,142 @@
+//! A checked cursor over a byte slice, used by the typed box payload
+//! codecs in [`crate::types`].
+
+use crate::BmffError;
+
+/// A forward-only reader that fails (rather than panicking) on underflow.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a slice.
+    pub fn new(input: &'a [u8]) -> Self {
+        ByteReader { input, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], BmffError> {
+        if self.remaining() < n {
+            return Err(BmffError::Truncated { context: "payload bytes" });
+        }
+        let out = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Takes a fixed-size array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError::Truncated`] on underflow.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], BmffError> {
+        Ok(self.take(N)?.try_into().expect("take returned N bytes"))
+    }
+
+    /// Reads a big-endian `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError::Truncated`] on underflow.
+    pub fn u8(&mut self) -> Result<u8, BmffError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError::Truncated`] on underflow.
+    pub fn u16(&mut self) -> Result<u16, BmffError> {
+        Ok(u16::from_be_bytes(self.take_array()?))
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError::Truncated`] on underflow.
+    pub fn u32(&mut self) -> Result<u32, BmffError> {
+        Ok(u32::from_be_bytes(self.take_array()?))
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError::Truncated`] on underflow.
+    pub fn u64(&mut self) -> Result<u64, BmffError> {
+        Ok(u64::from_be_bytes(self.take_array()?))
+    }
+
+    /// Takes everything left.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let out = &self.input[self.pos..];
+        self.pos = self.input.len();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_integers_in_order() {
+        let data = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07];
+        let mut r = ByteReader::new(&data);
+        assert_eq!(r.u8().unwrap(), 0x01);
+        assert_eq!(r.u16().unwrap(), 0x0203);
+        assert_eq!(r.u32().unwrap(), 0x04050607);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn u64_read() {
+        let data = 0xdead_beef_0102_0304u64.to_be_bytes();
+        assert_eq!(ByteReader::new(&data).u64().unwrap(), 0xdead_beef_0102_0304);
+    }
+
+    #[test]
+    fn underflow_is_error_not_panic() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(r.u32().is_err());
+        // Failed reads do not consume.
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.u16().unwrap(), 0x0102);
+    }
+
+    #[test]
+    fn take_and_rest() {
+        let data = [1, 2, 3, 4, 5];
+        let mut r = ByteReader::new(&data);
+        assert_eq!(r.take(2).unwrap(), &[1, 2]);
+        assert_eq!(r.rest(), &[3, 4, 5]);
+        assert!(r.is_empty());
+        assert_eq!(r.rest(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn take_array() {
+        let mut r = ByteReader::new(&[9, 8, 7]);
+        let a: [u8; 2] = r.take_array().unwrap();
+        assert_eq!(a, [9, 8]);
+        assert!(r.take_array::<2>().is_err());
+    }
+}

@@ -1,0 +1,672 @@
+//! Typed payload codecs for the content-protection boxes.
+//!
+//! Each type converts to and from the leaf payload bytes of the
+//! corresponding ISO-BMFF box: [`Pssh`] ⇄ `pssh`, [`Tenc`] ⇄ `tenc`,
+//! [`Senc`] ⇄ `senc`, [`Schm`] ⇄ `schm`, [`Frma`] ⇄ `frma`,
+//! [`Trun`] ⇄ `trun`, [`Tfhd`] ⇄ `tfhd`, [`Mfhd`] ⇄ `mfhd`.
+
+use crate::{BmffError, ByteReader, FourCc, Mp4Box};
+
+/// The Widevine DRM system identifier used in `pssh` boxes and DASH
+/// `ContentProtection` descriptors (a public, registered UUID).
+pub const WIDEVINE_SYSTEM_ID: [u8; 16] = [
+    0xed, 0xef, 0x8b, 0xa9, 0x79, 0xd6, 0x4a, 0xce, 0xa3, 0xc8, 0x27, 0xdc, 0xd5, 0x1d, 0x21,
+    0xed,
+];
+
+/// A 16-byte content key identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyId(pub [u8; 16]);
+
+impl std::fmt::Debug for KeyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "KeyId({self})")
+    }
+}
+
+impl std::fmt::Display for KeyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl KeyId {
+    /// Parses the canonical 32-hex-digit form produced by [`Display`].
+    ///
+    /// [`Display`]: std::fmt::Display
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation.
+    pub fn from_hex(s: &str) -> Result<Self, String> {
+        if s.len() != 32 {
+            return Err(format!("key id must be 32 hex digits, got {}", s.len()));
+        }
+        let mut out = [0u8; 16];
+        for (i, chunk) in s.as_bytes().chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16).ok_or("non-hex digit")?;
+            let lo = (chunk[1] as char).to_digit(16).ok_or("non-hex digit")?;
+            out[i] = (hi * 16 + lo) as u8;
+        }
+        Ok(KeyId(out))
+    }
+}
+
+/// `pssh` — Protection System Specific Header (version 1: with key IDs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pssh {
+    /// The DRM system this header addresses.
+    pub system_id: [u8; 16],
+    /// Key IDs the associated content needs.
+    pub key_ids: Vec<KeyId>,
+    /// System-specific opaque data (the real Widevine uses a protobuf; the
+    /// simulator stores its TLV license-request seed here).
+    pub data: Vec<u8>,
+}
+
+impl Pssh {
+    /// Builds a Widevine pssh for the given key IDs.
+    pub fn widevine(key_ids: Vec<KeyId>, data: Vec<u8>) -> Self {
+        Pssh { system_id: WIDEVINE_SYSTEM_ID, key_ids, data }
+    }
+
+    /// Serializes to `pssh` leaf payload bytes.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(1u8); // version 1 carries key ids
+        out.extend_from_slice(&[0, 0, 0]); // flags
+        out.extend_from_slice(&self.system_id);
+        out.extend_from_slice(&(self.key_ids.len() as u32).to_be_bytes());
+        for kid in &self.key_ids {
+            out.extend_from_slice(&kid.0);
+        }
+        out.extend_from_slice(&(self.data.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses `pssh` leaf payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError`] on truncation or unsupported version.
+    pub fn from_payload(payload: &[u8]) -> Result<Self, BmffError> {
+        let mut r = ByteReader::new(payload);
+        let version = r.u8()?;
+        if version > 1 {
+            return Err(BmffError::UnsupportedVersion { version });
+        }
+        r.take(3)?; // flags
+        let system_id = r.take_array()?;
+        let mut key_ids = Vec::new();
+        if version == 1 {
+            let count = r.u32()? as usize;
+            for _ in 0..count {
+                key_ids.push(KeyId(r.take_array()?));
+            }
+        }
+        let data_len = r.u32()? as usize;
+        let data = r.take(data_len)?.to_vec();
+        Ok(Pssh { system_id, key_ids, data })
+    }
+
+    /// Wraps into a full `pssh` box.
+    pub fn to_box(&self) -> Mp4Box {
+        Mp4Box::leaf(FourCc(*b"pssh"), self.to_payload())
+    }
+}
+
+/// Encryption pattern for `cbcs` (crypt/skip ten-block pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CryptPattern {
+    /// Number of encrypted 16-byte blocks per pattern repetition.
+    pub crypt_blocks: u8,
+    /// Number of clear blocks following them.
+    pub skip_blocks: u8,
+}
+
+/// `tenc` — track encryption defaults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tenc {
+    /// Whether samples are protected by default.
+    pub is_protected: bool,
+    /// Per-sample IV size in bytes (0 for `cbcs` constant IVs).
+    pub per_sample_iv_size: u8,
+    /// The default key ID for the track.
+    pub default_kid: KeyId,
+    /// Constant IV when `per_sample_iv_size == 0`.
+    pub constant_iv: Option<[u8; 16]>,
+    /// Pattern encryption parameters (present for `cbcs`).
+    pub pattern: Option<CryptPattern>,
+}
+
+impl Tenc {
+    /// A `cenc` (AES-CTR) track default with 8-byte per-sample IVs.
+    pub fn cenc(default_kid: KeyId) -> Self {
+        Tenc {
+            is_protected: true,
+            per_sample_iv_size: 8,
+            default_kid,
+            constant_iv: None,
+            pattern: None,
+        }
+    }
+
+    /// A `cbcs` (AES-CBC 1:9 pattern) track default with a constant IV.
+    pub fn cbcs(default_kid: KeyId, constant_iv: [u8; 16]) -> Self {
+        Tenc {
+            is_protected: true,
+            per_sample_iv_size: 0,
+            default_kid,
+            constant_iv: Some(constant_iv),
+            pattern: Some(CryptPattern { crypt_blocks: 1, skip_blocks: 9 }),
+        }
+    }
+
+    /// Serializes to `tenc` leaf payload bytes (version 1 when a pattern is
+    /// present, else version 0).
+    pub fn to_payload(&self) -> Vec<u8> {
+        let version: u8 = if self.pattern.is_some() { 1 } else { 0 };
+        let mut out = vec![version, 0, 0, 0];
+        out.push(0); // reserved
+        match self.pattern {
+            Some(p) => out.push(p.crypt_blocks << 4 | (p.skip_blocks & 0x0f)),
+            None => out.push(0),
+        }
+        out.push(self.is_protected as u8);
+        out.push(self.per_sample_iv_size);
+        out.extend_from_slice(&self.default_kid.0);
+        if self.is_protected && self.per_sample_iv_size == 0 {
+            let iv = self.constant_iv.unwrap_or([0u8; 16]);
+            out.push(16);
+            out.extend_from_slice(&iv);
+        }
+        out
+    }
+
+    /// Parses `tenc` leaf payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError`] on truncation or version > 1.
+    pub fn from_payload(payload: &[u8]) -> Result<Self, BmffError> {
+        let mut r = ByteReader::new(payload);
+        let version = r.u8()?;
+        if version > 1 {
+            return Err(BmffError::UnsupportedVersion { version });
+        }
+        r.take(3)?; // flags
+        r.u8()?; // reserved
+        let pattern_byte = r.u8()?;
+        let pattern = if version == 1 && pattern_byte != 0 {
+            Some(CryptPattern {
+                crypt_blocks: pattern_byte >> 4,
+                skip_blocks: pattern_byte & 0x0f,
+            })
+        } else {
+            None
+        };
+        let is_protected = r.u8()? != 0;
+        let per_sample_iv_size = r.u8()?;
+        let default_kid = KeyId(r.take_array()?);
+        let constant_iv = if is_protected && per_sample_iv_size == 0 {
+            let len = r.u8()? as usize;
+            if len != 16 {
+                return Err(BmffError::Malformed { reason: "constant IV must be 16 bytes" });
+            }
+            Some(r.take_array()?)
+        } else {
+            None
+        };
+        Ok(Tenc { is_protected, per_sample_iv_size, default_kid, constant_iv, pattern })
+    }
+
+    /// Wraps into a full `tenc` box.
+    pub fn to_box(&self) -> Mp4Box {
+        Mp4Box::leaf(FourCc(*b"tenc"), self.to_payload())
+    }
+}
+
+/// One subsample: a clear prefix followed by encrypted bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subsample {
+    /// Bytes left in the clear (headers, NAL prefixes).
+    pub clear_bytes: u16,
+    /// Bytes that are encrypted.
+    pub encrypted_bytes: u32,
+}
+
+/// Per-sample encryption info inside `senc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleEncryption {
+    /// The per-sample IV (8 bytes for `cenc`; empty for constant-IV `cbcs`).
+    pub iv: Vec<u8>,
+    /// Subsample map; empty means the whole sample is encrypted.
+    pub subsamples: Vec<Subsample>,
+}
+
+/// `senc` — sample encryption box.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Senc {
+    /// Entries, one per sample in the fragment.
+    pub entries: Vec<SampleEncryption>,
+}
+
+impl Senc {
+    /// Serializes to `senc` leaf payload bytes. The subsample flag (0x2) is
+    /// set when any entry carries subsamples; `iv_size` is inferred from
+    /// the first entry (all entries must agree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries disagree on IV size (a builder bug, not input
+    /// data).
+    pub fn to_payload(&self) -> Vec<u8> {
+        let iv_size = self.entries.first().map_or(0, |e| e.iv.len());
+        assert!(
+            self.entries.iter().all(|e| e.iv.len() == iv_size),
+            "senc entries must share one IV size"
+        );
+        let has_subsamples = self.entries.iter().any(|e| !e.subsamples.is_empty());
+        let flags: u32 = if has_subsamples { 0x2 } else { 0x0 };
+        let mut out = Vec::new();
+        out.push(0u8); // version
+        out.extend_from_slice(&flags.to_be_bytes()[1..]);
+        out.push(iv_size as u8); // simulator extension: explicit IV size
+        out.extend_from_slice(&(self.entries.len() as u32).to_be_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.iv);
+            if has_subsamples {
+                out.extend_from_slice(&(e.subsamples.len() as u16).to_be_bytes());
+                for s in &e.subsamples {
+                    out.extend_from_slice(&s.clear_bytes.to_be_bytes());
+                    out.extend_from_slice(&s.encrypted_bytes.to_be_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses `senc` leaf payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError`] on truncation.
+    pub fn from_payload(payload: &[u8]) -> Result<Self, BmffError> {
+        let mut r = ByteReader::new(payload);
+        let version = r.u8()?;
+        if version != 0 {
+            return Err(BmffError::UnsupportedVersion { version });
+        }
+        let flags = {
+            let b = r.take(3)?;
+            u32::from_be_bytes([0, b[0], b[1], b[2]])
+        };
+        let has_subsamples = flags & 0x2 != 0;
+        let iv_size = r.u8()? as usize;
+        let count = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let iv = r.take(iv_size)?.to_vec();
+            let subsamples = if has_subsamples {
+                let n = r.u16()? as usize;
+                let mut subs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    subs.push(Subsample {
+                        clear_bytes: r.u16()?,
+                        encrypted_bytes: r.u32()?,
+                    });
+                }
+                subs
+            } else {
+                Vec::new()
+            };
+            entries.push(SampleEncryption { iv, subsamples });
+        }
+        Ok(Senc { entries })
+    }
+
+    /// Wraps into a full `senc` box.
+    pub fn to_box(&self) -> Mp4Box {
+        Mp4Box::leaf(FourCc(*b"senc"), self.to_payload())
+    }
+}
+
+/// `schm` — scheme type box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schm {
+    /// The protection scheme (`cenc` or `cbcs`).
+    pub scheme: FourCc,
+    /// Scheme version (`0x0001_0000` for both CENC schemes).
+    pub version: u32,
+}
+
+impl Schm {
+    /// Serializes to `schm` leaf payload bytes.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut out = vec![0u8; 4]; // version/flags
+        out.extend_from_slice(&self.scheme.0);
+        out.extend_from_slice(&self.version.to_be_bytes());
+        out
+    }
+
+    /// Parses `schm` leaf payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError::Truncated`] on short input.
+    pub fn from_payload(payload: &[u8]) -> Result<Self, BmffError> {
+        let mut r = ByteReader::new(payload);
+        r.take(4)?;
+        Ok(Schm { scheme: FourCc(r.take_array()?), version: r.u32()? })
+    }
+
+    /// Wraps into a full `schm` box.
+    pub fn to_box(&self) -> Mp4Box {
+        Mp4Box::leaf(FourCc(*b"schm"), self.to_payload())
+    }
+}
+
+/// `frma` — original format box (what the track was before encryption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frma {
+    /// The original sample entry format, e.g. `avc1` or `mp4a`.
+    pub original_format: FourCc,
+}
+
+impl Frma {
+    /// Serializes to `frma` leaf payload bytes.
+    pub fn to_payload(&self) -> Vec<u8> {
+        self.original_format.0.to_vec()
+    }
+
+    /// Parses `frma` leaf payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError::Truncated`] on short input.
+    pub fn from_payload(payload: &[u8]) -> Result<Self, BmffError> {
+        let mut r = ByteReader::new(payload);
+        Ok(Frma { original_format: FourCc(r.take_array()?) })
+    }
+
+    /// Wraps into a full `frma` box.
+    pub fn to_box(&self) -> Mp4Box {
+        Mp4Box::leaf(FourCc(*b"frma"), self.to_payload())
+    }
+}
+
+/// `mfhd` — movie fragment header (sequence number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mfhd {
+    /// Fragment sequence number, starting at 1.
+    pub sequence_number: u32,
+}
+
+impl Mfhd {
+    /// Serializes to `mfhd` leaf payload bytes.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut out = vec![0u8; 4];
+        out.extend_from_slice(&self.sequence_number.to_be_bytes());
+        out
+    }
+
+    /// Parses `mfhd` leaf payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError::Truncated`] on short input.
+    pub fn from_payload(payload: &[u8]) -> Result<Self, BmffError> {
+        let mut r = ByteReader::new(payload);
+        r.take(4)?;
+        Ok(Mfhd { sequence_number: r.u32()? })
+    }
+
+    /// Wraps into a full `mfhd` box.
+    pub fn to_box(&self) -> Mp4Box {
+        Mp4Box::leaf(FourCc(*b"mfhd"), self.to_payload())
+    }
+}
+
+/// `tfhd` — track fragment header (track id only in this subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tfhd {
+    /// The track this fragment belongs to.
+    pub track_id: u32,
+}
+
+impl Tfhd {
+    /// Serializes to `tfhd` leaf payload bytes.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut out = vec![0u8; 4];
+        out.extend_from_slice(&self.track_id.to_be_bytes());
+        out
+    }
+
+    /// Parses `tfhd` leaf payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError::Truncated`] on short input.
+    pub fn from_payload(payload: &[u8]) -> Result<Self, BmffError> {
+        let mut r = ByteReader::new(payload);
+        r.take(4)?;
+        Ok(Tfhd { track_id: r.u32()? })
+    }
+
+    /// Wraps into a full `tfhd` box.
+    pub fn to_box(&self) -> Mp4Box {
+        Mp4Box::leaf(FourCc(*b"tfhd"), self.to_payload())
+    }
+}
+
+/// `trun` — track run box (sample sizes only in this subset).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trun {
+    /// Size in bytes of each sample in the fragment's `mdat`, in order.
+    pub sample_sizes: Vec<u32>,
+}
+
+impl Trun {
+    /// Serializes to `trun` leaf payload bytes.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut out = vec![0u8, 0, 0x02, 0x00]; // version 0, sample-size-present flag
+        out.extend_from_slice(&(self.sample_sizes.len() as u32).to_be_bytes());
+        for s in &self.sample_sizes {
+            out.extend_from_slice(&s.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses `trun` leaf payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmffError::Truncated`] on short input.
+    pub fn from_payload(payload: &[u8]) -> Result<Self, BmffError> {
+        let mut r = ByteReader::new(payload);
+        r.take(4)?;
+        let count = r.u32()? as usize;
+        let mut sample_sizes = Vec::with_capacity(count);
+        for _ in 0..count {
+            sample_sizes.push(r.u32()?);
+        }
+        Ok(Trun { sample_sizes })
+    }
+
+    /// Wraps into a full `trun` box.
+    pub fn to_box(&self) -> Mp4Box {
+        Mp4Box::leaf(FourCc(*b"trun"), self.to_payload())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kid(b: u8) -> KeyId {
+        KeyId([b; 16])
+    }
+
+    #[test]
+    fn keyid_hex_round_trip() {
+        let k = KeyId([
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ]);
+        let s = k.to_string();
+        assert_eq!(s, "00112233445566778899aabbccddeeff");
+        assert_eq!(KeyId::from_hex(&s).unwrap(), k);
+        assert!(KeyId::from_hex("123").is_err());
+        assert!(KeyId::from_hex(&"zz".repeat(16)).is_err());
+    }
+
+    #[test]
+    fn pssh_round_trip_with_key_ids() {
+        let p = Pssh::widevine(vec![kid(1), kid(2)], b"init-data".to_vec());
+        let parsed = Pssh::from_payload(&p.to_payload()).unwrap();
+        assert_eq!(parsed, p);
+        assert_eq!(parsed.system_id, WIDEVINE_SYSTEM_ID);
+    }
+
+    #[test]
+    fn pssh_round_trip_empty() {
+        let p = Pssh::widevine(vec![], vec![]);
+        assert_eq!(Pssh::from_payload(&p.to_payload()).unwrap(), p);
+    }
+
+    #[test]
+    fn pssh_box_wrapping() {
+        let p = Pssh::widevine(vec![kid(9)], vec![1, 2, 3]);
+        let b = p.to_box();
+        assert_eq!(b.typ, FourCc(*b"pssh"));
+        assert_eq!(Pssh::from_payload(b.payload().unwrap()).unwrap(), p);
+    }
+
+    #[test]
+    fn pssh_rejects_future_version() {
+        let mut payload = Pssh::widevine(vec![], vec![]).to_payload();
+        payload[0] = 2;
+        assert_eq!(
+            Pssh::from_payload(&payload),
+            Err(BmffError::UnsupportedVersion { version: 2 })
+        );
+    }
+
+    #[test]
+    fn pssh_rejects_truncation() {
+        let payload = Pssh::widevine(vec![kid(1)], b"data".to_vec()).to_payload();
+        for cut in [0, 5, 20, payload.len() - 1] {
+            assert!(Pssh::from_payload(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn tenc_cenc_round_trip() {
+        let t = Tenc::cenc(kid(7));
+        let parsed = Tenc::from_payload(&t.to_payload()).unwrap();
+        assert_eq!(parsed, t);
+        assert_eq!(parsed.per_sample_iv_size, 8);
+        assert!(parsed.pattern.is_none());
+    }
+
+    #[test]
+    fn tenc_cbcs_round_trip() {
+        let t = Tenc::cbcs(kid(3), [0xaa; 16]);
+        let parsed = Tenc::from_payload(&t.to_payload()).unwrap();
+        assert_eq!(parsed, t);
+        let p = parsed.pattern.unwrap();
+        assert_eq!((p.crypt_blocks, p.skip_blocks), (1, 9));
+        assert_eq!(parsed.constant_iv, Some([0xaa; 16]));
+    }
+
+    #[test]
+    fn tenc_unprotected() {
+        let t = Tenc {
+            is_protected: false,
+            per_sample_iv_size: 0,
+            default_kid: kid(0),
+            constant_iv: None,
+            pattern: None,
+        };
+        assert_eq!(Tenc::from_payload(&t.to_payload()).unwrap(), t);
+    }
+
+    #[test]
+    fn senc_round_trip_with_subsamples() {
+        let s = Senc {
+            entries: vec![
+                SampleEncryption {
+                    iv: vec![1, 2, 3, 4, 5, 6, 7, 8],
+                    subsamples: vec![
+                        Subsample { clear_bytes: 16, encrypted_bytes: 4000 },
+                        Subsample { clear_bytes: 0, encrypted_bytes: 128 },
+                    ],
+                },
+                SampleEncryption {
+                    iv: vec![9, 9, 9, 9, 9, 9, 9, 9],
+                    subsamples: vec![],
+                },
+            ],
+        };
+        assert_eq!(Senc::from_payload(&s.to_payload()).unwrap(), s);
+    }
+
+    #[test]
+    fn senc_round_trip_full_sample_encryption() {
+        let s = Senc {
+            entries: vec![SampleEncryption { iv: vec![0; 8], subsamples: vec![] }],
+        };
+        assert_eq!(Senc::from_payload(&s.to_payload()).unwrap(), s);
+    }
+
+    #[test]
+    fn senc_empty() {
+        let s = Senc::default();
+        assert_eq!(Senc::from_payload(&s.to_payload()).unwrap(), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one IV size")]
+    fn senc_mixed_iv_sizes_panics() {
+        Senc {
+            entries: vec![
+                SampleEncryption { iv: vec![0; 8], subsamples: vec![] },
+                SampleEncryption { iv: vec![0; 16], subsamples: vec![] },
+            ],
+        }
+        .to_payload();
+    }
+
+    #[test]
+    fn schm_round_trip() {
+        for scheme in [b"cenc", b"cbcs"] {
+            let s = Schm { scheme: FourCc(*scheme), version: 0x0001_0000 };
+            assert_eq!(Schm::from_payload(&s.to_payload()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn frma_round_trip() {
+        let f = Frma { original_format: FourCc(*b"avc1") };
+        assert_eq!(Frma::from_payload(&f.to_payload()).unwrap(), f);
+    }
+
+    #[test]
+    fn mfhd_tfhd_round_trip() {
+        let m = Mfhd { sequence_number: 42 };
+        assert_eq!(Mfhd::from_payload(&m.to_payload()).unwrap(), m);
+        let t = Tfhd { track_id: 2 };
+        assert_eq!(Tfhd::from_payload(&t.to_payload()).unwrap(), t);
+    }
+
+    #[test]
+    fn trun_round_trip() {
+        let t = Trun { sample_sizes: vec![100, 200, 50] };
+        assert_eq!(Trun::from_payload(&t.to_payload()).unwrap(), t);
+        assert_eq!(Trun::from_payload(&Trun::default().to_payload()).unwrap(), Trun::default());
+    }
+}

@@ -1,0 +1,205 @@
+//! The Widevine keybox: the device root of trust.
+//!
+//! Per the paper's reverse engineering (§IV-D), the keybox is a 128-byte
+//! structure containing a device identifier, a 128-bit AES device key, key
+//! data, a magic number, and a CRC-32. It is installed by the manufacturer
+//! and initiates the key ladder. The memory-scanning attack recognizes
+//! keybox candidates by the magic number and validates them with the CRC —
+//! both reproduced faithfully here so the attack code path is identical.
+
+use wideleak_crypto::crc32::crc32;
+
+use crate::CdmError;
+
+/// Total serialized keybox size in bytes.
+pub const KEYBOX_LEN: usize = 128;
+
+/// The keybox magic number (`"kbox"`).
+pub const KEYBOX_MAGIC: [u8; 4] = *b"kbox";
+
+const DEVICE_ID_LEN: usize = 32;
+const DEVICE_KEY_LEN: usize = 16;
+const KEY_DATA_LEN: usize = 72;
+
+/// The 128-byte device root-of-trust structure.
+///
+/// Layout: `device_id[32] || device_key[16] || key_data[72] || magic[4]
+/// || crc32[4]`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Keybox {
+    device_id: [u8; DEVICE_ID_LEN],
+    device_key: [u8; DEVICE_KEY_LEN],
+    key_data: [u8; KEY_DATA_LEN],
+}
+
+impl std::fmt::Debug for Keybox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The device id is not secret; the device key very much is.
+        write!(
+            f,
+            "Keybox(device_id: {:?}, device_key: <redacted>)",
+            String::from_utf8_lossy(&self.device_id)
+        )
+    }
+}
+
+impl Keybox {
+    /// Issues a keybox for a device (the factory-installation step).
+    ///
+    /// The device id is truncated or zero-padded to 32 bytes.
+    pub fn issue(device_id: &[u8], device_key: &[u8; DEVICE_KEY_LEN]) -> Self {
+        let mut id = [0u8; DEVICE_ID_LEN];
+        let n = device_id.len().min(DEVICE_ID_LEN);
+        id[..n].copy_from_slice(&device_id[..n]);
+        // Key data carries a provisioning token derived from the id; the
+        // real contents are opaque, only the size matters to the attack.
+        let mut key_data = [0u8; KEY_DATA_LEN];
+        for (i, b) in key_data.iter_mut().enumerate() {
+            *b = id[i % DEVICE_ID_LEN].wrapping_mul(59).wrapping_add(i as u8);
+        }
+        Keybox { device_id: id, device_key: *device_key, key_data }
+    }
+
+    /// The device identifier (zero-padded to 32 bytes).
+    pub fn device_id(&self) -> &[u8; DEVICE_ID_LEN] {
+        &self.device_id
+    }
+
+    /// The AES-128 device key — the root of the key ladder.
+    pub fn device_key(&self) -> &[u8; DEVICE_KEY_LEN] {
+        &self.device_key
+    }
+
+    /// The opaque key-data field.
+    pub fn key_data(&self) -> &[u8; KEY_DATA_LEN] {
+        &self.key_data
+    }
+
+    /// Serializes to the 128-byte wire/storage form, appending magic and
+    /// CRC-32 (over the first 124 bytes).
+    pub fn to_bytes(&self) -> [u8; KEYBOX_LEN] {
+        let mut out = [0u8; KEYBOX_LEN];
+        out[..32].copy_from_slice(&self.device_id);
+        out[32..48].copy_from_slice(&self.device_key);
+        out[48..120].copy_from_slice(&self.key_data);
+        out[120..124].copy_from_slice(&KEYBOX_MAGIC);
+        let crc = crc32(&out[..124]);
+        out[124..].copy_from_slice(&crc.to_be_bytes());
+        out
+    }
+
+    /// Parses and validates a 128-byte keybox.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdmError::BadKeybox`] when the length, magic number or
+    /// CRC is wrong — the same checks the memory-scanning attack uses to
+    /// discard false positives.
+    pub fn parse(bytes: &[u8]) -> Result<Self, CdmError> {
+        if bytes.len() != KEYBOX_LEN {
+            return Err(CdmError::BadKeybox { reason: "keybox must be exactly 128 bytes" });
+        }
+        if bytes[120..124] != KEYBOX_MAGIC {
+            return Err(CdmError::BadKeybox { reason: "magic number mismatch" });
+        }
+        let expected = u32::from_be_bytes(bytes[124..128].try_into().expect("4 bytes"));
+        if crc32(&bytes[..124]) != expected {
+            return Err(CdmError::BadKeybox { reason: "CRC-32 mismatch" });
+        }
+        Ok(Keybox {
+            device_id: bytes[..32].try_into().expect("32 bytes"),
+            device_key: bytes[32..48].try_into().expect("16 bytes"),
+            key_data: bytes[48..120].try_into().expect("72 bytes"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb() -> Keybox {
+        Keybox::issue(b"WIDEVINE-TEST-DEVICE-0001", &[0x2b; 16])
+    }
+
+    #[test]
+    fn round_trip() {
+        let k = kb();
+        let bytes = k.to_bytes();
+        assert_eq!(bytes.len(), KEYBOX_LEN);
+        assert_eq!(Keybox::parse(&bytes).unwrap(), k);
+    }
+
+    #[test]
+    fn layout_offsets() {
+        let bytes = kb().to_bytes();
+        assert_eq!(&bytes[..25], b"WIDEVINE-TEST-DEVICE-0001");
+        assert_eq!(&bytes[32..48], &[0x2b; 16]);
+        assert_eq!(&bytes[120..124], b"kbox");
+    }
+
+    #[test]
+    fn long_device_id_truncated() {
+        let k = Keybox::issue(&[b'x'; 100], &[1; 16]);
+        assert_eq!(k.device_id(), &[b'x'; 32]);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert!(matches!(
+            Keybox::parse(&[0u8; 127]),
+            Err(CdmError::BadKeybox { reason }) if reason.contains("128")
+        ));
+        assert!(Keybox::parse(&[0u8; 129]).is_err());
+    }
+
+    #[test]
+    fn corrupted_magic_rejected() {
+        let mut bytes = kb().to_bytes();
+        bytes[121] = b'X';
+        assert!(matches!(
+            Keybox::parse(&bytes),
+            Err(CdmError::BadKeybox { reason }) if reason.contains("magic")
+        ));
+    }
+
+    #[test]
+    fn corrupted_body_fails_crc() {
+        let mut bytes = kb().to_bytes();
+        bytes[40] ^= 0x01; // flip one device-key bit
+        assert!(matches!(
+            Keybox::parse(&bytes),
+            Err(CdmError::BadKeybox { reason }) if reason.contains("CRC")
+        ));
+    }
+
+    #[test]
+    fn corrupted_crc_rejected() {
+        let mut bytes = kb().to_bytes();
+        bytes[127] ^= 0xFF;
+        assert!(Keybox::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn distinct_devices_distinct_keyboxes() {
+        let a = Keybox::issue(b"device-a", &[1; 16]);
+        let b = Keybox::issue(b"device-b", &[1; 16]);
+        assert_ne!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn debug_redacts_device_key() {
+        let s = format!("{:?}", kb());
+        assert!(s.contains("WIDEVINE-TEST-DEVICE"));
+        assert!(s.contains("redacted"));
+        assert!(!s.contains("2b"));
+    }
+
+    #[test]
+    fn key_data_is_deterministic() {
+        assert_eq!(
+            Keybox::issue(b"d", &[0; 16]).key_data(),
+            Keybox::issue(b"d", &[0; 16]).key_data()
+        );
+    }
+}

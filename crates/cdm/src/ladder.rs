@@ -1,0 +1,190 @@
+//! The Widevine key ladder: AES-CMAC key derivation.
+//!
+//! The CDM never uses the keybox device key (or an RSA-unwrapped session
+//! key) directly. It derives purpose-specific keys with AES-CMAC over a
+//! structured buffer `counter || label || 0x00 || context || bit_length`,
+//! in the style of NIST SP 800-108 counter-mode KDFs. The attack PoC
+//! re-implements exactly this function over the derivation buffers it
+//! dumps from the hooked `_oecc` calls — which is why the function lives
+//! in its own module with a stable, documented layout.
+
+use wideleak_crypto::cmac::aes_cmac_with_key;
+
+/// Derivation labels used by the simulated CDM, mirroring the purposes in
+/// the real key ladder.
+pub mod labels {
+    /// Derives the key that encrypts content keys in license responses.
+    pub const ENCRYPTION: &str = "ENCRYPTION";
+    /// Derives the client-side request-signing MAC key.
+    pub const AUTHENTICATION: &str = "AUTHENTICATION";
+    /// Derives the provisioning-response protection key.
+    pub const PROVISIONING: &str = "PROVISIONING";
+}
+
+/// Computes one derivation step: `AES-CMAC(key, counter || label || 0x00
+/// || context || bits)` where `bits` is the output bit length as a
+/// big-endian u32.
+pub fn derive_block(key: &[u8; 16], counter: u8, label: &str, context: &[u8], bits: u32) -> [u8; 16] {
+    let mut buf = derivation_buffer(counter, label, context, bits);
+    let mac = aes_cmac_with_key(key, &buf);
+    buf.clear(); // derivation buffers are not secret, but keep tidy
+    mac
+}
+
+/// Builds the derivation buffer without MACing it — exposed so the hooked
+/// `_oecc` functions can dump the exact bytes the ladder consumes (the
+/// attack replays these).
+pub fn derivation_buffer(counter: u8, label: &str, context: &[u8], bits: u32) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1 + label.len() + 1 + context.len() + 4);
+    buf.push(counter);
+    buf.extend_from_slice(label.as_bytes());
+    buf.push(0x00);
+    buf.extend_from_slice(context);
+    buf.extend_from_slice(&bits.to_be_bytes());
+    buf
+}
+
+/// Derives a 128-bit key (one CMAC block).
+pub fn derive_key_128(key: &[u8; 16], label: &str, context: &[u8]) -> [u8; 16] {
+    derive_block(key, 1, label, context, 128)
+}
+
+/// Derives a 256-bit key (two CMAC blocks, counters 1 and 2).
+pub fn derive_key_256(key: &[u8; 16], label: &str, context: &[u8]) -> [u8; 32] {
+    let lo = derive_block(key, 1, label, context, 256);
+    let hi = derive_block(key, 2, label, context, 256);
+    let mut out = [0u8; 32];
+    out[..16].copy_from_slice(&lo);
+    out[16..].copy_from_slice(&hi);
+    out
+}
+
+/// The derived key set of a license session.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SessionKeys {
+    /// AES-128 key that unwraps content keys in the license response.
+    pub enc_key: [u8; 16],
+    /// HMAC-SHA256 key the server signs the license response with.
+    pub mac_key_server: [u8; 32],
+    /// HMAC-SHA256 key the client signs license requests with (when the
+    /// RSA path is not used).
+    pub mac_key_client: [u8; 32],
+}
+
+impl std::fmt::Debug for SessionKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SessionKeys(<redacted>)")
+    }
+}
+
+/// Runs the session key ladder: from a 128-bit session key plus the
+/// encryption and MAC derivation contexts to the full [`SessionKeys`].
+///
+/// Both the CDM and the license server run this; the attack runs it a
+/// third time with dumped inputs.
+pub fn derive_session_keys(
+    session_key: &[u8; 16],
+    enc_context: &[u8],
+    mac_context: &[u8],
+) -> SessionKeys {
+    let enc_key = derive_key_128(session_key, labels::ENCRYPTION, enc_context);
+    let mac = derive_key_256(session_key, labels::AUTHENTICATION, mac_context);
+    // Server and client halves come from distinct counters (3 and 4).
+    let server_lo = derive_block(session_key, 3, labels::AUTHENTICATION, mac_context, 256);
+    let server_hi = derive_block(session_key, 4, labels::AUTHENTICATION, mac_context, 256);
+    let mut mac_key_server = [0u8; 32];
+    mac_key_server[..16].copy_from_slice(&server_lo);
+    mac_key_server[16..].copy_from_slice(&server_hi);
+    SessionKeys { enc_key, mac_key_server, mac_key_client: mac }
+}
+
+/// Runs the provisioning ladder: from the keybox device key and the device
+/// id to the AES key protecting the provisioning response and the MAC key
+/// signing it.
+pub fn derive_provisioning_keys(device_key: &[u8; 16], device_id: &[u8]) -> ([u8; 16], [u8; 32]) {
+    let enc = derive_key_128(device_key, labels::PROVISIONING, device_id);
+    let mac = derive_key_256(device_key, labels::AUTHENTICATION, device_id);
+    (enc, mac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_buffer_layout() {
+        let buf = derivation_buffer(1, "ENCRYPTION", b"ctx", 128);
+        assert_eq!(buf[0], 1);
+        assert_eq!(&buf[1..11], b"ENCRYPTION");
+        assert_eq!(buf[11], 0);
+        assert_eq!(&buf[12..15], b"ctx");
+        assert_eq!(&buf[15..], &128u32.to_be_bytes());
+    }
+
+    #[test]
+    fn derive_is_deterministic() {
+        let k = [9u8; 16];
+        assert_eq!(
+            derive_key_128(&k, labels::ENCRYPTION, b"c"),
+            derive_key_128(&k, labels::ENCRYPTION, b"c")
+        );
+    }
+
+    #[test]
+    fn labels_separate_keys() {
+        let k = [9u8; 16];
+        assert_ne!(
+            derive_key_128(&k, labels::ENCRYPTION, b"c"),
+            derive_key_128(&k, labels::AUTHENTICATION, b"c")
+        );
+    }
+
+    #[test]
+    fn contexts_separate_keys() {
+        let k = [9u8; 16];
+        assert_ne!(
+            derive_key_128(&k, labels::ENCRYPTION, b"session-1"),
+            derive_key_128(&k, labels::ENCRYPTION, b"session-2")
+        );
+    }
+
+    #[test]
+    fn counters_separate_halves() {
+        let k = [9u8; 16];
+        let wide = derive_key_256(&k, labels::AUTHENTICATION, b"c");
+        assert_ne!(wide[..16], wide[16..], "the two CMAC blocks differ");
+    }
+
+    #[test]
+    fn session_keys_are_pairwise_distinct() {
+        let sk = derive_session_keys(&[1u8; 16], b"enc-ctx", b"mac-ctx");
+        assert_ne!(sk.mac_key_client, sk.mac_key_server);
+        assert_ne!(&sk.enc_key[..], &sk.mac_key_client[..16]);
+    }
+
+    #[test]
+    fn session_ladder_matches_manual_composition() {
+        // The attack recomputes the ladder from primitives; keep the
+        // composition stable.
+        let session_key = [5u8; 16];
+        let sk = derive_session_keys(&session_key, b"E", b"M");
+        assert_eq!(sk.enc_key, derive_key_128(&session_key, labels::ENCRYPTION, b"E"));
+        assert_eq!(sk.mac_key_client, derive_key_256(&session_key, labels::AUTHENTICATION, b"M"));
+    }
+
+    #[test]
+    fn provisioning_ladder() {
+        let (enc, mac) = derive_provisioning_keys(&[3u8; 16], b"device-1");
+        let (enc2, mac2) = derive_provisioning_keys(&[3u8; 16], b"device-1");
+        assert_eq!(enc, enc2);
+        assert_eq!(mac, mac2);
+        let (enc3, _) = derive_provisioning_keys(&[3u8; 16], b"device-2");
+        assert_ne!(enc, enc3, "device id separates provisioning keys");
+    }
+
+    #[test]
+    fn session_keys_debug_redacts() {
+        let sk = derive_session_keys(&[1u8; 16], b"e", b"m");
+        assert_eq!(format!("{sk:?}"), "SessionKeys(<redacted>)");
+    }
+}

@@ -1,0 +1,505 @@
+//! Protocol messages for provisioning and license exchanges, encoded with
+//! the TLV wire codec.
+//!
+//! Tag space: `0x01xx` provisioning, `0x02xx` license request, `0x03xx`
+//! license response, `0x04xx` key entries and control blocks.
+
+use wideleak_bmff::types::KeyId;
+use wideleak_device::catalog::{CdmVersion, SecurityLevel};
+
+use crate::wire::{TlvReader, TlvWriter, WireError};
+use crate::CdmError;
+
+fn security_level_code(level: SecurityLevel) -> u32 {
+    match level {
+        SecurityLevel::L1 => 1,
+        SecurityLevel::L2 => 2,
+        SecurityLevel::L3 => 3,
+    }
+}
+
+fn security_level_from_code(code: u32) -> Result<SecurityLevel, CdmError> {
+    match code {
+        1 => Ok(SecurityLevel::L1),
+        2 => Ok(SecurityLevel::L2),
+        3 => Ok(SecurityLevel::L3),
+        _ => Err(CdmError::BadMessage { reason: "unknown security level" }),
+    }
+}
+
+fn encode_version(v: CdmVersion) -> u64 {
+    (v.major as u64) << 32 | (v.minor as u64) << 16 | v.patch as u64
+}
+
+fn decode_version(raw: u64) -> CdmVersion {
+    CdmVersion::new((raw >> 32) as u16, (raw >> 16) as u16, raw as u16)
+}
+
+impl From<WireError> for CdmError {
+    fn from(_: WireError) -> Self {
+        CdmError::BadMessage { reason: "TLV decode failure" }
+    }
+}
+
+/// A provisioning request: asks the provisioning server for a Device RSA
+/// Key. Authenticated with a CMAC under a keybox-derived key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvisioningRequest {
+    /// The 32-byte keybox device id.
+    pub device_id: Vec<u8>,
+    /// CDM version of the requesting device.
+    pub cdm_version: CdmVersion,
+    /// Security level of the requesting device.
+    pub security_level: SecurityLevel,
+    /// Anti-replay nonce.
+    pub nonce: [u8; 16],
+    /// AES-CMAC over the body under the provisioning MAC key (first half).
+    pub signature: [u8; 16],
+}
+
+impl ProvisioningRequest {
+    /// The signed portion of the message.
+    pub fn body_bytes(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.bytes(0x0101, &self.device_id)
+            .u64(0x0102, encode_version(self.cdm_version))
+            .u32(0x0103, security_level_code(self.security_level))
+            .bytes(0x0104, &self.nonce);
+        w.finish()
+    }
+
+    /// Serializes the full message.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.bytes(0x0100, &self.body_bytes()).bytes(0x01FF, &self.signature);
+        w.finish()
+    }
+
+    /// Parses the full message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdmError::BadMessage`] on malformed input.
+    pub fn parse(bytes: &[u8]) -> Result<Self, CdmError> {
+        let outer = TlvReader::parse(bytes)?;
+        let body = outer.require(0x0100)?;
+        let signature = outer.require_array(0x01FF)?;
+        let r = TlvReader::parse(body)?;
+        Ok(ProvisioningRequest {
+            device_id: r.require(0x0101)?.to_vec(),
+            cdm_version: decode_version(r.require_u64(0x0102)?),
+            security_level: security_level_from_code(r.require_u32(0x0103)?)?,
+            nonce: r.require_array(0x0104)?,
+            signature,
+        })
+    }
+}
+
+/// A provisioning response: the Device RSA Key, AES-CBC-encrypted under
+/// the keybox-derived provisioning key and MACed under the provisioning
+/// MAC key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvisioningResponse {
+    /// CBC IV for the encrypted key blob.
+    pub iv: [u8; 16],
+    /// The encrypted serialized RSA private key.
+    pub encrypted_rsa_key: Vec<u8>,
+    /// Echoed request nonce (anti-replay).
+    pub nonce: [u8; 16],
+    /// HMAC-SHA256 over the body under the provisioning MAC key.
+    pub signature: Vec<u8>,
+}
+
+impl ProvisioningResponse {
+    /// The signed portion of the message.
+    pub fn body_bytes(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.bytes(0x0111, &self.iv)
+            .bytes(0x0112, &self.encrypted_rsa_key)
+            .bytes(0x0113, &self.nonce);
+        w.finish()
+    }
+
+    /// Serializes the full message.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.bytes(0x0110, &self.body_bytes()).bytes(0x011F, &self.signature);
+        w.finish()
+    }
+
+    /// Parses the full message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdmError::BadMessage`] on malformed input.
+    pub fn parse(bytes: &[u8]) -> Result<Self, CdmError> {
+        let outer = TlvReader::parse(bytes)?;
+        let body = outer.require(0x0110)?;
+        let signature = outer.require(0x011F)?.to_vec();
+        let r = TlvReader::parse(body)?;
+        Ok(ProvisioningResponse {
+            iv: r.require_array(0x0111)?,
+            encrypted_rsa_key: r.require(0x0112)?.to_vec(),
+            nonce: r.require_array(0x0113)?,
+            signature,
+        })
+    }
+}
+
+/// A license request for one piece of content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LicenseRequest {
+    /// The keybox device id.
+    pub device_id: Vec<u8>,
+    /// Content identifier (what the MPD/pssh called the title/asset).
+    pub content_id: String,
+    /// The key IDs the player needs.
+    pub key_ids: Vec<KeyId>,
+    /// Anti-replay nonce; also the derivation context seed.
+    pub nonce: [u8; 16],
+    /// CDM version (servers apply revocation rules to this).
+    pub cdm_version: CdmVersion,
+    /// Security level (servers gate HD keys on this).
+    pub security_level: SecurityLevel,
+    /// RSA PKCS#1 v1.5 signature over the body with the Device RSA Key.
+    pub rsa_signature: Vec<u8>,
+}
+
+impl LicenseRequest {
+    /// The signed portion of the message.
+    pub fn body_bytes(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.bytes(0x0201, &self.device_id).string(0x0202, &self.content_id);
+        for kid in &self.key_ids {
+            w.bytes(0x0203, &kid.0);
+        }
+        w.bytes(0x0204, &self.nonce)
+            .u64(0x0205, encode_version(self.cdm_version))
+            .u32(0x0206, security_level_code(self.security_level));
+        w.finish()
+    }
+
+    /// Serializes the full message.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.bytes(0x0200, &self.body_bytes()).bytes(0x02FF, &self.rsa_signature);
+        w.finish()
+    }
+
+    /// Parses the full message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdmError::BadMessage`] on malformed input.
+    pub fn parse(bytes: &[u8]) -> Result<Self, CdmError> {
+        let outer = TlvReader::parse(bytes)?;
+        let body = outer.require(0x0200)?;
+        let rsa_signature = outer.require(0x02FF)?.to_vec();
+        let r = TlvReader::parse(body)?;
+        let key_ids = r
+            .get_all(0x0203)
+            .into_iter()
+            .map(|raw| {
+                raw.try_into()
+                    .map(KeyId)
+                    .map_err(|_| CdmError::BadMessage { reason: "key id must be 16 bytes" })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(LicenseRequest {
+            device_id: r.require(0x0201)?.to_vec(),
+            content_id: r.require_string(0x0202)?,
+            key_ids,
+            nonce: r.require_array(0x0204)?,
+            cdm_version: decode_version(r.require_u64(0x0205)?),
+            security_level: security_level_from_code(r.require_u32(0x0206)?)?,
+            rsa_signature,
+        })
+    }
+}
+
+/// Usage restrictions attached to one content key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyControl {
+    /// Highest vertical resolution this key may decrypt.
+    pub max_resolution_height: u32,
+    /// Minimum security level required to use the key.
+    pub min_security_level: SecurityLevel,
+    /// Seconds the key stays usable after loading (0 = unlimited).
+    pub duration_seconds: u32,
+}
+
+impl KeyControl {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.u32(0x0401, self.max_resolution_height)
+            .u32(0x0402, security_level_code(self.min_security_level))
+            .u32(0x0403, self.duration_seconds);
+        w.finish()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CdmError> {
+        let r = TlvReader::parse(bytes)?;
+        Ok(KeyControl {
+            max_resolution_height: r.require_u32(0x0401)?,
+            min_security_level: security_level_from_code(r.require_u32(0x0402)?)?,
+            duration_seconds: r.require_u32(0x0403)?,
+        })
+    }
+}
+
+/// One content key in a license response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyEntry {
+    /// The key ID.
+    pub kid: KeyId,
+    /// CBC IV for the wrapped key.
+    pub iv: [u8; 16],
+    /// The content key, AES-CBC-encrypted under the session `enc_key`.
+    pub encrypted_key: Vec<u8>,
+    /// The usage-control block.
+    pub control: KeyControl,
+}
+
+impl KeyEntry {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.bytes(0x0411, &self.kid.0)
+            .bytes(0x0412, &self.iv)
+            .bytes(0x0413, &self.encrypted_key)
+            .bytes(0x0414, &self.control.encode());
+        w.finish()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CdmError> {
+        let r = TlvReader::parse(bytes)?;
+        Ok(KeyEntry {
+            kid: KeyId(r.require_array(0x0411)?),
+            iv: r.require_array(0x0412)?,
+            encrypted_key: r.require(0x0413)?.to_vec(),
+            control: KeyControl::decode(r.require(0x0414)?)?,
+        })
+    }
+}
+
+/// A license response carrying wrapped content keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LicenseResponse {
+    /// The request nonce, echoed for anti-replay binding to the session.
+    pub nonce: [u8; 16],
+    /// The session key, RSA-OAEP-encrypted to the Device RSA Key.
+    pub encrypted_session_key: Vec<u8>,
+    /// Derivation context for the encryption key.
+    pub enc_context: Vec<u8>,
+    /// Derivation context for the MAC keys.
+    pub mac_context: Vec<u8>,
+    /// The wrapped content keys.
+    pub key_entries: Vec<KeyEntry>,
+    /// HMAC-SHA256 over the body under the server MAC key.
+    pub signature: Vec<u8>,
+}
+
+impl LicenseResponse {
+    /// The signed portion of the message.
+    pub fn body_bytes(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.bytes(0x0305, &self.nonce)
+            .bytes(0x0301, &self.encrypted_session_key)
+            .bytes(0x0302, &self.enc_context)
+            .bytes(0x0303, &self.mac_context);
+        for entry in &self.key_entries {
+            w.bytes(0x0304, &entry.encode());
+        }
+        w.finish()
+    }
+
+    /// Serializes the full message.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.bytes(0x0300, &self.body_bytes()).bytes(0x03FF, &self.signature);
+        w.finish()
+    }
+
+    /// Parses the full message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdmError::BadMessage`] on malformed input.
+    pub fn parse(bytes: &[u8]) -> Result<Self, CdmError> {
+        let outer = TlvReader::parse(bytes)?;
+        let body = outer.require(0x0300)?;
+        let signature = outer.require(0x03FF)?.to_vec();
+        let r = TlvReader::parse(body)?;
+        let key_entries = r
+            .get_all(0x0304)
+            .into_iter()
+            .map(KeyEntry::decode)
+            .collect::<Result<_, _>>()?;
+        Ok(LicenseResponse {
+            nonce: r.require_array(0x0305)?,
+            encrypted_session_key: r.require(0x0301)?.to_vec(),
+            enc_context: r.require(0x0302)?.to_vec(),
+            mac_context: r.require(0x0303)?.to_vec(),
+            key_entries,
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn version() -> CdmVersion {
+        CdmVersion::new(16, 0, 0)
+    }
+
+    #[test]
+    fn provisioning_request_round_trip() {
+        let req = ProvisioningRequest {
+            device_id: vec![1; 32],
+            cdm_version: version(),
+            security_level: SecurityLevel::L1,
+            nonce: [2; 16],
+            signature: [3; 16],
+        };
+        assert_eq!(ProvisioningRequest::parse(&req.to_bytes()).unwrap(), req);
+    }
+
+    #[test]
+    fn provisioning_response_round_trip() {
+        let resp = ProvisioningResponse {
+            iv: [1; 16],
+            encrypted_rsa_key: vec![9; 300],
+            nonce: [2; 16],
+            signature: vec![4; 32],
+        };
+        assert_eq!(ProvisioningResponse::parse(&resp.to_bytes()).unwrap(), resp);
+    }
+
+    #[test]
+    fn license_request_round_trip() {
+        let req = LicenseRequest {
+            device_id: vec![7; 32],
+            content_id: "title-42".into(),
+            key_ids: vec![KeyId([1; 16]), KeyId([2; 16])],
+            nonce: [5; 16],
+            cdm_version: CdmVersion::new(3, 1, 0),
+            security_level: SecurityLevel::L3,
+            rsa_signature: vec![0xAB; 96],
+        };
+        let parsed = LicenseRequest::parse(&req.to_bytes()).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.key_ids.len(), 2);
+    }
+
+    #[test]
+    fn license_request_no_key_ids() {
+        let req = LicenseRequest {
+            device_id: vec![7; 32],
+            content_id: "t".into(),
+            key_ids: vec![],
+            nonce: [0; 16],
+            cdm_version: version(),
+            security_level: SecurityLevel::L1,
+            rsa_signature: vec![1],
+        };
+        assert_eq!(LicenseRequest::parse(&req.to_bytes()).unwrap().key_ids, vec![]);
+    }
+
+    #[test]
+    fn license_response_round_trip() {
+        let resp = LicenseResponse {
+            nonce: [6; 16],
+            encrypted_session_key: vec![1; 96],
+            enc_context: b"enc-ctx".to_vec(),
+            mac_context: b"mac-ctx".to_vec(),
+            key_entries: vec![
+                KeyEntry {
+                    kid: KeyId([1; 16]),
+                    iv: [2; 16],
+                    encrypted_key: vec![3; 32],
+                    control: KeyControl {
+                        max_resolution_height: 540,
+                        min_security_level: SecurityLevel::L3,
+                        duration_seconds: 86_400,
+                    },
+                },
+                KeyEntry {
+                    kid: KeyId([4; 16]),
+                    iv: [5; 16],
+                    encrypted_key: vec![6; 32],
+                    control: KeyControl {
+                        max_resolution_height: 1080,
+                        min_security_level: SecurityLevel::L1,
+                        duration_seconds: 0,
+                    },
+                },
+            ],
+            signature: vec![7; 32],
+        };
+        let parsed = LicenseResponse::parse(&resp.to_bytes()).unwrap();
+        assert_eq!(parsed, resp);
+        assert_eq!(parsed.key_entries[1].control.min_security_level, SecurityLevel::L1);
+    }
+
+    #[test]
+    fn body_bytes_exclude_signature() {
+        let req = ProvisioningRequest {
+            device_id: vec![1; 32],
+            cdm_version: version(),
+            security_level: SecurityLevel::L1,
+            nonce: [2; 16],
+            signature: [3; 16],
+        };
+        let mut other = req.clone();
+        other.signature = [9; 16];
+        assert_eq!(req.body_bytes(), other.body_bytes());
+        assert_ne!(req.to_bytes(), other.to_bytes());
+    }
+
+    #[test]
+    fn malformed_key_id_rejected() {
+        // Hand-craft a request with a 15-byte key id.
+        let mut body = TlvWriter::new();
+        body.bytes(0x0201, &[0; 32])
+            .string(0x0202, "t")
+            .bytes(0x0203, &[0; 15])
+            .bytes(0x0204, &[0; 16])
+            .u64(0x0205, 0)
+            .u32(0x0206, 1);
+        let mut outer = TlvWriter::new();
+        outer.bytes(0x0200, body.as_slice()).bytes(0x02FF, &[0]);
+        assert!(matches!(
+            LicenseRequest::parse(&outer.finish()),
+            Err(CdmError::BadMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_security_level_rejected() {
+        let mut body = TlvWriter::new();
+        body.bytes(0x0101, &[0; 32]).u64(0x0102, 0).u32(0x0103, 9).bytes(0x0104, &[0; 16]);
+        let mut outer = TlvWriter::new();
+        outer.bytes(0x0100, body.as_slice()).bytes(0x01FF, &[0; 16]);
+        assert!(ProvisioningRequest::parse(&outer.finish()).is_err());
+    }
+
+    #[test]
+    fn version_encoding_round_trip() {
+        for v in [CdmVersion::new(3, 1, 0), CdmVersion::new(16, 2, 7), CdmVersion::new(0, 0, 0)] {
+            assert_eq!(decode_version(encode_version(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let resp = ProvisioningResponse {
+            iv: [1; 16],
+            encrypted_rsa_key: vec![9; 30],
+            nonce: [2; 16],
+            signature: vec![4; 32],
+        };
+        let bytes = resp.to_bytes();
+        assert!(ProvisioningResponse::parse(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

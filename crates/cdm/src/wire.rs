@@ -1,0 +1,280 @@
+//! A tag-length-value (TLV) wire codec.
+//!
+//! The real Widevine protocol speaks protobuf; this workspace uses a
+//! purpose-built TLV format with the same role: an opaque, binary,
+//! length-delimited message encoding that the monitor can only interpret
+//! by hooking the functions that produce and consume it. Tags are `u16`,
+//! lengths `u32`, values raw bytes; nested messages are just values.
+
+use std::fmt;
+
+/// Errors from TLV decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended inside a field.
+    Truncated,
+    /// A required tag was absent.
+    MissingField {
+        /// The missing tag.
+        tag: u16,
+    },
+    /// A field's value had the wrong size or shape.
+    BadField {
+        /// The offending tag.
+        tag: u16,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("truncated TLV stream"),
+            WireError::MissingField { tag } => write!(f, "missing required field {tag:#06x}"),
+            WireError::BadField { tag } => write!(f, "malformed field {tag:#06x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Builds a TLV byte stream.
+#[derive(Debug, Default, Clone)]
+pub struct TlvWriter {
+    buf: Vec<u8>,
+}
+
+impl TlvWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a raw bytes field.
+    pub fn bytes(&mut self, tag: u16, value: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(&tag.to_be_bytes());
+        self.buf.extend_from_slice(&(value.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(value);
+        self
+    }
+
+    /// Appends a u32 field.
+    pub fn u32(&mut self, tag: u16, value: u32) -> &mut Self {
+        self.bytes(tag, &value.to_be_bytes())
+    }
+
+    /// Appends a u64 field.
+    pub fn u64(&mut self, tag: u16, value: u64) -> &mut Self {
+        self.bytes(tag, &value.to_be_bytes())
+    }
+
+    /// Appends a UTF-8 string field.
+    pub fn string(&mut self, tag: u16, value: &str) -> &mut Self {
+        self.bytes(tag, value.as_bytes())
+    }
+
+    /// Finishes and returns the stream.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far (without consuming the writer).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// One decoded field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field<'a> {
+    /// The tag.
+    pub tag: u16,
+    /// The raw value.
+    pub value: &'a [u8],
+}
+
+/// Decodes a TLV byte stream into fields, with typed accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlvReader<'a> {
+    fields: Vec<Field<'a>>,
+}
+
+impl<'a> TlvReader<'a> {
+    /// Parses the whole stream up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if the stream ends mid-field.
+    pub fn parse(mut input: &'a [u8]) -> Result<Self, WireError> {
+        let mut fields = Vec::new();
+        while !input.is_empty() {
+            if input.len() < 6 {
+                return Err(WireError::Truncated);
+            }
+            let tag = u16::from_be_bytes(input[..2].try_into().expect("2 bytes"));
+            let len = u32::from_be_bytes(input[2..6].try_into().expect("4 bytes")) as usize;
+            if input.len() < 6 + len {
+                return Err(WireError::Truncated);
+            }
+            fields.push(Field { tag, value: &input[6..6 + len] });
+            input = &input[6 + len..];
+        }
+        Ok(TlvReader { fields })
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field<'a>] {
+        &self.fields
+    }
+
+    /// First value with the given tag.
+    pub fn get(&self, tag: u16) -> Option<&'a [u8]> {
+        self.fields.iter().find(|f| f.tag == tag).map(|f| f.value)
+    }
+
+    /// All values with the given tag (repeated fields).
+    pub fn get_all(&self, tag: u16) -> Vec<&'a [u8]> {
+        self.fields.iter().filter(|f| f.tag == tag).map(|f| f.value).collect()
+    }
+
+    /// Required bytes field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::MissingField`].
+    pub fn require(&self, tag: u16) -> Result<&'a [u8], WireError> {
+        self.get(tag).ok_or(WireError::MissingField { tag })
+    }
+
+    /// Required fixed-size field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::MissingField`] or [`WireError::BadField`].
+    pub fn require_array<const N: usize>(&self, tag: u16) -> Result<[u8; N], WireError> {
+        self.require(tag)?
+            .try_into()
+            .map_err(|_| WireError::BadField { tag })
+    }
+
+    /// Required u32 field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::MissingField`] or [`WireError::BadField`].
+    pub fn require_u32(&self, tag: u16) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.require_array(tag)?))
+    }
+
+    /// Required u64 field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::MissingField`] or [`WireError::BadField`].
+    pub fn require_u64(&self, tag: u16) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.require_array(tag)?))
+    }
+
+    /// Required UTF-8 string field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::MissingField`] or [`WireError::BadField`] when
+    /// the bytes are not valid UTF-8.
+    pub fn require_string(&self, tag: u16) -> Result<String, WireError> {
+        String::from_utf8(self.require(tag)?.to_vec()).map_err(|_| WireError::BadField { tag })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut w = TlvWriter::new();
+        w.bytes(0x0001, b"hello").u32(0x0002, 42).string(0x0003, "widevine").u64(0x0004, 1 << 40);
+        let bytes = w.finish();
+        let r = TlvReader::parse(&bytes).unwrap();
+        assert_eq!(r.require(0x0001).unwrap(), b"hello");
+        assert_eq!(r.require_u32(0x0002).unwrap(), 42);
+        assert_eq!(r.require_string(0x0003).unwrap(), "widevine");
+        assert_eq!(r.require_u64(0x0004).unwrap(), 1 << 40);
+    }
+
+    #[test]
+    fn repeated_fields() {
+        let mut w = TlvWriter::new();
+        w.bytes(7, b"a").bytes(7, b"b").bytes(8, b"c");
+        let bytes = w.finish();
+        let r = TlvReader::parse(&bytes).unwrap();
+        assert_eq!(r.get_all(7), vec![&b"a"[..], b"b"]);
+        assert_eq!(r.get(7), Some(&b"a"[..]));
+        assert_eq!(r.fields().len(), 3);
+    }
+
+    #[test]
+    fn missing_field_error() {
+        let r = TlvReader::parse(&[]).unwrap();
+        assert_eq!(r.require(5), Err(WireError::MissingField { tag: 5 }));
+        assert_eq!(r.get(5), None);
+        assert!(r.get_all(5).is_empty());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let mut w = TlvWriter::new();
+        w.bytes(1, b"abcdef");
+        let bytes = w.finish();
+        for cut in 1..bytes.len() {
+            assert_eq!(
+                TlvReader::parse(&bytes[..cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_size_scalar_rejected() {
+        let mut w = TlvWriter::new();
+        w.bytes(1, b"abc"); // 3 bytes cannot be a u32
+        let bytes = w.finish();
+        let r = TlvReader::parse(&bytes).unwrap();
+        assert_eq!(r.require_u32(1), Err(WireError::BadField { tag: 1 }));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = TlvWriter::new();
+        w.bytes(1, &[0xff, 0xfe]);
+        let bytes = w.finish();
+        let r = TlvReader::parse(&bytes).unwrap();
+        assert_eq!(r.require_string(1), Err(WireError::BadField { tag: 1 }));
+    }
+
+    #[test]
+    fn empty_values_allowed() {
+        let mut w = TlvWriter::new();
+        w.bytes(1, b"");
+        let bytes = w.finish();
+        let r = TlvReader::parse(&bytes).unwrap();
+        assert_eq!(r.require(1).unwrap(), b"");
+    }
+
+    #[test]
+    fn nested_messages() {
+        let mut inner = TlvWriter::new();
+        inner.u32(1, 7);
+        let mut outer = TlvWriter::new();
+        outer.bytes(100, inner.as_slice());
+        let bytes = outer.finish();
+        let outer_r = TlvReader::parse(&bytes).unwrap();
+        let inner_r = TlvReader::parse(outer_r.require(100).unwrap()).unwrap();
+        assert_eq!(inner_r.require_u32(1).unwrap(), 7);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WireError::MissingField { tag: 0x42 }.to_string().contains("0x0042"));
+    }
+}

@@ -1,0 +1,196 @@
+//! The `cenc` scheme: AES-128-CTR subsample encryption.
+//!
+//! Per ISO/IEC 23001-7 the counter block is the 8-byte per-sample IV
+//! followed by a 64-bit big-endian block counter starting at zero, and the
+//! keystream runs *continuously* over the encrypted regions of a sample:
+//! clear bytes do not consume keystream.
+
+use wideleak_bmff::types::Subsample;
+use wideleak_crypto::aes::{Aes128, BLOCK_LEN};
+
+use crate::keys::ContentKey;
+use crate::{validate_subsamples, CencError};
+
+/// A CTR keystream generator with byte-level positioning.
+struct CtrStream {
+    cipher: Aes128,
+    counter: [u8; BLOCK_LEN],
+    buffer: [u8; BLOCK_LEN],
+    /// Offset into `buffer` of the next unused keystream byte; BLOCK_LEN
+    /// means the buffer is exhausted.
+    used: usize,
+}
+
+impl CtrStream {
+    fn new(key: &ContentKey, iv: [u8; 8]) -> Self {
+        let mut counter = [0u8; BLOCK_LEN];
+        counter[..8].copy_from_slice(&iv);
+        CtrStream {
+            cipher: Aes128::new(&key.0),
+            counter,
+            buffer: [0u8; BLOCK_LEN],
+            used: BLOCK_LEN,
+        }
+    }
+
+    fn xor_into(&mut self, data: &mut [u8]) {
+        for b in data.iter_mut() {
+            if self.used == BLOCK_LEN {
+                self.buffer = self.counter;
+                self.cipher.encrypt_block(&mut self.buffer);
+                wideleak_crypto::modes::increment_counter(&mut self.counter);
+                self.used = 0;
+            }
+            *b ^= self.buffer[self.used];
+            self.used += 1;
+        }
+    }
+}
+
+/// Applies the `cenc` transform to one sample (encrypt and decrypt are the
+/// same XOR operation).
+///
+/// An empty `subsamples` map means the entire sample is encrypted.
+///
+/// # Errors
+///
+/// Returns [`CencError::SubsampleMismatch`] when the map does not cover
+/// the sample exactly.
+fn xcrypt_sample(
+    key: &ContentKey,
+    iv: [u8; 8],
+    sample: &[u8],
+    subsamples: &[Subsample],
+) -> Result<Vec<u8>, CencError> {
+    validate_subsamples(subsamples, sample.len())?;
+    let mut out = sample.to_vec();
+    let mut stream = CtrStream::new(key, iv);
+    if subsamples.is_empty() {
+        stream.xor_into(&mut out);
+        return Ok(out);
+    }
+    let mut offset = 0usize;
+    for sub in subsamples {
+        offset += sub.clear_bytes as usize;
+        let end = offset + sub.encrypted_bytes as usize;
+        stream.xor_into(&mut out[offset..end]);
+        offset = end;
+    }
+    Ok(out)
+}
+
+/// Encrypts one sample under the `cenc` scheme.
+///
+/// # Errors
+///
+/// Returns [`CencError::SubsampleMismatch`] for an inconsistent map.
+pub fn encrypt_sample(
+    key: &ContentKey,
+    iv: [u8; 8],
+    plaintext: &[u8],
+    subsamples: &[Subsample],
+) -> Result<Vec<u8>, CencError> {
+    xcrypt_sample(key, iv, plaintext, subsamples)
+}
+
+/// Decrypts one sample under the `cenc` scheme.
+///
+/// # Errors
+///
+/// Returns [`CencError::SubsampleMismatch`] for an inconsistent map.
+pub fn decrypt_sample(
+    key: &ContentKey,
+    iv: [u8; 8],
+    ciphertext: &[u8],
+    subsamples: &[Subsample],
+) -> Result<Vec<u8>, CencError> {
+    xcrypt_sample(key, iv, ciphertext, subsamples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> ContentKey {
+        ContentKey([0x42; 16])
+    }
+
+    #[test]
+    fn whole_sample_round_trip() {
+        let pt = b"a complete sample with no subsample structure at all";
+        let ct = encrypt_sample(&key(), [1; 8], pt, &[]).unwrap();
+        assert_ne!(&ct[..], &pt[..]);
+        assert_eq!(decrypt_sample(&key(), [1; 8], &ct, &[]).unwrap(), pt);
+    }
+
+    #[test]
+    fn clear_prefix_is_untouched() {
+        let pt = b"HEADER....payload-payload-payload";
+        let subs = [Subsample { clear_bytes: 10, encrypted_bytes: 23 }];
+        let ct = encrypt_sample(&key(), [2; 8], pt, &subs).unwrap();
+        assert_eq!(&ct[..10], &pt[..10]);
+        assert_ne!(&ct[10..], &pt[10..]);
+        assert_eq!(decrypt_sample(&key(), [2; 8], &ct, &subs).unwrap(), pt);
+    }
+
+    #[test]
+    fn keystream_is_continuous_across_subsamples() {
+        // Two layouts of the same encrypted bytes must produce the same
+        // ciphertext for those bytes: clear bytes do not consume keystream.
+        let enc_payload = vec![0xEE; 40];
+        // Layout A: all 40 encrypted bytes in one subsample.
+        let sample_a = enc_payload.clone();
+        let subs_a = [Subsample { clear_bytes: 0, encrypted_bytes: 40 }];
+        let ct_a = encrypt_sample(&key(), [3; 8], &sample_a, &subs_a).unwrap();
+        // Layout B: clear gap in the middle.
+        let mut sample_b = Vec::new();
+        sample_b.extend_from_slice(&enc_payload[..15]);
+        sample_b.extend_from_slice(b"CLEARCLEAR");
+        sample_b.extend_from_slice(&enc_payload[15..]);
+        let subs_b = [
+            Subsample { clear_bytes: 0, encrypted_bytes: 15 },
+            Subsample { clear_bytes: 10, encrypted_bytes: 25 },
+        ];
+        let ct_b = encrypt_sample(&key(), [3; 8], &sample_b, &subs_b).unwrap();
+        assert_eq!(&ct_a[..15], &ct_b[..15]);
+        assert_eq!(&ct_a[15..], &ct_b[25..]);
+    }
+
+    #[test]
+    fn iv_separates_samples() {
+        let pt = vec![0u8; 64];
+        let a = encrypt_sample(&key(), [1; 8], &pt, &[]).unwrap();
+        let b = encrypt_sample(&key(), [2; 8], &pt, &[]).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let pt = b"content protected by DRM";
+        let ct = encrypt_sample(&key(), [5; 8], pt, &[]).unwrap();
+        let wrong = decrypt_sample(&ContentKey([0x43; 16]), [5; 8], &ct, &[]).unwrap();
+        assert_ne!(&wrong[..], &pt[..]);
+    }
+
+    #[test]
+    fn mismatched_map_rejected() {
+        let subs = [Subsample { clear_bytes: 4, encrypted_bytes: 4 }];
+        assert!(encrypt_sample(&key(), [0; 8], &[0u8; 9], &subs).is_err());
+        assert!(encrypt_sample(&key(), [0; 8], &[0u8; 7], &subs).is_err());
+    }
+
+    #[test]
+    fn empty_sample() {
+        assert_eq!(encrypt_sample(&key(), [0; 8], &[], &[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn long_sample_spans_many_counter_blocks() {
+        let pt: Vec<u8> = (0..10_000).map(|i| (i % 256) as u8).collect();
+        let ct = encrypt_sample(&key(), [7; 8], &pt, &[]).unwrap();
+        assert_eq!(decrypt_sample(&key(), [7; 8], &ct, &[]).unwrap(), pt);
+        // Keystream must not repeat across blocks for this size.
+        let repeats = ct.windows(16).filter(|w| *w == &ct[..16]).count();
+        assert_eq!(repeats, 1);
+    }
+}

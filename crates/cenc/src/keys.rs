@@ -1,0 +1,135 @@
+//! Content keys and key lookup.
+
+use std::collections::HashMap;
+
+use wideleak_bmff::types::KeyId;
+
+/// A 128-bit AES content key — the final rung of the Widevine key ladder.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContentKey(pub [u8; 16]);
+
+impl std::fmt::Debug for ContentKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Key bytes never appear in logs or panics.
+        f.write_str("ContentKey(<redacted>)")
+    }
+}
+
+impl ContentKey {
+    /// Derives a deterministic test/workload key from a label. Not a KDF —
+    /// packaging convenience only.
+    pub fn from_label(label: &str) -> Self {
+        let mut key = [0u8; 16];
+        for (i, b) in label.bytes().enumerate() {
+            key[i % 16] = key[i % 16].wrapping_mul(31).wrapping_add(b);
+        }
+        ContentKey(key)
+    }
+}
+
+/// Maps key IDs to content keys during encryption or decryption.
+///
+/// Implemented by the CDM's loaded-license state and by the attack PoC's
+/// recovered key set alike.
+pub trait KeyStore {
+    /// Looks up a content key by ID.
+    fn key_for(&self, kid: &KeyId) -> Option<ContentKey>;
+}
+
+/// A simple in-memory key store.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryKeyStore {
+    keys: HashMap<KeyId, ContentKey>,
+}
+
+impl MemoryKeyStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key, returning any previous key under the same ID.
+    pub fn insert(&mut self, kid: KeyId, key: ContentKey) -> Option<ContentKey> {
+        self.keys.insert(kid, key)
+    }
+
+    /// Number of keys held.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates over `(key id, key)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&KeyId, &ContentKey)> {
+        self.keys.iter()
+    }
+}
+
+impl KeyStore for MemoryKeyStore {
+    fn key_for(&self, kid: &KeyId) -> Option<ContentKey> {
+        self.keys.get(kid).copied()
+    }
+}
+
+impl FromIterator<(KeyId, ContentKey)> for MemoryKeyStore {
+    fn from_iter<T: IntoIterator<Item = (KeyId, ContentKey)>>(iter: T) -> Self {
+        MemoryKeyStore { keys: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(KeyId, ContentKey)> for MemoryKeyStore {
+    fn extend<T: IntoIterator<Item = (KeyId, ContentKey)>>(&mut self, iter: T) {
+        self.keys.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_never_prints_key_bytes() {
+        let k = ContentKey([0xAB; 16]);
+        let s = format!("{k:?}");
+        assert!(!s.to_lowercase().contains("ab"), "got {s}");
+    }
+
+    #[test]
+    fn from_label_is_deterministic_and_distinct() {
+        assert_eq!(ContentKey::from_label("x"), ContentKey::from_label("x"));
+        assert_ne!(ContentKey::from_label("x"), ContentKey::from_label("y"));
+    }
+
+    #[test]
+    fn memory_store_lookup() {
+        let mut store = MemoryKeyStore::new();
+        assert!(store.is_empty());
+        let kid = KeyId([1; 16]);
+        store.insert(kid, ContentKey([2; 16]));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.key_for(&kid), Some(ContentKey([2; 16])));
+        assert_eq!(store.key_for(&KeyId([9; 16])), None);
+    }
+
+    #[test]
+    fn insert_returns_previous() {
+        let mut store = MemoryKeyStore::new();
+        let kid = KeyId([1; 16]);
+        assert_eq!(store.insert(kid, ContentKey([2; 16])), None);
+        assert_eq!(store.insert(kid, ContentKey([3; 16])), Some(ContentKey([2; 16])));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let kid_a = KeyId([1; 16]);
+        let kid_b = KeyId([2; 16]);
+        let mut store: MemoryKeyStore = [(kid_a, ContentKey([1; 16]))].into_iter().collect();
+        store.extend([(kid_b, ContentKey([2; 16]))]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.iter().count(), 2);
+    }
+}

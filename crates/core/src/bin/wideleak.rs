@@ -1,0 +1,151 @@
+//! The `wideleak` command-line tool: the paper's automated monitoring and
+//! PoC tooling behind one binary.
+//!
+//! ```text
+//! wideleak study            # regenerate Table I over all ten apps
+//! wideleak study netflix    # study one app
+//! wideleak attack           # the CVE-2021-0639 sweep (§IV-D)
+//! wideleak attack hulu      # attack one app
+//! wideleak spoof            # the §V-C forged-L1 experiment
+//! wideleak play <slug>      # one instrumented playback with trace dump
+//! ```
+//!
+//! Flags: `--fast` shrinks RSA keys for quick runs; `--seed N` reseeds the
+//! deterministic ecosystem.
+
+use std::process::ExitCode;
+
+use wideleak::attack::recover::{attack_all, attack_app};
+use wideleak::device::catalog::DeviceModel;
+use wideleak::monitor::report::{render_insights, render_table_1};
+use wideleak::monitor::study::{run_study, study_app};
+use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: wideleak [--fast] [--seed N] <command>\n\
+         commands:\n\
+           study [slug]   regenerate Table I (or one app's findings)\n\
+           attack [slug]  run the CVE-2021-0639 pipeline\n\
+           spoof          run the forged-L1 HD experiment (Section V-C)\n\
+           play <slug>    one instrumented playback with a Figure-1 trace"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut config = EcosystemConfig::default();
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => config.rsa_bits = 768,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => config.seed = seed,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let Some(command) = positional.first().map(String::as_str) else {
+        return usage();
+    };
+    let slug = positional.get(1).map(String::as_str);
+    let eco = Ecosystem::new(config);
+
+    match (command, slug) {
+        ("study", None) => match run_study(&eco) {
+            Ok(report) => {
+                println!("{}", render_table_1(&report));
+                println!("{}", render_insights(&report));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("study failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        ("study", Some(slug)) => match study_app(&eco, slug) {
+            Ok(findings) => {
+                println!("{findings:#?}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("study failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        ("attack", None) => {
+            let outcomes = attack_all(&eco);
+            for o in &outcomes {
+                let status = if o.succeeded() {
+                    format!(
+                        "DRM-free media at {:?}",
+                        o.media.as_ref().and_then(|m| m.best_resolution())
+                    )
+                } else {
+                    format!("blocked ({})", o.failure.as_ref().map_or("?".into(), |e| e.to_string()))
+                };
+                println!("{:<22} {status}", o.app_name);
+            }
+            ExitCode::SUCCESS
+        }
+        ("attack", Some(slug)) => {
+            let o = attack_app(&eco, slug);
+            println!("{o:#?}");
+            if o.succeeded() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        ("spoof", _) => {
+            match wideleak::attack::hd_spoof::hd_spoof_experiment(&eco, slug.unwrap_or("netflix")) {
+                Ok(outcome) => {
+                    println!(
+                        "best height: {:?}; HD leaked: {}",
+                        outcome.best_height,
+                        outcome.got_hd_keys()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("spoof failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("play", Some(slug)) => {
+            let stack = eco.boot_device(DeviceModel::pixel_6(), true);
+            let app = eco.install_app(&stack, slug, "cli-user");
+            stack.device.hook_engine().start_recording();
+            match app.play("title-001") {
+                Ok(outcome) => {
+                    let log = stack.device.hook_engine().stop_recording();
+                    println!(
+                        "played at {}x{} ({} video samples)",
+                        outcome.resolution.0,
+                        outcome.resolution.1,
+                        outcome.video_samples.len()
+                    );
+                    if let Some(trace) = outcome.trace {
+                        for step in trace.steps() {
+                            println!("  {step:?}");
+                        }
+                    }
+                    println!("{} CDM calls intercepted", log.len());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("playback failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

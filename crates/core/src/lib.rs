@@ -1,0 +1,110 @@
+//! # WideLeak — a full-system reproduction of "WideLeak: How Over-the-Top
+//! Platforms Fail in Android" (DSN 2022)
+//!
+//! This facade crate re-exports the whole workspace and offers a
+//! one-call API for the paper's two headline experiments:
+//!
+//! - [`run_full_study`] — Table I: how the ten evaluated OTT apps use
+//!   Widevine (Q1–Q4), re-derived by the monitoring tool from hook traces
+//!   and intercepted traffic;
+//! - [`run_full_attack`] — §IV-D: the CVE-2021-0639 pipeline recovering
+//!   DRM-free media from every app that still serves discontinued
+//!   devices.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
+//!
+//! // Small RSA keys keep doctests fast; defaults are production-sized.
+//! let eco = Ecosystem::new(EcosystemConfig::fast_for_tests());
+//! let findings = wideleak::monitor::study::study_app(&eco, "netflix")?;
+//! assert_eq!(
+//!     findings.assets.audio,
+//!     wideleak::monitor::classify::Protection::Clear,
+//!     "the paper's headline Netflix finding",
+//! );
+//! # Ok::<(), wideleak::monitor::MonitorError>(())
+//! ```
+//!
+//! # Crate map
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`bigint`] | `wideleak-bigint` | arbitrary-precision arithmetic |
+//! | [`crypto`] | `wideleak-crypto` | AES/CMAC/SHA/HMAC/RSA/CRC-32 from scratch |
+//! | [`bmff`] | `wideleak-bmff` | ISO-BMFF (MP4) box codec |
+//! | [`cenc`] | `wideleak-cenc` | ISO/IEC 23001-7 common encryption |
+//! | [`dash`] | `wideleak-dash` | MPD model + minimal XML |
+//! | [`tee`] | `wideleak-tee` | TrustZone-style secure world |
+//! | [`device`] | `wideleak-device` | handset simulator: memory, hooks, pinned TLS |
+//! | [`cdm`] | `wideleak-cdm` | the Widevine CDM: keybox, ladder, L1/L3 |
+//! | [`android_drm`] | `wideleak-android-drm` | MediaDrm/MediaCrypto/MediaCodec |
+//! | [`ott`] | `wideleak-ott` | CDN, license/provisioning servers, 10 apps |
+//! | [`monitor`] | `wideleak-monitor` | the WideLeak study tool (Table I) |
+//! | [`attack`] | `wideleak-attack` | the CVE-2021-0639 proof of concept |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wideleak_android_drm as android_drm;
+pub use wideleak_attack as attack;
+pub use wideleak_bigint as bigint;
+pub use wideleak_bmff as bmff;
+pub use wideleak_cdm as cdm;
+pub use wideleak_cenc as cenc;
+pub use wideleak_crypto as crypto;
+pub use wideleak_dash as dash;
+pub use wideleak_device as device;
+pub use wideleak_monitor as monitor;
+pub use wideleak_ott as ott;
+pub use wideleak_tee as tee;
+
+use wideleak_attack::recover::AttackOutcome;
+use wideleak_monitor::study::StudyReport;
+use wideleak_monitor::MonitorError;
+use wideleak_ott::ecosystem::{Ecosystem, EcosystemConfig};
+
+/// Boots a fresh ecosystem and runs the complete Table-I study.
+///
+/// # Errors
+///
+/// Propagates instrumentation failures from the monitor.
+///
+/// # Examples
+///
+/// ```no_run
+/// let report = wideleak::run_full_study(
+///     wideleak::ott::ecosystem::EcosystemConfig::default(),
+/// )?;
+/// println!("{}", wideleak::monitor::report::render_table_1(&report));
+/// # Ok::<(), wideleak::monitor::MonitorError>(())
+/// ```
+pub fn run_full_study(config: EcosystemConfig) -> Result<StudyReport, MonitorError> {
+    let eco = Ecosystem::new(config);
+    wideleak_monitor::study::run_study(&eco)
+}
+
+/// Boots a fresh ecosystem and runs the §IV-D attack sweep over all ten
+/// apps on the discontinued device.
+pub fn run_full_attack(config: EcosystemConfig) -> Vec<AttackOutcome> {
+    let eco = Ecosystem::new(config);
+    wideleak_attack::recover::attack_all(&eco)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_study_smoke() {
+        let report = run_full_study(EcosystemConfig::fast_for_tests()).unwrap();
+        assert_eq!(report.findings.len(), 10);
+    }
+
+    #[test]
+    fn facade_attack_smoke() {
+        let outcomes = run_full_attack(EcosystemConfig::fast_for_tests());
+        assert_eq!(outcomes.iter().filter(|o| o.succeeded()).count(), 6);
+    }
+}

@@ -1,0 +1,165 @@
+//! AES-CMAC (RFC 4493) — the MAC at the heart of the Widevine key ladder.
+//!
+//! The real CDM derives session keys from the keybox device key (and content
+//! keys from session keys) with AES-CMAC over structured derivation buffers;
+//! `wideleak-cdm::ladder` reproduces that construction on top of this module.
+
+use crate::aes::{Aes128, BLOCK_LEN};
+
+const RB: u8 = 0x87;
+
+/// Doubles a value in GF(2^128) as defined by the CMAC subkey derivation.
+fn dbl(block: &[u8; BLOCK_LEN]) -> [u8; BLOCK_LEN] {
+    let mut out = [0u8; BLOCK_LEN];
+    let mut carry = 0u8;
+    for i in (0..BLOCK_LEN).rev() {
+        out[i] = block[i] << 1 | carry;
+        carry = block[i] >> 7;
+    }
+    if carry != 0 {
+        out[BLOCK_LEN - 1] ^= RB;
+    }
+    out
+}
+
+/// Computes AES-CMAC over `message` with the given cipher.
+///
+/// # Examples
+///
+/// ```
+/// use wideleak_crypto::aes::Aes128;
+/// use wideleak_crypto::cmac::aes_cmac;
+///
+/// let mac = aes_cmac(&Aes128::new(&[0u8; 16]), b"derivation context");
+/// assert_eq!(mac.len(), 16);
+/// ```
+pub fn aes_cmac(cipher: &Aes128, message: &[u8]) -> [u8; BLOCK_LEN] {
+    // Subkeys K1 (complete final block) and K2 (padded final block).
+    let mut l = [0u8; BLOCK_LEN];
+    cipher.encrypt_block(&mut l);
+    let k1 = dbl(&l);
+    let k2 = dbl(&k1);
+
+    let n_blocks = message.len().div_ceil(BLOCK_LEN).max(1);
+    let complete_last = !message.is_empty() && message.len().is_multiple_of(BLOCK_LEN);
+
+    let mut x = [0u8; BLOCK_LEN];
+    for i in 0..n_blocks - 1 {
+        let chunk = &message[i * BLOCK_LEN..(i + 1) * BLOCK_LEN];
+        for j in 0..BLOCK_LEN {
+            x[j] ^= chunk[j];
+        }
+        cipher.encrypt_block(&mut x);
+    }
+
+    let mut last = [0u8; BLOCK_LEN];
+    let tail = &message[(n_blocks - 1) * BLOCK_LEN..];
+    if complete_last {
+        for j in 0..BLOCK_LEN {
+            last[j] = tail[j] ^ k1[j];
+        }
+    } else {
+        last[..tail.len()].copy_from_slice(tail);
+        last[tail.len()] = 0x80;
+        for j in 0..BLOCK_LEN {
+            last[j] ^= k2[j];
+        }
+    }
+    for j in 0..BLOCK_LEN {
+        x[j] ^= last[j];
+    }
+    cipher.encrypt_block(&mut x);
+    x
+}
+
+/// Convenience wrapper taking a raw 16-byte key.
+pub fn aes_cmac_with_key(key: &[u8; 16], message: &[u8]) -> [u8; BLOCK_LEN] {
+    aes_cmac(&Aes128::new(key), message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn rfc_key() -> [u8; 16] {
+        hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap()
+    }
+
+    #[test]
+    fn rfc4493_example_1_empty_message() {
+        let mac = aes_cmac_with_key(&rfc_key(), b"");
+        assert_eq!(mac.to_vec(), hex("bb1d6929e95937287fa37d129b756746"));
+    }
+
+    #[test]
+    fn rfc4493_example_2_one_block() {
+        let msg = hex("6bc1bee22e409f96e93d7e117393172a");
+        let mac = aes_cmac_with_key(&rfc_key(), &msg);
+        assert_eq!(mac.to_vec(), hex("070a16b46b4d4144f79bdd9dd04a287c"));
+    }
+
+    #[test]
+    fn rfc4493_example_3_40_bytes() {
+        let msg = hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411",
+        ));
+        let mac = aes_cmac_with_key(&rfc_key(), &msg);
+        assert_eq!(mac.to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
+    }
+
+    #[test]
+    fn rfc4493_example_4_four_blocks() {
+        let msg = hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710",
+        ));
+        let mac = aes_cmac_with_key(&rfc_key(), &msg);
+        assert_eq!(mac.to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
+    }
+
+    #[test]
+    fn distinct_messages_distinct_macs() {
+        let key = [3u8; 16];
+        assert_ne!(
+            aes_cmac_with_key(&key, b"context-a"),
+            aes_cmac_with_key(&key, b"context-b")
+        );
+    }
+
+    #[test]
+    fn distinct_keys_distinct_macs() {
+        assert_ne!(
+            aes_cmac_with_key(&[1u8; 16], b"same message"),
+            aes_cmac_with_key(&[2u8; 16], b"same message")
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let key = [5u8; 16];
+        assert_eq!(
+            aes_cmac_with_key(&key, b"widevine"),
+            aes_cmac_with_key(&key, b"widevine")
+        );
+    }
+
+    #[test]
+    fn length_extension_does_not_collide() {
+        // A message and its zero-extended sibling must differ (padding rules).
+        let key = [7u8; 16];
+        let short = aes_cmac_with_key(&key, &[0u8; 15]);
+        let long = aes_cmac_with_key(&key, &[0u8; 16]);
+        assert_ne!(short, long);
+    }
+}

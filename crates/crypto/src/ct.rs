@@ -1,0 +1,59 @@
+//! Constant-time comparison helpers.
+//!
+//! The simulated CDM verifies MACs and signatures with these rather than
+//! `==` so that the simulation's API mirrors what hardened code must do
+//! (the paper's §IV-D intercepts derivation buffers precisely because the
+//! real CDM cannot be broken through timing here).
+
+/// Compares two byte slices in time independent of where they differ.
+///
+/// Returns `false` immediately only on length mismatch (length is public).
+///
+/// # Examples
+///
+/// ```
+/// use wideleak_crypto::ct::ct_eq;
+///
+/// assert!(ct_eq(b"tag", b"tag"));
+/// assert!(!ct_eq(b"tag", b"tab"));
+/// assert!(!ct_eq(b"tag", b"tagg"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn unequal_content() {
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[0], &[255]));
+    }
+
+    #[test]
+    fn unequal_length() {
+        assert!(!ct_eq(&[1], &[1, 0]));
+        assert!(!ct_eq(&[1, 2], &[1]));
+    }
+
+    #[test]
+    fn first_and_last_byte_differences() {
+        assert!(!ct_eq(&[9, 0, 0], &[0, 0, 0]));
+        assert!(!ct_eq(&[0, 0, 9], &[0, 0, 0]));
+    }
+}

@@ -1,0 +1,29 @@
+//! The [`Digest`] abstraction shared by SHA-1, SHA-256, HMAC and MGF1.
+
+/// An incremental cryptographic hash function.
+///
+/// Implemented by [`crate::sha1::Sha1`] and [`crate::sha256::Sha256`];
+/// [`crate::hmac::Hmac`] and the RSA-OAEP mask generation function are
+/// generic over it.
+pub trait Digest: Clone {
+    /// Internal block length in bytes (HMAC needs this).
+    const BLOCK_LEN: usize;
+    /// Output length in bytes.
+    const OUTPUT_LEN: usize;
+
+    /// Creates a fresh hasher.
+    fn new() -> Self;
+
+    /// Absorbs more input.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consumes the hasher and returns the digest.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience: hash `data` in a single call.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}

@@ -1,0 +1,148 @@
+//! HMAC (RFC 2104) generic over any [`Digest`].
+
+use crate::digest::Digest;
+
+/// An incremental HMAC instance.
+///
+/// # Examples
+///
+/// ```
+/// use wideleak_crypto::hmac::Hmac;
+/// use wideleak_crypto::sha256::Sha256;
+///
+/// let tag = Hmac::<Sha256>::mac(b"key", b"message");
+/// assert_eq!(tag.len(), 32);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    outer_key: Vec<u8>,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Creates an HMAC instance keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = vec![0u8; D::BLOCK_LEN];
+        if key.len() > D::BLOCK_LEN {
+            let digest = D::digest(key);
+            block_key[..digest.len()].copy_from_slice(&digest);
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+
+        let ipad: Vec<u8> = block_key.iter().map(|b| b ^ 0x36).collect();
+        let opad: Vec<u8> = block_key.iter().map(|b| b ^ 0x5c).collect();
+
+        let mut inner = D::new();
+        inner.update(&ipad);
+        Hmac { inner, outer_key: opad }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the authentication tag.
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_digest = self.inner.finalize();
+        let mut outer = D::new();
+        outer.update(&self.outer_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot HMAC.
+    pub fn mac(key: &[u8], message: &[u8]) -> Vec<u8> {
+        let mut h = Self::new(key);
+        h.update(message);
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::Sha1;
+    use crate::sha256::Sha256;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hexify(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        let tag = Hmac::<Sha256>::mac(&[0x0b; 20], b"Hi There");
+        assert_eq!(
+            hexify(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = Hmac::<Sha256>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hexify(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3_binary_data() {
+        let tag = Hmac::<Sha256>::mac(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(
+            hexify(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        // Key longer than the block length must be hashed first.
+        let key = vec![0xaa; 131];
+        let tag = Hmac::<Sha256>::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hexify(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1_case_1() {
+        let tag = Hmac::<Sha1>::mac(&[0x0b; 20], b"Hi There");
+        assert_eq!(hexify(&tag), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    #[test]
+    fn rfc2202_sha1_case_2() {
+        let tag = Hmac::<Sha1>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(hexify(&tag), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let key = hex("0102030405");
+        let data: Vec<u8> = (0..500).map(|i| (i % 256) as u8).collect();
+        let mut h = Hmac::<Sha256>::new(&key);
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), Hmac::<Sha256>::mac(&key, &data));
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        assert_ne!(
+            Hmac::<Sha256>::mac(b"key-a", b"msg"),
+            Hmac::<Sha256>::mac(b"key-b", b"msg")
+        );
+    }
+}

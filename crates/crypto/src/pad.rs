@@ -1,0 +1,123 @@
+//! PKCS#7 padding (RFC 5652 §6.3) for block-cipher modes.
+
+use crate::CryptoError;
+
+/// Appends PKCS#7 padding bringing `data` to a multiple of `block_len`.
+///
+/// A full block of padding is added when the input is already aligned, so
+/// padding is always removable unambiguously.
+///
+/// # Panics
+///
+/// Panics if `block_len` is zero or greater than 255.
+///
+/// # Examples
+///
+/// ```
+/// use wideleak_crypto::pad::{pkcs7_pad, pkcs7_unpad};
+///
+/// let padded = pkcs7_pad(b"abc", 8);
+/// assert_eq!(padded, vec![b'a', b'b', b'c', 5, 5, 5, 5, 5]);
+/// assert_eq!(pkcs7_unpad(&padded, 8).unwrap(), b"abc");
+/// ```
+pub fn pkcs7_pad(data: &[u8], block_len: usize) -> Vec<u8> {
+    assert!(block_len > 0 && block_len <= 255, "block length must be 1..=255");
+    let pad = block_len - data.len() % block_len;
+    let mut out = Vec::with_capacity(data.len() + pad);
+    out.extend_from_slice(data);
+    out.extend(std::iter::repeat_n(pad as u8, pad));
+    out
+}
+
+/// Strips and verifies PKCS#7 padding.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::BadPadding`] when the input is empty, not block
+/// aligned, or the padding bytes are inconsistent.
+pub fn pkcs7_unpad(data: &[u8], block_len: usize) -> Result<Vec<u8>, CryptoError> {
+    if data.is_empty() || !data.len().is_multiple_of(block_len) {
+        return Err(CryptoError::BadPadding);
+    }
+    let pad = *data.last().expect("non-empty input") as usize;
+    if pad == 0 || pad > block_len || pad > data.len() {
+        return Err(CryptoError::BadPadding);
+    }
+    if data[data.len() - pad..].iter().any(|&b| b as usize != pad) {
+        return Err(CryptoError::BadPadding);
+    }
+    Ok(data[..data.len() - pad].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pads_unaligned_input() {
+        let p = pkcs7_pad(b"hello", 16);
+        assert_eq!(p.len(), 16);
+        assert_eq!(&p[..5], b"hello");
+        assert!(p[5..].iter().all(|&b| b == 11));
+    }
+
+    #[test]
+    fn pads_aligned_input_with_full_block() {
+        let p = pkcs7_pad(&[0u8; 16], 16);
+        assert_eq!(p.len(), 32);
+        assert!(p[16..].iter().all(|&b| b == 16));
+    }
+
+    #[test]
+    fn pads_empty_input() {
+        let p = pkcs7_pad(&[], 8);
+        assert_eq!(p, vec![8u8; 8]);
+    }
+
+    #[test]
+    fn unpad_round_trip() {
+        for len in 0..40 {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let p = pkcs7_pad(&data, 16);
+            assert_eq!(pkcs7_unpad(&p, 16).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn unpad_rejects_empty() {
+        assert_eq!(pkcs7_unpad(&[], 16), Err(CryptoError::BadPadding));
+    }
+
+    #[test]
+    fn unpad_rejects_misaligned() {
+        assert_eq!(pkcs7_unpad(&[1u8; 17], 16), Err(CryptoError::BadPadding));
+    }
+
+    #[test]
+    fn unpad_rejects_zero_pad_byte() {
+        let mut p = pkcs7_pad(b"abc", 16);
+        *p.last_mut().unwrap() = 0;
+        assert_eq!(pkcs7_unpad(&p, 16), Err(CryptoError::BadPadding));
+    }
+
+    #[test]
+    fn unpad_rejects_oversized_pad_byte() {
+        let mut p = pkcs7_pad(b"abc", 16);
+        *p.last_mut().unwrap() = 17;
+        assert_eq!(pkcs7_unpad(&p, 16), Err(CryptoError::BadPadding));
+    }
+
+    #[test]
+    fn unpad_rejects_inconsistent_padding() {
+        let mut p = pkcs7_pad(b"abc", 16);
+        let idx = p.len() - 3;
+        p[idx] = 0xAA;
+        assert_eq!(pkcs7_unpad(&p, 16), Err(CryptoError::BadPadding));
+    }
+
+    #[test]
+    #[should_panic(expected = "block length")]
+    fn pad_rejects_zero_block() {
+        pkcs7_pad(b"x", 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Deterministic randomness helpers.
+//!
+//! Everything in the WideLeak simulator is reproducible from explicit
+//! seeds: RSA key generation, content packaging, device identifiers.
+//! These helpers standardize how the workspace draws random big integers
+//! and byte strings from a [`rand`] generator.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use wideleak_bigint::BigUint;
+
+/// Creates the workspace's standard deterministic generator from a seed.
+///
+/// # Examples
+///
+/// ```
+/// use rand::RngCore;
+///
+/// let mut a = wideleak_crypto::rng::seeded_rng(7);
+/// let mut b = wideleak_crypto::rng::seeded_rng(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws `len` random bytes.
+pub fn random_bytes(rng: &mut impl RngCore, len: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+/// Draws a fixed-size random array.
+pub fn random_array<const N: usize>(rng: &mut impl RngCore) -> [u8; N] {
+    let mut buf = [0u8; N];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+/// Draws a random integer of exactly `bits` bits (top bit forced to 1).
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn random_biguint(rng: &mut impl RngCore, bits: usize) -> BigUint {
+    assert!(bits > 0, "cannot draw a zero-bit integer");
+    let bytes = bits.div_ceil(8);
+    let mut buf = random_bytes(rng, bytes);
+    // Clear excess high bits, then force the top bit so the bit length is
+    // exactly `bits`.
+    let excess = bytes * 8 - bits;
+    buf[0] &= 0xffu8 >> excess;
+    buf[0] |= 0x80u8 >> excess;
+    BigUint::from_bytes_be(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = random_bytes(&mut seeded_rng(42), 32);
+        let b = random_bytes(&mut seeded_rng(42), 32);
+        assert_eq!(a, b);
+        let c = random_bytes(&mut seeded_rng(43), 32);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_biguint_has_exact_bit_length() {
+        let mut rng = seeded_rng(1);
+        for bits in [1usize, 7, 8, 9, 63, 64, 65, 512, 1024] {
+            let n = random_biguint(&mut rng, bits);
+            assert_eq!(n.bit_len(), bits, "requested {bits} bits");
+        }
+    }
+
+    #[test]
+    fn random_array_fills() {
+        let mut rng = seeded_rng(5);
+        let a: [u8; 16] = random_array(&mut rng);
+        let b: [u8; 16] = random_array(&mut rng);
+        assert_ne!(a, b, "subsequent draws differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-bit")]
+    fn zero_bits_panics() {
+        random_biguint(&mut seeded_rng(0), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! SHA-1 (FIPS 180-4).
+//!
+//! SHA-1 is cryptographically broken for collision resistance; it is kept
+//! here because legacy Widevine CDM versions (such as the v3.1.0 on the
+//! paper's discontinued Nexus 5) still used it in their provisioning
+//! request signatures — modelling outdated devices requires outdated
+//! primitives.
+
+use crate::digest::Digest;
+
+/// Incremental SHA-1 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use wideleak_crypto::digest::Digest;
+/// use wideleak_crypto::sha1::Sha1;
+///
+/// assert_eq!(Sha1::digest(b"abc").len(), 20);
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: Vec<u8>,
+    total_len: u64,
+}
+
+impl std::fmt::Debug for Sha1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sha1(absorbed: {} bytes)", self.total_len)
+    }
+}
+
+impl Sha1 {
+    fn compress(&mut self, block: &[u8]) {
+        debug_assert_eq!(block.len(), 64);
+        let mut w = [0u32; 80];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5a827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ed9eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+                _ => (b ^ c ^ d, 0xca62c1d6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+impl Digest for Sha1 {
+    const BLOCK_LEN: usize = 64;
+    const OUTPUT_LEN: usize = 20;
+
+    fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0],
+            buffer: Vec::with_capacity(64),
+            total_len: 0,
+        }
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        self.buffer.extend_from_slice(data);
+        let full = self.buffer.len() / 64 * 64;
+        let blocks = self.buffer[..full].to_vec();
+        for block in blocks.chunks_exact(64) {
+            self.compress(block);
+        }
+        self.buffer.drain(..full);
+    }
+
+    fn finalize(mut self) -> Vec<u8> {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.buffer.push(0x80);
+        while self.buffer.len() % 64 != 56 {
+            self.buffer.push(0);
+        }
+        self.buffer.extend_from_slice(&bit_len.to_be_bytes());
+        let blocks = std::mem::take(&mut self.buffer);
+        for block in blocks.chunks_exact(64) {
+            self.compress(block);
+        }
+        self.state.iter().flat_map(|w| w.to_be_bytes()).collect()
+    }
+}
+
+/// One-shot SHA-1.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    Sha1::digest(data).try_into().expect("sha1 output is 20 bytes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hexify(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(hexify(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(hexify(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            hexify(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hexify(&sha1(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..777).map(|i| (i % 256) as u8).collect();
+        let mut h = Sha1::new();
+        for chunk in data.chunks(13) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), Sha1::digest(&data));
+    }
+}

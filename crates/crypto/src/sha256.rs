@@ -1,0 +1,247 @@
+//! SHA-256 (FIPS 180-4).
+//!
+//! The round constants are the first 32 bits of the fractional parts of the
+//! cube roots of the first 64 primes, and the initial state comes from the
+//! square roots of the first 8 primes — both computed at first use rather
+//! than transcribed, then pinned by the standard test vectors below.
+
+use std::sync::OnceLock;
+
+use crate::digest::Digest;
+
+fn frac_root_bits(p: u64, root: f64) -> u32 {
+    // First 32 bits of the fractional part of p^(1/root).
+    let x = (p as f64).powf(1.0 / root);
+    let frac = x - x.floor();
+    (frac * 4294967296.0) as u32
+}
+
+fn first_primes(n: usize) -> Vec<u64> {
+    let mut primes = Vec::with_capacity(n);
+    let mut candidate = 2u64;
+    while primes.len() < n {
+        if primes.iter().all(|&p| !candidate.is_multiple_of(p)) {
+            primes.push(candidate);
+        }
+        candidate += 1;
+    }
+    primes
+}
+
+fn k_constants() -> &'static [u32; 64] {
+    static K: OnceLock<[u32; 64]> = OnceLock::new();
+    K.get_or_init(|| {
+        let primes = first_primes(64);
+        let mut k = [0u32; 64];
+        for (i, &p) in primes.iter().enumerate() {
+            k[i] = frac_root_bits(p, 3.0);
+        }
+        k
+    })
+}
+
+fn h_initial() -> [u32; 8] {
+    static H: OnceLock<[u32; 8]> = OnceLock::new();
+    *H.get_or_init(|| {
+        let primes = first_primes(8);
+        let mut h = [0u32; 8];
+        for (i, &p) in primes.iter().enumerate() {
+            h[i] = frac_root_bits(p, 2.0);
+        }
+        h
+    })
+}
+
+/// Incremental SHA-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use wideleak_crypto::digest::Digest;
+/// use wideleak_crypto::sha256::Sha256;
+///
+/// let d = Sha256::digest(b"abc");
+/// assert_eq!(d[0], 0xba);
+/// assert_eq!(d.len(), 32);
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: Vec<u8>,
+    total_len: u64,
+}
+
+impl std::fmt::Debug for Sha256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sha256(absorbed: {} bytes)", self.total_len)
+    }
+}
+
+impl Sha256 {
+    fn compress(&mut self, block: &[u8]) {
+        debug_assert_eq!(block.len(), 64);
+        let k = k_constants();
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+impl Digest for Sha256 {
+    const BLOCK_LEN: usize = 64;
+    const OUTPUT_LEN: usize = 32;
+
+    fn new() -> Self {
+        Sha256 {
+            state: h_initial(),
+            buffer: Vec::with_capacity(64),
+            total_len: 0,
+        }
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        self.buffer.extend_from_slice(data);
+        let full = self.buffer.len() / 64 * 64;
+        let blocks = self.buffer[..full].to_vec();
+        for block in blocks.chunks_exact(64) {
+            self.compress(block);
+        }
+        self.buffer.drain(..full);
+    }
+
+    fn finalize(mut self) -> Vec<u8> {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.buffer.push(0x80);
+        while self.buffer.len() % 64 != 56 {
+            self.buffer.push(0);
+        }
+        self.buffer.extend_from_slice(&bit_len.to_be_bytes());
+        let blocks = std::mem::take(&mut self.buffer);
+        for block in blocks.chunks_exact(64) {
+            self.compress(block);
+        }
+        self.state.iter().flat_map(|w| w.to_be_bytes()).collect()
+    }
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    Sha256::digest(data).try_into().expect("sha256 output is 32 bytes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hexify(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn constants_match_fips() {
+        let k = k_constants();
+        assert_eq!(k[0], 0x428a2f98);
+        assert_eq!(k[1], 0x71374491);
+        assert_eq!(k[63], 0xc67178f2);
+        let h = h_initial();
+        assert_eq!(h[0], 0x6a09e667);
+        assert_eq!(h[7], 0x5be0cd19);
+    }
+
+    #[test]
+    fn empty_string() {
+        assert_eq!(
+            hexify(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            hexify(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            hexify(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hexify(&sha256(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        let mut h = Sha256::new();
+        for chunk in data.chunks(17) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Lengths straddling the padding boundary (55, 56, 64 bytes).
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120] {
+            let data = vec![0xabu8; len];
+            let mut h = Sha256::new();
+            h.update(&data);
+            assert_eq!(h.finalize(), Sha256::digest(&data), "len {len}");
+        }
+    }
+
+    #[test]
+    fn debug_shows_progress() {
+        let mut h = Sha256::new();
+        h.update(b"xyz");
+        assert_eq!(format!("{h:?}"), "Sha256(absorbed: 3 bytes)");
+    }
+}

@@ -1,0 +1,41 @@
+//! MPEG-DASH Media Presentation Description (MPD) model.
+//!
+//! OTT apps receive an MPD from the CDN describing every asset of a title:
+//! video representations at several resolutions, audio tracks per language,
+//! and subtitle tracks. Protection signalling lives in
+//! `ContentProtection` descriptors carrying `default_KID` attributes —
+//! the metadata the WideLeak monitor parses to answer Q3 (key usage per
+//! asset).
+//!
+//! The crate provides a from-scratch minimal XML codec ([`xml`]) and the
+//! typed MPD model ([`mpd`]) on top of it.
+//!
+//! # Examples
+//!
+//! ```
+//! use wideleak_dash::mpd::{AdaptationSet, ContentType, Mpd, Period, Representation};
+//!
+//! let mpd = Mpd {
+//!     title: "demo".into(),
+//!     periods: vec![Period {
+//!         adaptation_sets: vec![AdaptationSet {
+//!             content_type: ContentType::Video,
+//!             lang: None,
+//!             content_protections: vec![],
+//!             representations: vec![Representation::new("v540", 1_200_000)],
+//!         }],
+//!     }],
+//! };
+//! let xml = mpd.to_xml_string();
+//! let parsed = Mpd::parse(&xml).unwrap();
+//! assert_eq!(parsed, mpd);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mpd;
+pub mod xml;
+
+pub use mpd::{AdaptationSet, ContentProtection, ContentType, Mpd, Period, Representation};
+pub use xml::{XmlElement, XmlError, XmlNode};

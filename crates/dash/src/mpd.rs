@@ -1,0 +1,504 @@
+//! The typed MPD model with serialization to and from the minimal XML
+//! codec, plus the key-ID analysis helpers the monitor relies on.
+
+use std::fmt;
+
+use crate::xml::{XmlElement, XmlError};
+
+/// Scheme URI of the generic MP4 protection descriptor.
+pub const MP4_PROTECTION_SCHEME: &str = "urn:mpeg:dash:mp4protection:2011";
+
+/// Scheme URI of the Widevine content-protection descriptor (the
+/// registered Widevine system UUID).
+pub const WIDEVINE_SCHEME: &str = "urn:uuid:edef8ba9-79d6-4ace-a3c8-27dcd51d21ed";
+
+/// Content type of an adaptation set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentType {
+    /// Video representations (per-resolution).
+    Video,
+    /// Audio representations (per-language).
+    Audio,
+    /// Subtitle/text representations (per-language).
+    Text,
+}
+
+impl ContentType {
+    /// The `contentType` attribute value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ContentType::Video => "video",
+            ContentType::Audio => "audio",
+            ContentType::Text => "text",
+        }
+    }
+
+    /// Parses a `contentType` attribute value.
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s {
+            "video" => Some(ContentType::Video),
+            "audio" => Some(ContentType::Audio),
+            "text" => Some(ContentType::Text),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ContentType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A `ContentProtection` descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentProtection {
+    /// The `schemeIdUri` attribute.
+    pub scheme_id_uri: String,
+    /// The `value` attribute (e.g. `cenc`).
+    pub value: Option<String>,
+    /// The `cenc:default_KID` attribute, lowercase hex without dashes.
+    pub default_kid: Option<String>,
+}
+
+impl ContentProtection {
+    /// The generic mp4protection descriptor for a scheme and key ID.
+    pub fn mp4_protection(scheme: &str, default_kid: &str) -> Self {
+        ContentProtection {
+            scheme_id_uri: MP4_PROTECTION_SCHEME.to_owned(),
+            value: Some(scheme.to_owned()),
+            default_kid: Some(default_kid.to_owned()),
+        }
+    }
+
+    /// The Widevine descriptor.
+    pub fn widevine() -> Self {
+        ContentProtection {
+            scheme_id_uri: WIDEVINE_SCHEME.to_owned(),
+            value: None,
+            default_kid: None,
+        }
+    }
+
+    fn to_xml(&self) -> XmlElement {
+        let mut e = XmlElement::new("ContentProtection").attr("schemeIdUri", &self.scheme_id_uri);
+        if let Some(v) = &self.value {
+            e = e.attr("value", v);
+        }
+        if let Some(kid) = &self.default_kid {
+            e = e.attr("cenc:default_KID", kid);
+        }
+        e
+    }
+
+    fn from_xml(e: &XmlElement) -> Self {
+        ContentProtection {
+            scheme_id_uri: e.attribute("schemeIdUri").unwrap_or_default().to_owned(),
+            value: e.attribute("value").map(str::to_owned),
+            default_kid: e.attribute("cenc:default_KID").map(str::to_owned),
+        }
+    }
+}
+
+/// One representation (a single quality/bitrate variant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Representation {
+    /// Representation id, e.g. `video-540p`.
+    pub id: String,
+    /// Bandwidth in bits per second.
+    pub bandwidth: u32,
+    /// Frame size for video (`None` for audio/text).
+    pub resolution: Option<(u32, u32)>,
+    /// Per-representation protection descriptors (used for per-resolution
+    /// keys; may be empty when protection is declared at the adaptation
+    /// set).
+    pub content_protections: Vec<ContentProtection>,
+    /// URL of the initialization segment.
+    pub init_url: String,
+    /// URLs of the media segments in order.
+    pub segment_urls: Vec<String>,
+}
+
+impl Representation {
+    /// Creates a minimal representation with no segments.
+    pub fn new(id: impl Into<String>, bandwidth: u32) -> Self {
+        Representation {
+            id: id.into(),
+            bandwidth,
+            resolution: None,
+            content_protections: Vec::new(),
+            init_url: String::new(),
+            segment_urls: Vec::new(),
+        }
+    }
+
+    /// The `default_KID` declared on this representation, if any.
+    pub fn default_kid(&self) -> Option<&str> {
+        self.content_protections.iter().find_map(|cp| cp.default_kid.as_deref())
+    }
+
+    fn to_xml(&self) -> XmlElement {
+        let mut e = XmlElement::new("Representation")
+            .attr("id", &self.id)
+            .attr("bandwidth", self.bandwidth.to_string());
+        if let Some((w, h)) = self.resolution {
+            e = e.attr("width", w.to_string()).attr("height", h.to_string());
+        }
+        for cp in &self.content_protections {
+            e = e.child(cp.to_xml());
+        }
+        let mut seg_list = XmlElement::new("SegmentList");
+        if !self.init_url.is_empty() {
+            seg_list = seg_list.child(
+                XmlElement::new("Initialization").attr("sourceURL", &self.init_url),
+            );
+        }
+        for url in &self.segment_urls {
+            seg_list = seg_list.child(XmlElement::new("SegmentURL").attr("media", url));
+        }
+        e.child(seg_list)
+    }
+
+    fn from_xml(e: &XmlElement) -> Result<Self, XmlError> {
+        let id = e.attribute("id").unwrap_or_default().to_owned();
+        let bandwidth = e
+            .attribute("bandwidth")
+            .and_then(|b| b.parse().ok())
+            .unwrap_or(0);
+        let resolution = match (e.attribute("width"), e.attribute("height")) {
+            (Some(w), Some(h)) => match (w.parse(), h.parse()) {
+                (Ok(w), Ok(h)) => Some((w, h)),
+                _ => None,
+            },
+            _ => None,
+        };
+        let content_protections = e
+            .elements("ContentProtection")
+            .map(ContentProtection::from_xml)
+            .collect();
+        let (init_url, segment_urls) = match e.element("SegmentList") {
+            Some(list) => {
+                let init = list
+                    .element("Initialization")
+                    .and_then(|i| i.attribute("sourceURL"))
+                    .unwrap_or_default()
+                    .to_owned();
+                let segs = list
+                    .elements("SegmentURL")
+                    .filter_map(|s| s.attribute("media"))
+                    .map(str::to_owned)
+                    .collect();
+                (init, segs)
+            }
+            None => (String::new(), Vec::new()),
+        };
+        Ok(Representation {
+            id,
+            bandwidth,
+            resolution,
+            content_protections,
+            init_url,
+            segment_urls,
+        })
+    }
+}
+
+/// A group of interchangeable representations of one asset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptationSet {
+    /// What kind of content this set carries.
+    pub content_type: ContentType,
+    /// Language tag for audio/text sets.
+    pub lang: Option<String>,
+    /// Set-level protection descriptors.
+    pub content_protections: Vec<ContentProtection>,
+    /// The representations.
+    pub representations: Vec<Representation>,
+}
+
+impl AdaptationSet {
+    /// Whether any protection descriptor is declared at set or
+    /// representation level.
+    pub fn is_protected(&self) -> bool {
+        !self.content_protections.is_empty()
+            || self.representations.iter().any(|r| !r.content_protections.is_empty())
+    }
+
+    /// All distinct `default_KID`s declared in this set (set level first,
+    /// then per representation, deduplicated, order preserved).
+    pub fn key_ids(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let set_kids = self.content_protections.iter().filter_map(|cp| cp.default_kid.clone());
+        let rep_kids = self
+            .representations
+            .iter()
+            .flat_map(|r| r.content_protections.iter().filter_map(|cp| cp.default_kid.clone()));
+        for kid in set_kids.chain(rep_kids) {
+            if !out.contains(&kid) {
+                out.push(kid);
+            }
+        }
+        out
+    }
+
+    fn to_xml(&self) -> XmlElement {
+        let mut e = XmlElement::new("AdaptationSet").attr("contentType", self.content_type.as_str());
+        if let Some(lang) = &self.lang {
+            e = e.attr("lang", lang);
+        }
+        for cp in &self.content_protections {
+            e = e.child(cp.to_xml());
+        }
+        for r in &self.representations {
+            e = e.child(r.to_xml());
+        }
+        e
+    }
+
+    fn from_xml(e: &XmlElement) -> Result<Self, XmlError> {
+        let content_type = e
+            .attribute("contentType")
+            .and_then(ContentType::from_str_opt)
+            .unwrap_or(ContentType::Video);
+        let lang = e.attribute("lang").map(str::to_owned);
+        let content_protections = e
+            .elements("ContentProtection")
+            .map(ContentProtection::from_xml)
+            .collect();
+        let representations = e
+            .elements("Representation")
+            .map(Representation::from_xml)
+            .collect::<Result<_, _>>()?;
+        Ok(AdaptationSet { content_type, lang, content_protections, representations })
+    }
+}
+
+/// One period of the presentation (always exactly one in this workspace).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Period {
+    /// The adaptation sets of the period.
+    pub adaptation_sets: Vec<AdaptationSet>,
+}
+
+/// A complete Media Presentation Description.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Mpd {
+    /// Presentation title (carried in a `Title` element).
+    pub title: String,
+    /// The periods.
+    pub periods: Vec<Period>,
+}
+
+impl Mpd {
+    /// Serializes to an XML document string (with declaration).
+    pub fn to_xml_string(&self) -> String {
+        let mut root = XmlElement::new("MPD")
+            .attr("xmlns", "urn:mpeg:dash:schema:mpd:2011")
+            .attr("xmlns:cenc", "urn:mpeg:cenc:2013")
+            .attr("type", "static")
+            .child(
+                XmlElement::new("ProgramInformation")
+                    .child(XmlElement::new("Title").text(&self.title)),
+            );
+        for period in &self.periods {
+            let mut p = XmlElement::new("Period");
+            for set in &period.adaptation_sets {
+                p = p.child(set.to_xml());
+            }
+            root = root.child(p);
+        }
+        format!("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}", root.to_xml_string())
+    }
+
+    /// Parses an MPD document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XmlError`] on malformed XML or structure.
+    pub fn parse(input: &str) -> Result<Mpd, XmlError> {
+        let root = XmlElement::parse(input)?;
+        let title = root
+            .element("ProgramInformation")
+            .and_then(|pi| pi.element("Title"))
+            .map(|t| t.text_content())
+            .unwrap_or_default();
+        let periods = root
+            .elements("Period")
+            .map(|p| {
+                Ok(Period {
+                    adaptation_sets: p
+                        .elements("AdaptationSet")
+                        .map(AdaptationSet::from_xml)
+                        .collect::<Result<_, XmlError>>()?,
+                })
+            })
+            .collect::<Result<_, XmlError>>()?;
+        Ok(Mpd { title, periods })
+    }
+
+    /// Iterates over all adaptation sets across periods.
+    pub fn adaptation_sets(&self) -> impl Iterator<Item = &AdaptationSet> {
+        self.periods.iter().flat_map(|p| p.adaptation_sets.iter())
+    }
+
+    /// All distinct key IDs declared anywhere in the presentation.
+    pub fn all_key_ids(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for set in self.adaptation_sets() {
+            for kid in set.key_ids() {
+                if !out.contains(&kid) {
+                    out.push(kid);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_mpd() -> Mpd {
+        let video_reps: Vec<Representation> = [(960u32, 540u32, "kid-540"), (1280, 720, "kid-720")]
+            .iter()
+            .map(|&(w, h, kid)| {
+                let mut r = Representation::new(format!("video-{h}p"), h * 2000);
+                r.resolution = Some((w, h));
+                r.content_protections = vec![
+                    ContentProtection::mp4_protection("cenc", kid),
+                    ContentProtection::widevine(),
+                ];
+                r.init_url = format!("video/{h}/init.mp4");
+                r.segment_urls = vec![format!("video/{h}/seg1.m4s"), format!("video/{h}/seg2.m4s")];
+                r
+            })
+            .collect();
+
+        let mut audio_rep = Representation::new("audio-en", 128_000);
+        audio_rep.init_url = "audio/en/init.mp4".into();
+        audio_rep.segment_urls = vec!["audio/en/seg1.m4s".into()];
+
+        Mpd {
+            title: "Demo Title".into(),
+            periods: vec![Period {
+                adaptation_sets: vec![
+                    AdaptationSet {
+                        content_type: ContentType::Video,
+                        lang: None,
+                        content_protections: vec![],
+                        representations: video_reps,
+                    },
+                    AdaptationSet {
+                        content_type: ContentType::Audio,
+                        lang: Some("en".into()),
+                        content_protections: vec![ContentProtection::mp4_protection(
+                            "cenc", "kid-audio",
+                        )],
+                        representations: vec![audio_rep],
+                    },
+                    AdaptationSet {
+                        content_type: ContentType::Text,
+                        lang: Some("en".into()),
+                        content_protections: vec![],
+                        representations: vec![Representation::new("sub-en", 1_000)],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let mpd = demo_mpd();
+        let xml = mpd.to_xml_string();
+        let parsed = Mpd::parse(&xml).unwrap();
+        assert_eq!(parsed, mpd);
+    }
+
+    #[test]
+    fn content_type_round_trip() {
+        for ct in [ContentType::Video, ContentType::Audio, ContentType::Text] {
+            assert_eq!(ContentType::from_str_opt(ct.as_str()), Some(ct));
+        }
+        assert_eq!(ContentType::from_str_opt("image"), None);
+    }
+
+    #[test]
+    fn protection_flags() {
+        let mpd = demo_mpd();
+        let sets: Vec<_> = mpd.adaptation_sets().collect();
+        assert!(sets[0].is_protected(), "video protected at representation level");
+        assert!(sets[1].is_protected(), "audio protected at set level");
+        assert!(!sets[2].is_protected(), "subtitles in clear");
+    }
+
+    #[test]
+    fn key_id_census() {
+        let mpd = demo_mpd();
+        assert_eq!(mpd.all_key_ids(), vec!["kid-540", "kid-720", "kid-audio"]);
+        let video = &mpd.periods[0].adaptation_sets[0];
+        assert_eq!(video.key_ids(), vec!["kid-540", "kid-720"]);
+    }
+
+    #[test]
+    fn representation_default_kid() {
+        let mpd = demo_mpd();
+        let rep = &mpd.periods[0].adaptation_sets[0].representations[0];
+        assert_eq!(rep.default_kid(), Some("kid-540"));
+        let sub = &mpd.periods[0].adaptation_sets[2].representations[0];
+        assert_eq!(sub.default_kid(), None);
+    }
+
+    #[test]
+    fn shared_kid_deduplicated() {
+        // Audio sharing the video key (the "minimal" practice from Table I)
+        // yields a single distinct key id.
+        let mut set = AdaptationSet {
+            content_type: ContentType::Audio,
+            lang: None,
+            content_protections: vec![ContentProtection::mp4_protection("cenc", "shared")],
+            representations: vec![],
+        };
+        let mut rep = Representation::new("a", 1);
+        rep.content_protections = vec![ContentProtection::mp4_protection("cenc", "shared")];
+        set.representations.push(rep);
+        assert_eq!(set.key_ids(), vec!["shared"]);
+    }
+
+    #[test]
+    fn segment_urls_survive() {
+        let mpd = demo_mpd();
+        let xml = mpd.to_xml_string();
+        let parsed = Mpd::parse(&xml).unwrap();
+        let rep = &parsed.periods[0].adaptation_sets[0].representations[1];
+        assert_eq!(rep.init_url, "video/720/init.mp4");
+        assert_eq!(rep.segment_urls.len(), 2);
+        assert_eq!(rep.resolution, Some((1280, 720)));
+    }
+
+    #[test]
+    fn widevine_descriptor_recognizable() {
+        let mpd = demo_mpd();
+        let xml = mpd.to_xml_string();
+        assert!(xml.contains(WIDEVINE_SCHEME));
+        let parsed = Mpd::parse(&xml).unwrap();
+        let rep = &parsed.periods[0].adaptation_sets[0].representations[0];
+        assert!(rep
+            .content_protections
+            .iter()
+            .any(|cp| cp.scheme_id_uri == WIDEVINE_SCHEME));
+    }
+
+    #[test]
+    fn empty_mpd_round_trip() {
+        let mpd = Mpd { title: String::new(), periods: vec![] };
+        assert_eq!(Mpd::parse(&mpd.to_xml_string()).unwrap(), mpd);
+    }
+
+    #[test]
+    fn title_with_specials_round_trip() {
+        let mpd = Mpd { title: "A & B <Pilot> \"S1\"".into(), periods: vec![] };
+        assert_eq!(Mpd::parse(&mpd.to_xml_string()).unwrap().title, "A & B <Pilot> \"S1\"");
+    }
+}

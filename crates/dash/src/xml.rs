@@ -1,0 +1,519 @@
+//! A minimal XML codec, sufficient for MPD documents.
+//!
+//! Supports elements, attributes, text nodes, the five predefined entity
+//! escapes, comments, and an optional XML declaration. No namespaces
+//! processing (prefixes are kept verbatim in names), no DTDs, no CDATA —
+//! none of which MPDs produced by this workspace use.
+
+use std::fmt;
+
+/// A node in the document tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlNode {
+    /// A child element.
+    Element(XmlElement),
+    /// A text run (unescaped form).
+    Text(String),
+}
+
+/// An XML element with attributes and children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XmlElement {
+    /// Tag name (may contain a namespace prefix, kept verbatim).
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<XmlNode>,
+}
+
+/// Errors from the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Input ended unexpectedly.
+    UnexpectedEof,
+    /// A structural token was malformed at the given byte offset.
+    Malformed {
+        /// Byte offset of the problem.
+        at: usize,
+        /// Short description.
+        what: &'static str,
+    },
+    /// A closing tag did not match its opening tag.
+    MismatchedTag {
+        /// The tag that was open.
+        open: String,
+        /// The closing tag encountered.
+        close: String,
+    },
+    /// An unknown entity reference.
+    UnknownEntity {
+        /// The entity text between `&` and `;`.
+        entity: String,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof => f.write_str("unexpected end of XML input"),
+            XmlError::Malformed { at, what } => write!(f, "malformed XML at byte {at}: {what}"),
+            XmlError::MismatchedTag { open, close } => {
+                write!(f, "mismatched tag: <{open}> closed by </{close}>")
+            }
+            XmlError::UnknownEntity { entity } => write!(f, "unknown entity &{entity};"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl XmlElement {
+    /// Creates an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        XmlElement { name: name.into(), ..Default::default() }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Adds a child element (builder style).
+    pub fn child(mut self, child: XmlElement) -> Self {
+        self.children.push(XmlNode::Element(child));
+        self
+    }
+
+    /// Adds a text child (builder style).
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(XmlNode::Text(text.into()));
+        self
+    }
+
+    /// Looks up an attribute value.
+    pub fn attribute(&self, key: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Iterates over child elements with the given name.
+    pub fn elements<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> + 'a {
+        self.children.iter().filter_map(move |c| match c {
+            XmlNode::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// First child element with the given name.
+    pub fn element<'a>(&'a self, name: &str) -> Option<&'a XmlElement> {
+        self.children.iter().find_map(|c| match c {
+            XmlNode::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Concatenated text content of direct text children.
+    pub fn text_content(&self) -> String {
+        self.children
+            .iter()
+            .filter_map(|c| match c {
+                XmlNode::Text(t) => Some(t.as_str()),
+                XmlNode::Element(_) => None,
+            })
+            .collect()
+    }
+
+    /// Serializes the element (without an XML declaration).
+    pub fn to_xml_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let indent = "  ".repeat(depth);
+        out.push_str(&indent);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        // Text-only elements inline their content; mixed/element content
+        // gets indentation.
+        let only_text = self.children.iter().all(|c| matches!(c, XmlNode::Text(_)));
+        out.push('>');
+        if only_text {
+            for c in &self.children {
+                if let XmlNode::Text(t) = c {
+                    out.push_str(&escape(t));
+                }
+            }
+        } else {
+            out.push('\n');
+            for c in &self.children {
+                match c {
+                    XmlNode::Element(e) => e.write(out, depth + 1),
+                    XmlNode::Text(t) => {
+                        let trimmed = t.trim();
+                        if !trimmed.is_empty() {
+                            out.push_str(&"  ".repeat(depth + 1));
+                            out.push_str(&escape(trimmed));
+                            out.push('\n');
+                        }
+                    }
+                }
+            }
+            out.push_str(&indent);
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+
+    /// Parses a document (optionally starting with an XML declaration)
+    /// into its root element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XmlError`] on malformed input.
+    pub fn parse(input: &str) -> Result<XmlElement, XmlError> {
+        let mut p = Parser { input: input.as_bytes(), pos: 0 };
+        p.skip_prolog()?;
+        let root = p.parse_element()?;
+        p.skip_whitespace_and_comments()?;
+        if p.pos != p.input.len() {
+            return Err(XmlError::Malformed { at: p.pos, what: "trailing content after root" });
+        }
+        Ok(root)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, XmlError> {
+        let b = self.peek().ok_or(XmlError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), XmlError> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else if self.pos >= self.input.len() {
+            Err(XmlError::UnexpectedEof)
+        } else {
+            Err(XmlError::Malformed { at: self.pos, what: "unexpected token" })
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                let end = find_from(self.input, self.pos + 4, b"-->")
+                    .ok_or(XmlError::UnexpectedEof)?;
+                self.pos = end + 3;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        self.skip_whitespace();
+        if self.starts_with("<?xml") {
+            let end = find_from(self.input, self.pos, b"?>").ok_or(XmlError::UnexpectedEof)?;
+            self.pos = end + 2;
+        }
+        self.skip_whitespace_and_comments()
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(XmlError::Malformed { at: start, what: "expected a name" });
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = self.bump()?;
+        if quote != b'"' && quote != b'\'' {
+            return Err(XmlError::Malformed { at: self.pos - 1, what: "expected a quote" });
+        }
+        let start = self.pos;
+        while self.peek() != Some(quote) {
+            if self.peek().is_none() {
+                return Err(XmlError::UnexpectedEof);
+            }
+            self.pos += 1;
+        }
+        let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+        self.pos += 1; // consume closing quote
+        unescape(&raw)
+    }
+
+    fn parse_element(&mut self) -> Result<XmlElement, XmlError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut element = XmlElement::new(name);
+
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_whitespace();
+                    self.expect("=")?;
+                    self.skip_whitespace();
+                    let value = self.parse_attr_value()?;
+                    element.attrs.push((key, value));
+                }
+                None => return Err(XmlError::UnexpectedEof),
+            }
+        }
+
+        // Children until the matching close tag.
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                self.skip_whitespace();
+                self.expect(">")?;
+                if close != element.name {
+                    return Err(XmlError::MismatchedTag { open: element.name, close });
+                }
+                return Ok(element);
+            }
+            if self.starts_with("<!--") {
+                self.skip_whitespace_and_comments()?;
+                continue;
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    let child = self.parse_element()?;
+                    element.children.push(XmlNode::Element(child));
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    let text = unescape(&raw)?;
+                    if !text.trim().is_empty() {
+                        element.children.push(XmlNode::Text(text.trim().to_owned()));
+                    }
+                }
+                None => return Err(XmlError::UnexpectedEof),
+            }
+        }
+    }
+}
+
+fn find_from(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+fn unescape(s: &str) -> Result<String, XmlError> {
+    if !s.contains('&') {
+        return Ok(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let entity: String = chars.by_ref().take_while(|&c| c != ';').collect();
+        match entity.as_str() {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ => return Err(XmlError::UnknownEntity { entity }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let e = XmlElement::new("MPD")
+            .attr("profiles", "urn:mpeg:dash")
+            .child(XmlElement::new("Period"))
+            .text("note");
+        assert_eq!(e.attribute("profiles"), Some("urn:mpeg:dash"));
+        assert_eq!(e.attribute("missing"), None);
+        assert!(e.element("Period").is_some());
+        assert_eq!(e.elements("Period").count(), 1);
+        assert_eq!(e.text_content(), "note");
+    }
+
+    #[test]
+    fn simple_round_trip() {
+        let e = XmlElement::new("Root")
+            .attr("a", "1")
+            .child(XmlElement::new("Leaf").attr("b", "x&y"))
+            .child(XmlElement::new("Txt").text("hello <world>"));
+        let s = e.to_xml_string();
+        let parsed = XmlElement::parse(&s).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn self_closing_and_nested() {
+        let doc = r#"<A><B x="1"/><C><D/></C></A>"#;
+        let e = XmlElement::parse(doc).unwrap();
+        assert_eq!(e.name, "A");
+        assert_eq!(e.element("B").unwrap().attribute("x"), Some("1"));
+        assert!(e.element("C").unwrap().element("D").is_some());
+    }
+
+    #[test]
+    fn xml_declaration_and_comments() {
+        let doc = "<?xml version=\"1.0\"?>\n<!-- generated -->\n<R><!-- inner --><S/></R>\n";
+        let e = XmlElement::parse(doc).unwrap();
+        assert_eq!(e.name, "R");
+        assert!(e.element("S").is_some());
+    }
+
+    #[test]
+    fn entity_escapes_round_trip() {
+        let e = XmlElement::new("T").attr("v", "a\"b'c<d>e&f").text("x < y & z");
+        let parsed = XmlElement::parse(&e.to_xml_string()).unwrap();
+        assert_eq!(parsed.attribute("v"), Some("a\"b'c<d>e&f"));
+        assert_eq!(parsed.text_content(), "x < y & z");
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        assert_eq!(
+            XmlElement::parse("<A>&bogus;</A>"),
+            Err(XmlError::UnknownEntity { entity: "bogus".into() })
+        );
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = XmlElement::parse("<A><B></C></A>").unwrap_err();
+        assert_eq!(err, XmlError::MismatchedTag { open: "B".into(), close: "C".into() });
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        assert_eq!(XmlElement::parse("<A><B>"), Err(XmlError::UnexpectedEof));
+        assert_eq!(XmlElement::parse("<A attr=\"x"), Err(XmlError::UnexpectedEof));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(matches!(
+            XmlElement::parse("<A/><B/>"),
+            Err(XmlError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn namespaced_names_kept_verbatim() {
+        let doc = r#"<cenc:pssh xmlns:cenc="urn:mpeg:cenc:2013">data</cenc:pssh>"#;
+        let e = XmlElement::parse(doc).unwrap();
+        assert_eq!(e.name, "cenc:pssh");
+        assert_eq!(e.attribute("xmlns:cenc"), Some("urn:mpeg:cenc:2013"));
+        assert_eq!(e.text_content(), "data");
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let e = XmlElement::parse("<A x='1'/>").unwrap();
+        assert_eq!(e.attribute("x"), Some("1"));
+    }
+
+    #[test]
+    fn deep_nesting_round_trip() {
+        let mut e = XmlElement::new("L0");
+        for i in 1..20 {
+            e = XmlElement::new(format!("L{i}")).child(e);
+        }
+        let parsed = XmlElement::parse(&e.to_xml_string()).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(XmlError::UnexpectedEof.to_string().contains("end"));
+        assert!(XmlError::MismatchedTag { open: "a".into(), close: "b".into() }
+            .to_string()
+            .contains("</b>"));
+    }
+}

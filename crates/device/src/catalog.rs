@@ -1,0 +1,173 @@
+//! Device models: the handsets the study runs on.
+
+use std::fmt;
+
+/// Widevine security level (L1 is TEE-backed; L3 is software-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SecurityLevel {
+    /// All CDM operations in the TEE; HD playback allowed.
+    L1,
+    /// Media path in the TEE, crypto outside (rare; not simulated further).
+    L2,
+    /// Fully software CDM; sub-HD playback only.
+    L3,
+}
+
+impl fmt::Display for SecurityLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecurityLevel::L1 => f.write_str("L1"),
+            SecurityLevel::L2 => f.write_str("L2"),
+            SecurityLevel::L3 => f.write_str("L3"),
+        }
+    }
+}
+
+/// A CDM release version (`major.minor.patch`), orderable so revocation
+/// policies can express "versions below X are revoked".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CdmVersion {
+    /// Major version.
+    pub major: u16,
+    /// Minor version.
+    pub minor: u16,
+    /// Patch version.
+    pub patch: u16,
+}
+
+impl CdmVersion {
+    /// Creates a version triple.
+    pub const fn new(major: u16, minor: u16, patch: u16) -> Self {
+        CdmVersion { major, minor, patch }
+    }
+}
+
+impl fmt::Display for CdmVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.major, self.minor, self.patch)
+    }
+}
+
+/// A concrete handset configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceModel {
+    /// Marketing name.
+    pub name: String,
+    /// Android major version (6 for the discontinued handset, 12 modern).
+    pub android_version: u8,
+    /// The Widevine CDM version shipped on the device.
+    pub cdm_version: CdmVersion,
+    /// The best security level the hardware supports.
+    pub security_level: SecurityLevel,
+    /// Whether the device no longer receives security updates.
+    pub discontinued: bool,
+}
+
+impl DeviceModel {
+    /// The paper's discontinued handset: a 2013-class device stuck on
+    /// Android 6.0.1 with Widevine L3 CDM v3.1.0 and no security updates.
+    pub fn nexus_5() -> Self {
+        DeviceModel {
+            name: "Nexus 5".into(),
+            android_version: 6,
+            cdm_version: CdmVersion::new(3, 1, 0),
+            security_level: SecurityLevel::L3,
+            discontinued: true,
+        }
+    }
+
+    /// A modern TEE-backed handset with a current CDM (the study's L1
+    /// reference device).
+    pub fn pixel_6() -> Self {
+        DeviceModel {
+            name: "Pixel 6".into(),
+            android_version: 12,
+            cdm_version: CdmVersion::new(16, 0, 0),
+            security_level: SecurityLevel::L1,
+            discontinued: false,
+        }
+    }
+
+    /// A mid-range modern handset without a usable TEE, running the
+    /// *current* L3 CDM — distinguishes "L3 because old" from "L3 by
+    /// hardware" in the ablations.
+    pub fn midrange_l3() -> Self {
+        DeviceModel {
+            name: "Midrange L3".into(),
+            android_version: 12,
+            cdm_version: CdmVersion::new(16, 0, 0),
+            security_level: SecurityLevel::L3,
+            discontinued: false,
+        }
+    }
+
+    /// The process hosting the CDM: `mediadrmserver` from Android 7,
+    /// `mediaserver` before (exactly the distinction the paper's Frida
+    /// script makes).
+    pub fn drm_process_name(&self) -> &'static str {
+        if self.android_version >= 7 {
+            "mediadrmserver"
+        } else {
+            "mediaserver"
+        }
+    }
+
+    /// The Widevine HAL library name on this device.
+    pub fn widevine_library(&self) -> &'static str {
+        if self.android_version >= 9 {
+            "libwvhidl.so"
+        } else {
+            "libwvdrmengine.so"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn security_level_ordering_and_display() {
+        assert!(SecurityLevel::L1 < SecurityLevel::L3);
+        assert_eq!(SecurityLevel::L1.to_string(), "L1");
+        assert_eq!(SecurityLevel::L3.to_string(), "L3");
+    }
+
+    #[test]
+    fn cdm_version_ordering() {
+        let old = CdmVersion::new(3, 1, 0);
+        let new = CdmVersion::new(16, 0, 0);
+        assert!(old < new);
+        assert!(CdmVersion::new(3, 1, 0) < CdmVersion::new(3, 2, 0));
+        assert!(CdmVersion::new(3, 1, 0) < CdmVersion::new(3, 1, 1));
+        assert_eq!(old.to_string(), "3.1.0");
+    }
+
+    #[test]
+    fn nexus_5_matches_paper_configuration() {
+        let n5 = DeviceModel::nexus_5();
+        assert_eq!(n5.android_version, 6);
+        assert_eq!(n5.cdm_version, CdmVersion::new(3, 1, 0));
+        assert_eq!(n5.security_level, SecurityLevel::L3);
+        assert!(n5.discontinued);
+        assert_eq!(n5.drm_process_name(), "mediaserver");
+        assert_eq!(n5.widevine_library(), "libwvdrmengine.so");
+    }
+
+    #[test]
+    fn pixel_6_is_modern_l1() {
+        let p6 = DeviceModel::pixel_6();
+        assert_eq!(p6.security_level, SecurityLevel::L1);
+        assert!(!p6.discontinued);
+        assert_eq!(p6.drm_process_name(), "mediadrmserver");
+        assert_eq!(p6.widevine_library(), "libwvhidl.so");
+    }
+
+    #[test]
+    fn midrange_is_current_but_l3() {
+        let m = DeviceModel::midrange_l3();
+        assert_eq!(m.security_level, SecurityLevel::L3);
+        assert!(!m.discontinued);
+        assert_eq!(m.cdm_version, DeviceModel::pixel_6().cdm_version);
+    }
+}

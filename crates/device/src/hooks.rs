@@ -1,0 +1,204 @@
+//! The function-interposition engine — the simulator's Frida.
+//!
+//! Instrumented libraries (the simulated Widevine CDM) report every entry
+//! point invocation through [`HookEngine::trace`]. When no listener is
+//! attached, tracing is free; when the monitor attaches, it receives a
+//! [`CallEvent`] per call with dumped argument and result buffers, which
+//! is precisely the paper's `_oeccXX` interception methodology.
+
+use std::fmt;
+
+use parking_lot::{Mutex, RwLock};
+
+/// One intercepted call with dumped buffers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallEvent {
+    /// Library the function belongs to (e.g. `libwvdrmengine.so`,
+    /// `liboemcrypto.so`).
+    pub library: String,
+    /// Function name (e.g. `_oecc07_GenerateDerivedKeys`).
+    pub function: String,
+    /// Dumped input buffers.
+    pub args: Vec<Vec<u8>>,
+    /// Dumped output buffer, when the call produced one.
+    pub result: Option<Vec<u8>>,
+}
+
+impl CallEvent {
+    /// Creates an event with no buffers (calls that carry only handles).
+    pub fn simple(library: impl Into<String>, function: impl Into<String>) -> Self {
+        CallEvent {
+            library: library.into(),
+            function: function.into(),
+            args: Vec::new(),
+            result: None,
+        }
+    }
+}
+
+/// A hook listener callback.
+pub type CallListener = Box<dyn Fn(&CallEvent) + Send + Sync>;
+
+/// The interposition engine attached to one device.
+pub struct HookEngine {
+    listeners: RwLock<Vec<CallListener>>,
+    /// A built-in recording sink, convenient for tests and the monitor.
+    log: Mutex<Vec<CallEvent>>,
+    recording: RwLock<bool>,
+}
+
+impl fmt::Debug for HookEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HookEngine(listeners: {}, recording: {}, events: {})",
+            self.listeners.read().len(),
+            *self.recording.read(),
+            self.log.lock().len()
+        )
+    }
+}
+
+impl Default for HookEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HookEngine {
+    /// Creates an engine with no listeners and recording off.
+    pub fn new() -> Self {
+        HookEngine {
+            listeners: RwLock::new(Vec::new()),
+            log: Mutex::new(Vec::new()),
+            recording: RwLock::new(false),
+        }
+    }
+
+    /// Whether any instrumentation is active (fast path check for the
+    /// instrumented library).
+    pub fn is_active(&self) -> bool {
+        *self.recording.read() || !self.listeners.read().is_empty()
+    }
+
+    /// Attaches a listener.
+    pub fn attach(&self, listener: CallListener) {
+        self.listeners.write().push(listener);
+    }
+
+    /// Starts recording events into the built-in log.
+    pub fn start_recording(&self) {
+        *self.recording.write() = true;
+    }
+
+    /// Stops recording and returns everything captured.
+    pub fn stop_recording(&self) -> Vec<CallEvent> {
+        *self.recording.write() = false;
+        std::mem::take(&mut *self.log.lock())
+    }
+
+    /// Snapshots the recorded events without clearing them.
+    pub fn recorded(&self) -> Vec<CallEvent> {
+        self.log.lock().clone()
+    }
+
+    /// Reports a call. Instrumented code calls this unconditionally; the
+    /// engine drops the event when nothing is attached.
+    pub fn trace(&self, event: CallEvent) {
+        if !self.is_active() {
+            return;
+        }
+        for l in self.listeners.read().iter() {
+            l(&event);
+        }
+        if *self.recording.read() {
+            self.log.lock().push(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn event(f: &str) -> CallEvent {
+        CallEvent::simple("libwvdrmengine.so", f)
+    }
+
+    #[test]
+    fn inactive_engine_drops_events() {
+        let e = HookEngine::new();
+        assert!(!e.is_active());
+        e.trace(event("_oecc01_Initialize"));
+        assert!(e.recorded().is_empty());
+    }
+
+    #[test]
+    fn recording_captures_in_order() {
+        let e = HookEngine::new();
+        e.start_recording();
+        assert!(e.is_active());
+        e.trace(event("_oecc01_Initialize"));
+        e.trace(event("_oecc04_OpenSession"));
+        let log = e.stop_recording();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].function, "_oecc01_Initialize");
+        assert_eq!(log[1].function, "_oecc04_OpenSession");
+        // Log is drained and recording stopped.
+        assert!(e.recorded().is_empty());
+        e.trace(event("_oecc05_CloseSession"));
+        assert!(e.recorded().is_empty());
+    }
+
+    #[test]
+    fn listeners_see_every_event() {
+        let e = HookEngine::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = count.clone();
+        e.attach(Box::new(move |_| {
+            c2.fetch_add(1, Ordering::SeqCst);
+        }));
+        e.trace(event("a"));
+        e.trace(event("b"));
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn listeners_receive_buffers() {
+        let e = HookEngine::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s2 = seen.clone();
+        e.attach(Box::new(move |ev| {
+            s2.lock().push(ev.clone());
+        }));
+        let ev = CallEvent {
+            library: "liboemcrypto.so".into(),
+            function: "_oecc21_DecryptCTR".into(),
+            args: vec![vec![1, 2, 3], vec![4]],
+            result: Some(vec![9]),
+        };
+        e.trace(ev.clone());
+        assert_eq!(seen.lock().as_slice(), &[ev]);
+    }
+
+    #[test]
+    fn recorded_snapshot_does_not_drain() {
+        let e = HookEngine::new();
+        e.start_recording();
+        e.trace(event("x"));
+        assert_eq!(e.recorded().len(), 1);
+        assert_eq!(e.recorded().len(), 1);
+        assert_eq!(e.stop_recording().len(), 1);
+    }
+
+    #[test]
+    fn debug_summarizes() {
+        let e = HookEngine::new();
+        e.start_recording();
+        e.trace(event("x"));
+        let s = format!("{e:?}");
+        assert!(s.contains("events: 1"));
+    }
+}

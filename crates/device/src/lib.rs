@@ -1,0 +1,250 @@
+//! An Android device simulator for the WideLeak study.
+//!
+//! The paper's methodology instruments a real handset: Frida hooks the
+//! Widevine CDM process, Burp intercepts TLS after an SSL-repinning
+//! bypass, and (for the practical attack) the researcher scans the L3
+//! CDM's process memory for the keybox. This crate models the handset-side
+//! machinery that makes those techniques expressible:
+//!
+//! - [`memory`] — per-process memory maps with named regions, readable by
+//!   an attacker with root (CWE-922 is "sensitive data in a readable
+//!   region");
+//! - [`hooks`] — a function-interposition engine (the Frida stand-in) that
+//!   libraries report their calls through when instrumented;
+//! - [`net`] — a TLS transport with certificate pinning and an optional
+//!   interception proxy whose success depends on a repinning bypass;
+//! - [`catalog`] — concrete device models (a modern L1 handset, the
+//!   discontinued Nexus-5-class L3 handset) with Android and CDM versions.
+//!
+//! # Examples
+//!
+//! ```
+//! use wideleak_device::catalog::DeviceModel;
+//! use wideleak_device::Device;
+//!
+//! let device = Device::new(DeviceModel::nexus_5());
+//! assert!(device.model().discontinued);
+//! assert_eq!(device.model().security_level, wideleak_device::catalog::SecurityLevel::L3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod hooks;
+pub mod memory;
+pub mod net;
+
+use std::fmt;
+use std::sync::Arc;
+
+use catalog::DeviceModel;
+use hooks::HookEngine;
+use memory::ProcessMemory;
+use net::NetworkStack;
+
+/// Errors from device-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The operation requires a rooted device.
+    RootRequired {
+        /// The operation that was attempted.
+        operation: &'static str,
+    },
+    /// No process with the given name is running.
+    NoSuchProcess {
+        /// The requested process name.
+        process: String,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::RootRequired { operation } => {
+                write!(f, "{operation} requires a rooted device")
+            }
+            DeviceError::NoSuchProcess { process } => write!(f, "no such process: {process}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A simulated handset.
+///
+/// The device owns the process memory maps, the hook engine and the
+/// network stack; the DRM stack (`wideleak-cdm`, `wideleak-android-drm`)
+/// is wired onto a device when the stack boots.
+pub struct Device {
+    model: DeviceModel,
+    rooted: bool,
+    mediadrm_memory: Arc<ProcessMemory>,
+    hooks: Arc<HookEngine>,
+    network: Arc<NetworkStack>,
+    /// Whether a (naive, detectable) debugger is attached to app
+    /// processes. SafetyNet-style checks key on this; the WideLeak
+    /// methodology never sets it because it instruments the *CDM*
+    /// process instead (§V-B).
+    app_debugger_attached: std::sync::atomic::AtomicBool,
+}
+
+impl fmt::Debug for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Device({}, rooted: {})", self.model.name, self.rooted)
+    }
+}
+
+impl Device {
+    /// Powers on a device of the given model (not rooted).
+    pub fn new(model: DeviceModel) -> Self {
+        let process_name = model.drm_process_name().to_owned();
+        Device {
+            model,
+            rooted: false,
+            mediadrm_memory: Arc::new(ProcessMemory::new(process_name)),
+            hooks: Arc::new(HookEngine::new()),
+            network: Arc::new(NetworkStack::new()),
+            app_debugger_attached: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Powers on a rooted device — the attacker's configuration.
+    pub fn rooted(model: DeviceModel) -> Self {
+        let mut d = Self::new(model);
+        d.rooted = true;
+        d
+    }
+
+    /// The device model.
+    pub fn model(&self) -> &DeviceModel {
+        &self.model
+    }
+
+    /// Whether the device is rooted.
+    pub fn is_rooted(&self) -> bool {
+        self.rooted
+    }
+
+    /// The memory map of the process hosting the CDM
+    /// (`mediadrmserver` from Android 7, `mediaserver` before).
+    ///
+    /// Writing into it needs no privilege (the CDM itself does that);
+    /// *scanning* it from another process is gated by
+    /// [`Device::scan_drm_process_memory`].
+    pub fn drm_process_memory(&self) -> &Arc<ProcessMemory> {
+        &self.mediadrm_memory
+    }
+
+    /// Attaches to the CDM process for memory scanning, as the attack PoC
+    /// does with root privileges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::RootRequired`] on a non-rooted device.
+    pub fn scan_drm_process_memory(&self) -> Result<&ProcessMemory, DeviceError> {
+        if !self.rooted {
+            return Err(DeviceError::RootRequired { operation: "process memory scan" });
+        }
+        Ok(&self.mediadrm_memory)
+    }
+
+    /// The hook engine. Instrumented libraries report calls through it;
+    /// installing hooks (attaching listeners) requires root.
+    pub fn hook_engine(&self) -> &Arc<HookEngine> {
+        &self.hooks
+    }
+
+    /// Attaches a hook listener (the Frida workflow).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::RootRequired`] on a non-rooted device.
+    pub fn attach_hooks(&self, listener: hooks::CallListener) -> Result<(), DeviceError> {
+        if !self.rooted {
+            return Err(DeviceError::RootRequired { operation: "hook attachment" });
+        }
+        self.hooks.attach(listener);
+        Ok(())
+    }
+
+    /// The device network stack.
+    pub fn network(&self) -> &Arc<NetworkStack> {
+        &self.network
+    }
+
+    /// Attaches a naive debugger to app processes — the detectable kind
+    /// of dynamic analysis that SafetyNet-style attestation catches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::RootRequired`] on a non-rooted device.
+    pub fn attach_app_debugger(&self) -> Result<(), DeviceError> {
+        if !self.rooted {
+            return Err(DeviceError::RootRequired { operation: "app debugger attachment" });
+        }
+        self.app_debugger_attached.store(true, std::sync::atomic::Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Whether a detectable debugger is attached to app processes.
+    pub fn is_app_debugger_attached(&self) -> bool {
+        self.app_debugger_attached.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Applies the SSL-repinning bypass (a Frida script in the paper;
+    /// root-gated here like any instrumentation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::RootRequired`] on a non-rooted device.
+    pub fn apply_ssl_repinning_bypass(&self) -> Result<(), DeviceError> {
+        if !self.rooted {
+            return Err(DeviceError::RootRequired { operation: "SSL repinning bypass" });
+        }
+        self.network.apply_repinning_bypass();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_device_is_not_rooted() {
+        let d = Device::new(DeviceModel::pixel_6());
+        assert!(!d.is_rooted());
+        assert!(matches!(
+            d.scan_drm_process_memory(),
+            Err(DeviceError::RootRequired { .. })
+        ));
+        assert!(matches!(
+            d.apply_ssl_repinning_bypass(),
+            Err(DeviceError::RootRequired { .. })
+        ));
+    }
+
+    #[test]
+    fn rooted_device_allows_instrumentation() {
+        let d = Device::rooted(DeviceModel::nexus_5());
+        assert!(d.is_rooted());
+        assert!(d.scan_drm_process_memory().is_ok());
+        assert!(d.apply_ssl_repinning_bypass().is_ok());
+        assert!(d.attach_hooks(Box::new(|_| {})).is_ok());
+    }
+
+    #[test]
+    fn drm_process_name_tracks_android_version() {
+        let old = Device::new(DeviceModel::nexus_5());
+        assert_eq!(old.drm_process_memory().process_name(), "mediaserver");
+        let new = Device::new(DeviceModel::pixel_6());
+        assert_eq!(new.drm_process_memory().process_name(), "mediadrmserver");
+    }
+
+    #[test]
+    fn debug_output() {
+        let d = Device::new(DeviceModel::nexus_5());
+        assert!(format!("{d:?}").contains("Nexus 5"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Simulated process memory maps.
+//!
+//! A [`ProcessMemory`] is a set of named regions, like `/proc/<pid>/maps`
+//! entries. The L3 CDM allocates a region for its working buffers and —
+//! this is CWE-922, the root cause behind CVE-2021-0639 — writes its
+//! keybox there in cleartext during key-ladder initialization. The attack
+//! PoC walks these regions exactly as the paper's tooling walked real
+//! process memory.
+
+use std::fmt;
+
+use parking_lot::RwLock;
+
+/// One mapped region of a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Region label (the backing library or heap name).
+    pub name: String,
+    /// The bytes of the region.
+    pub bytes: Vec<u8>,
+}
+
+/// The memory map of one process.
+pub struct ProcessMemory {
+    process_name: String,
+    regions: RwLock<Vec<Region>>,
+}
+
+impl fmt::Debug for ProcessMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let regions = self.regions.read();
+        write!(
+            f,
+            "ProcessMemory({}, {} regions, {} bytes)",
+            self.process_name,
+            regions.len(),
+            regions.iter().map(|r| r.bytes.len()).sum::<usize>()
+        )
+    }
+}
+
+impl ProcessMemory {
+    /// Creates an empty memory map for a named process.
+    pub fn new(process_name: impl Into<String>) -> Self {
+        ProcessMemory { process_name: process_name.into(), regions: RwLock::new(Vec::new()) }
+    }
+
+    /// The owning process name.
+    pub fn process_name(&self) -> &str {
+        &self.process_name
+    }
+
+    /// Maps a new region, returning its index.
+    pub fn map_region(&self, name: impl Into<String>, bytes: Vec<u8>) -> usize {
+        let mut regions = self.regions.write();
+        regions.push(Region { name: name.into(), bytes });
+        regions.len() - 1
+    }
+
+    /// Overwrites part of a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region index or the byte range is out of bounds —
+    /// the simulated equivalent of a segfault.
+    pub fn write(&self, region: usize, offset: usize, data: &[u8]) {
+        let mut regions = self.regions.write();
+        let r = &mut regions[region];
+        r.bytes[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Appends data to a region (heap-style growth), returning the offset
+    /// the data landed at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region index is out of bounds.
+    pub fn append(&self, region: usize, data: &[u8]) -> usize {
+        let mut regions = self.regions.write();
+        let r = &mut regions[region];
+        let offset = r.bytes.len();
+        r.bytes.extend_from_slice(data);
+        offset
+    }
+
+    /// Zeroizes a byte range (what a careful CDM would do after use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region index or range is out of bounds.
+    pub fn zeroize(&self, region: usize, offset: usize, len: usize) {
+        let mut regions = self.regions.write();
+        let r = &mut regions[region];
+        r.bytes[offset..offset + len].fill(0);
+    }
+
+    /// Snapshots all regions (the attacker's memory dump).
+    pub fn snapshot(&self) -> Vec<Region> {
+        self.regions.read().clone()
+    }
+
+    /// Number of mapped regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.read().len()
+    }
+
+    /// Total mapped bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.regions.read().iter().map(|r| r.bytes.len()).sum()
+    }
+
+    /// Scans all regions for a byte pattern; returns `(region index,
+    /// offset)` pairs of every match.
+    pub fn scan(&self, pattern: &[u8]) -> Vec<(usize, usize)> {
+        if pattern.is_empty() {
+            return Vec::new();
+        }
+        let regions = self.regions.read();
+        let mut hits = Vec::new();
+        for (ri, region) in regions.iter().enumerate() {
+            let mut start = 0usize;
+            while start + pattern.len() <= region.bytes.len() {
+                match region.bytes[start..]
+                    .windows(pattern.len())
+                    .position(|w| w == pattern)
+                {
+                    Some(p) => {
+                        hits.push((ri, start + p));
+                        start += p + 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        hits
+    }
+
+    /// Reads a byte range out of a region, if in bounds.
+    pub fn read(&self, region: usize, offset: usize, len: usize) -> Option<Vec<u8>> {
+        let regions = self.regions.read();
+        regions
+            .get(region)
+            .and_then(|r| r.bytes.get(offset..offset + len))
+            .map(<[u8]>::to_vec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_write_read() {
+        let mem = ProcessMemory::new("mediaserver");
+        let r = mem.map_region("heap", vec![0u8; 64]);
+        mem.write(r, 8, &[1, 2, 3]);
+        assert_eq!(mem.read(r, 8, 3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(mem.read(r, 62, 4), None, "out of bounds read returns None");
+        assert_eq!(mem.region_count(), 1);
+        assert_eq!(mem.total_bytes(), 64);
+    }
+
+    #[test]
+    fn append_returns_offset() {
+        let mem = ProcessMemory::new("p");
+        let r = mem.map_region("heap", vec![9u8; 4]);
+        let off = mem.append(r, &[7, 7]);
+        assert_eq!(off, 4);
+        assert_eq!(mem.read(r, 4, 2).unwrap(), vec![7, 7]);
+        assert_eq!(mem.total_bytes(), 6);
+    }
+
+    #[test]
+    fn scan_finds_all_matches() {
+        let mem = ProcessMemory::new("p");
+        mem.map_region("a", b"xxkboxyy-kbox".to_vec());
+        mem.map_region("b", b"kbox".to_vec());
+        let hits = mem.scan(b"kbox");
+        assert_eq!(hits, vec![(0, 2), (0, 9), (1, 0)]);
+    }
+
+    #[test]
+    fn scan_overlapping_matches() {
+        let mem = ProcessMemory::new("p");
+        mem.map_region("a", b"aaaa".to_vec());
+        assert_eq!(mem.scan(b"aa"), vec![(0, 0), (0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn scan_empty_pattern_is_empty() {
+        let mem = ProcessMemory::new("p");
+        mem.map_region("a", vec![1, 2, 3]);
+        assert!(mem.scan(&[]).is_empty());
+    }
+
+    #[test]
+    fn zeroize_erases() {
+        let mem = ProcessMemory::new("p");
+        let r = mem.map_region("a", vec![0xFF; 16]);
+        mem.zeroize(r, 4, 8);
+        assert_eq!(mem.read(r, 4, 8).unwrap(), vec![0; 8]);
+        assert_eq!(mem.read(r, 0, 4).unwrap(), vec![0xFF; 4]);
+        // The secret no longer scans.
+        assert!(mem.scan(&[0xFF; 8]).is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_a_copy() {
+        let mem = ProcessMemory::new("p");
+        let r = mem.map_region("a", vec![1, 2, 3]);
+        let snap = mem.snapshot();
+        mem.write(r, 0, &[9]);
+        assert_eq!(snap[0].bytes, vec![1, 2, 3], "snapshot unaffected by later writes");
+        assert_eq!(snap[0].name, "a");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        let mem = ProcessMemory::new("p");
+        let r = mem.map_region("a", vec![0; 4]);
+        mem.write(r, 3, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn debug_summary() {
+        let mem = ProcessMemory::new("mediadrmserver");
+        mem.map_region("libwvhidl.so", vec![0; 10]);
+        let s = format!("{mem:?}");
+        assert!(s.contains("mediadrmserver") && s.contains("1 regions") && s.contains("10 bytes"));
+    }
+}

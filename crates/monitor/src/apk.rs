@@ -1,0 +1,126 @@
+//! The static-analysis prong of the study's two-pronged methodology.
+//!
+//! "First, we decompile the Java classes of the evaluated OTT apps to
+//! identify some of the included Android classes. More specifically, we
+//! scan all calls to MediaDrm and MediaCrypto methods... However, we are
+//! aware that some apps might include some dead code. Thus, in order to
+//! err on the side of soundness (i.e., low false positives), we monitored
+//! Widevine component functions... while playing protected content."
+//! (§IV-B)
+//!
+//! This module is that first prong: a class-reference scanner over the
+//! (simulated) decompiled APK, whose hits are *hypotheses* the dynamic
+//! hook analysis must confirm.
+
+use wideleak_ott::apps::Apk;
+
+/// One statically detected DRM integration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DrmIntegration {
+    /// The Android platform DRM API (MediaDrm/MediaCrypto/MediaCodec).
+    AndroidMediaDrm,
+    /// The non-DASH generic crypto session API.
+    CryptoSession,
+    /// A vendored/embedded Widevine client.
+    EmbeddedWidevine,
+    /// Microsoft PlayReady classes.
+    PlayReady,
+    /// Anything else that pattern-matched a DRM-ish class path.
+    Other(String),
+}
+
+/// The result of statically scanning one APK.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticScan {
+    /// Every DRM integration the bytecode *references* (live or dead —
+    /// statically indistinguishable).
+    pub integrations: Vec<DrmIntegration>,
+}
+
+impl StaticScan {
+    /// Whether the platform DRM API is referenced at all.
+    pub fn references_media_drm(&self) -> bool {
+        self.integrations.contains(&DrmIntegration::AndroidMediaDrm)
+    }
+}
+
+/// Scans a decompiled APK's class references for DRM integrations.
+pub fn scan_apk(apk: &Apk) -> StaticScan {
+    let mut integrations = Vec::new();
+    for reference in apk.visible_references() {
+        let hit = if reference.starts_with("android.media.MediaDrm$CryptoSession") {
+            Some(DrmIntegration::CryptoSession)
+        } else if reference.starts_with("android.media.MediaDrm")
+            || reference.starts_with("android.media.MediaCrypto")
+        {
+            Some(DrmIntegration::AndroidMediaDrm)
+        } else if reference.contains("EmbeddedWidevine") {
+            Some(DrmIntegration::EmbeddedWidevine)
+        } else if reference.contains("playready") || reference.contains("PlayReady") {
+            Some(DrmIntegration::PlayReady)
+        } else if reference.to_lowercase().contains("drm") {
+            Some(DrmIntegration::Other(reference.to_owned()))
+        } else {
+            None
+        };
+        if let Some(h) = hit {
+            if !integrations.contains(&h) {
+                integrations.push(h);
+            }
+        }
+    }
+    StaticScan { integrations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wideleak_ott::apps::evaluated_apps;
+
+    #[test]
+    fn every_evaluated_app_references_media_drm() {
+        for profile in evaluated_apps() {
+            let scan = scan_apk(&profile.apk());
+            assert!(scan.references_media_drm(), "{}", profile.name);
+        }
+    }
+
+    #[test]
+    fn netflix_references_the_crypto_session_api() {
+        let netflix = &evaluated_apps()[0];
+        let scan = scan_apk(&netflix.apk());
+        assert!(scan.integrations.contains(&DrmIntegration::CryptoSession));
+    }
+
+    #[test]
+    fn amazon_references_an_embedded_client() {
+        let amazon = evaluated_apps().into_iter().find(|p| p.slug == "amazon").unwrap();
+        let scan = scan_apk(&amazon.apk());
+        assert!(scan.integrations.contains(&DrmIntegration::EmbeddedWidevine));
+    }
+
+    #[test]
+    fn static_analysis_over_reports_dead_code() {
+        // The classic false positive: myCANAL's bytecode still references
+        // PlayReady classes it never executes.
+        let mycanal = evaluated_apps().into_iter().find(|p| p.slug == "mycanal").unwrap();
+        let scan = scan_apk(&mycanal.apk());
+        assert!(
+            scan.integrations.contains(&DrmIntegration::PlayReady),
+            "the static prong cannot tell it is dead code"
+        );
+        // The APK model itself knows (dynamic analysis will refute it).
+        assert!(mycanal
+            .apk()
+            .dead_code_references
+            .iter()
+            .any(|r| r.contains("playready")));
+    }
+
+    #[test]
+    fn empty_apk_scans_clean() {
+        let apk = Apk { live_references: vec![], dead_code_references: vec![] };
+        assert!(scan_apk(&apk).integrations.is_empty());
+        assert!(!scan_apk(&apk).references_media_drm());
+    }
+}

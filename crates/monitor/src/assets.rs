@@ -1,0 +1,171 @@
+//! Asset probing: download a track's URIs and determine its protection
+//! status, the way the paper does ("we just rely on video or audio
+//! players to read the downloaded files").
+
+use wideleak_bmff::fragment::InitSegment;
+use wideleak_bmff::types::KeyId;
+use wideleak_dash::mpd::{ContentType, Mpd};
+use wideleak_device::net::RemoteEndpoint;
+
+use crate::classify::Protection;
+use crate::MonitorError;
+
+/// Downloads a URL straight from the CDN (the researcher's own transport,
+/// no pinning involved).
+pub fn fetch(endpoint: &dyn RemoteEndpoint, path: &str) -> Result<Vec<u8>, MonitorError> {
+    endpoint
+        .handle(path, &[])
+        .map_err(|e| MonitorError::Probe { what: format!("{path}: {e}") })
+}
+
+/// Probes the protection status of a media track by its init segment.
+pub fn probe_init_segment(bytes: &[u8]) -> Protection {
+    match InitSegment::from_bytes(bytes) {
+        Ok(init) if init.is_protected() => Protection::Encrypted,
+        Ok(_) => Protection::Clear,
+        Err(_) => Protection::Unknown,
+    }
+}
+
+/// Probes subtitles: readable ASCII means clear.
+pub fn probe_subtitles(bytes: &[u8]) -> Protection {
+    if !bytes.is_empty() && bytes.is_ascii() {
+        Protection::Clear
+    } else {
+        Protection::Encrypted
+    }
+}
+
+/// Protection findings for one title's assets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssetFindings {
+    /// Video track protection.
+    pub video: Protection,
+    /// Audio track protection.
+    pub audio: Protection,
+    /// Subtitle track protection ([`Protection::Unknown`] when the URI
+    /// could not be discovered).
+    pub subtitles: Protection,
+}
+
+/// Downloads and probes every asset class referenced by an MPD.
+pub fn probe_assets(
+    endpoint: &dyn RemoteEndpoint,
+    mpd: &Mpd,
+) -> Result<AssetFindings, MonitorError> {
+    let mut findings = AssetFindings {
+        video: Protection::Unknown,
+        audio: Protection::Unknown,
+        subtitles: Protection::Unknown,
+    };
+    for set in mpd.adaptation_sets() {
+        let Some(rep) = set.representations.first() else { continue };
+        match set.content_type {
+            ContentType::Video | ContentType::Audio => {
+                if rep.init_url.is_empty() {
+                    continue;
+                }
+                let bytes = fetch(endpoint, &rep.init_url)?;
+                let protection = probe_init_segment(&bytes);
+                match set.content_type {
+                    ContentType::Video => findings.video = protection,
+                    ContentType::Audio => findings.audio = protection,
+                    ContentType::Text => unreachable!("matched above"),
+                }
+            }
+            ContentType::Text => {
+                let Some(url) = rep.segment_urls.first() else { continue };
+                let bytes = fetch(endpoint, url)?;
+                findings.subtitles = probe_subtitles(&bytes);
+            }
+        }
+    }
+    Ok(findings)
+}
+
+/// Cross-checks the protection metadata of one presentation: for every
+/// protected track the `pssh` key-id list must contain the `tenc`
+/// default KID, and when the MPD declares a `default_KID` it must agree
+/// with the container. The paper's key-id census (§IV-B "we note the used
+/// key IDs for each content by parsing the MPD files and their related
+/// OTT-specific metadata") relies on these layers agreeing.
+///
+/// Returns `true` when every downloadable protected track is consistent.
+///
+/// # Errors
+///
+/// Propagates download failures; malformed inits count as inconsistent.
+pub fn probe_metadata_consistency(
+    endpoint: &dyn RemoteEndpoint,
+    mpd: &Mpd,
+) -> Result<bool, MonitorError> {
+    for set in mpd.adaptation_sets() {
+        if set.content_type == ContentType::Text {
+            continue;
+        }
+        for rep in &set.representations {
+            if rep.init_url.is_empty() {
+                continue;
+            }
+            let bytes = fetch(endpoint, &rep.init_url)?;
+            let Ok(init) = InitSegment::from_bytes(&bytes) else { return Ok(false) };
+            let Some(tenc) = &init.tenc else { continue };
+            let kid = KeyId(tenc.default_kid.0);
+            // pssh must advertise the tenc KID.
+            if !init.pssh.is_empty()
+                && !init.pssh.iter().any(|p| p.key_ids.contains(&kid))
+            {
+                return Ok(false);
+            }
+            // MPD metadata (when present) must agree with the container.
+            let declared = rep
+                .default_kid()
+                .or_else(|| set.content_protections.iter().find_map(|cp| cp.default_kid.as_deref()));
+            if let Some(hex) = declared {
+                match KeyId::from_hex(hex) {
+                    Ok(mpd_kid) if mpd_kid == kid => {}
+                    _ => return Ok(false),
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wideleak_bmff::fragment::TrackKind;
+    use wideleak_bmff::types::{KeyId, Tenc};
+    use wideleak_bmff::FourCc;
+
+    #[test]
+    fn probe_protected_init() {
+        let init = InitSegment::protected(
+            1,
+            TrackKind::Video,
+            FourCc(*b"cenc"),
+            Tenc::cenc(KeyId([1; 16])),
+            vec![],
+        );
+        assert_eq!(probe_init_segment(&init.to_bytes()), Protection::Encrypted);
+    }
+
+    #[test]
+    fn probe_clear_init() {
+        let init = InitSegment::clear(1, TrackKind::Audio);
+        assert_eq!(probe_init_segment(&init.to_bytes()), Protection::Clear);
+    }
+
+    #[test]
+    fn probe_garbage_is_unknown() {
+        assert_eq!(probe_init_segment(&[1, 2, 3]), Protection::Unknown);
+    }
+
+    #[test]
+    fn probe_subtitle_ascii() {
+        assert_eq!(probe_subtitles(b"WEBVTT\nhello"), Protection::Clear);
+        assert_eq!(probe_subtitles(&[0xde, 0xad, 0xbe]), Protection::Encrypted);
+        assert_eq!(probe_subtitles(&[]), Protection::Encrypted);
+    }
+}

@@ -1,0 +1,230 @@
+//! The Q1–Q4 classifiers and their Table-I cell types.
+
+use wideleak_dash::mpd::{ContentType, Mpd};
+use wideleak_device::catalog::SecurityLevel;
+
+/// Q1 — does the app rely on (platform) Widevine?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WidevineUse {
+    /// Platform Widevine drives playback.
+    Yes,
+    /// Widevine, but through an app-embedded library when only L3 is
+    /// available (Amazon's `†`).
+    YesWithEmbeddedFallback,
+    /// No Widevine involvement observed.
+    No,
+}
+
+/// Q2 — protection status of one asset class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protection {
+    /// Downloaded bytes only play with the content key.
+    Encrypted,
+    /// Downloaded bytes play directly.
+    Clear,
+    /// The asset's URI could not be discovered (Table I's `-`).
+    Unknown,
+}
+
+/// Q3 — content-key usage discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyUsage {
+    /// Audio in clear or sharing the video key (Table I "Minimum").
+    Minimum,
+    /// Audio and video under distinct keys (Table I "Recommended").
+    Recommended,
+    /// Metadata unavailable (regional restriction, Table I's `-`).
+    Unknown,
+}
+
+/// Q4 — behaviour on a discontinued (revoked) L3 device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LegacyPlayback {
+    /// Content plays through platform Widevine (full circle).
+    Plays,
+    /// Content plays, but through the app's embedded DRM (`†`).
+    PlaysViaEmbeddedDrm,
+    /// Widevine fails during the provisioning phase (half circle).
+    ProvisioningFails,
+    /// Playback failed for another reason.
+    Fails,
+}
+
+/// Classifies Q1 from the two observation runs.
+///
+/// `modern_widevine_active` — did hooks fire on the modern device;
+/// `legacy_widevine_active` — did hooks fire during *playback* on the
+/// L3-only device; `legacy_played` — did that playback produce frames.
+pub fn q1_widevine_use(
+    modern_widevine_active: bool,
+    legacy_widevine_active: bool,
+    legacy_played: bool,
+) -> WidevineUse {
+    match (modern_widevine_active, legacy_widevine_active, legacy_played) {
+        (false, false, _) => WidevineUse::No,
+        (true, false, true) => WidevineUse::YesWithEmbeddedFallback,
+        _ => WidevineUse::Yes,
+    }
+}
+
+/// Classifies Q3 from the MPD's key-id metadata.
+///
+/// Returns `(usage, per-resolution keys distinct?)` — the second value
+/// backs the paper's observation that all apps key each resolution
+/// separately.
+pub fn q3_key_usage(mpd: &Mpd) -> (KeyUsage, Option<bool>) {
+    let video_kids: Vec<String> = mpd
+        .adaptation_sets()
+        .filter(|s| s.content_type == ContentType::Video)
+        .flat_map(|s| s.key_ids())
+        .collect();
+    if video_kids.is_empty() {
+        // No visible metadata at all: the regional-restriction case.
+        return (KeyUsage::Unknown, None);
+    }
+    let mut distinct_video = video_kids.clone();
+    distinct_video.sort();
+    distinct_video.dedup();
+    let per_resolution_distinct = {
+        let rep_count: usize = mpd
+            .adaptation_sets()
+            .filter(|s| s.content_type == ContentType::Video)
+            .map(|s| s.representations.len())
+            .sum();
+        distinct_video.len() == rep_count
+    };
+
+    let audio_kids: Vec<String> = mpd
+        .adaptation_sets()
+        .filter(|s| s.content_type == ContentType::Audio)
+        .flat_map(|s| s.key_ids())
+        .collect();
+
+    let usage = if audio_kids.is_empty() {
+        // Clear audio: the "minimal" practice by definition.
+        KeyUsage::Minimum
+    } else if audio_kids.iter().any(|k| video_kids.contains(k)) {
+        KeyUsage::Minimum
+    } else {
+        KeyUsage::Recommended
+    };
+    (usage, Some(per_resolution_distinct))
+}
+
+/// Classifies Q4 from the legacy-device playback attempt.
+pub fn q4_legacy_playback(
+    play_result: &Result<bool, LegacyFailure>,
+) -> LegacyPlayback {
+    match play_result {
+        Ok(true) => LegacyPlayback::Plays,
+        Ok(false) => LegacyPlayback::PlaysViaEmbeddedDrm,
+        Err(LegacyFailure::Revoked) => LegacyPlayback::ProvisioningFails,
+        Err(LegacyFailure::Other) => LegacyPlayback::Fails,
+    }
+}
+
+/// How a legacy playback attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegacyFailure {
+    /// The backend refused the device as revoked.
+    Revoked,
+    /// Any other failure.
+    Other,
+}
+
+/// The L1-support observation derived from hook traces on a TEE-capable
+/// device.
+pub fn l1_supported(observed_level: Option<SecurityLevel>) -> bool {
+    observed_level == Some(SecurityLevel::L1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wideleak_dash::mpd::{AdaptationSet, ContentProtection, Period, Representation};
+
+    fn mpd_with(video_kids: &[&str], audio_kid: Option<&str>) -> Mpd {
+        let mut video_set = AdaptationSet {
+            content_type: ContentType::Video,
+            lang: None,
+            content_protections: vec![],
+            representations: vec![],
+        };
+        for (i, kid) in video_kids.iter().enumerate() {
+            let mut rep = Representation::new(format!("v{i}"), 1000);
+            rep.content_protections = vec![ContentProtection::mp4_protection("cenc", kid)];
+            video_set.representations.push(rep);
+        }
+        let audio_set = AdaptationSet {
+            content_type: ContentType::Audio,
+            lang: Some("en".into()),
+            content_protections: audio_kid
+                .map(|k| vec![ContentProtection::mp4_protection("cenc", k)])
+                .unwrap_or_default(),
+            representations: vec![Representation::new("a", 100)],
+        };
+        Mpd {
+            title: "t".into(),
+            periods: vec![Period { adaptation_sets: vec![video_set, audio_set] }],
+        }
+    }
+
+    #[test]
+    fn q1_cases() {
+        assert_eq!(q1_widevine_use(true, true, true), WidevineUse::Yes);
+        assert_eq!(q1_widevine_use(true, false, true), WidevineUse::YesWithEmbeddedFallback);
+        assert_eq!(q1_widevine_use(false, false, false), WidevineUse::No);
+        // Legacy failed to play at all: still Widevine (revocation case).
+        assert_eq!(q1_widevine_use(true, false, false), WidevineUse::Yes);
+    }
+
+    #[test]
+    fn q3_clear_audio_is_minimum() {
+        let (usage, distinct) = q3_key_usage(&mpd_with(&["k1", "k2", "k3"], None));
+        assert_eq!(usage, KeyUsage::Minimum);
+        assert_eq!(distinct, Some(true));
+    }
+
+    #[test]
+    fn q3_shared_audio_key_is_minimum() {
+        let (usage, _) = q3_key_usage(&mpd_with(&["k1", "k2", "k3"], Some("k1")));
+        assert_eq!(usage, KeyUsage::Minimum);
+    }
+
+    #[test]
+    fn q3_distinct_audio_key_is_recommended() {
+        let (usage, _) = q3_key_usage(&mpd_with(&["k1", "k2", "k3"], Some("ka")));
+        assert_eq!(usage, KeyUsage::Recommended);
+    }
+
+    #[test]
+    fn q3_no_metadata_is_unknown() {
+        let (usage, distinct) = q3_key_usage(&mpd_with(&[], None));
+        assert_eq!(usage, KeyUsage::Unknown);
+        assert_eq!(distinct, None);
+    }
+
+    #[test]
+    fn q3_reused_video_keys_flagged() {
+        let (_, distinct) = q3_key_usage(&mpd_with(&["k1", "k1", "k2"], None));
+        assert_eq!(distinct, Some(false));
+    }
+
+    #[test]
+    fn q4_cases() {
+        assert_eq!(q4_legacy_playback(&Ok(true)), LegacyPlayback::Plays);
+        assert_eq!(q4_legacy_playback(&Ok(false)), LegacyPlayback::PlaysViaEmbeddedDrm);
+        assert_eq!(
+            q4_legacy_playback(&Err(LegacyFailure::Revoked)),
+            LegacyPlayback::ProvisioningFails
+        );
+        assert_eq!(q4_legacy_playback(&Err(LegacyFailure::Other)), LegacyPlayback::Fails);
+    }
+
+    #[test]
+    fn l1_observation() {
+        assert!(l1_supported(Some(SecurityLevel::L1)));
+        assert!(!l1_supported(Some(SecurityLevel::L3)));
+        assert!(!l1_supported(None));
+    }
+}

@@ -1,0 +1,64 @@
+//! WideLeak: the automated Widevine monitoring tool.
+//!
+//! This crate is the paper's primary contribution: given a running OTT
+//! ecosystem and rooted study devices, it answers the four research
+//! questions *empirically* — through CDM hook traces, TLS interception
+//! (after the SSL-repinning bypass) and asset probing — and regenerates
+//! Table I. It never reads the apps' ground-truth profiles; everything is
+//! re-derived from observable behaviour.
+//!
+//! - [`apk`] — the static prong: a class-reference scan over the
+//!   decompiled APK whose hits dynamic monitoring must confirm;
+//! - [`trace`] — hook-log analysis: Widevine usage, L1/L3 discrimination
+//!   by library name, recovery of generic-decrypt outputs (Netflix URIs);
+//! - [`netcap`] — interception-proxy analysis: manifest discovery;
+//! - [`assets`] — asset probing: protection status of video, audio and
+//!   subtitle tracks;
+//! - [`classify`] — the Q1–Q4 classifiers and their cell types;
+//! - [`study`] — the orchestrated study over all ten apps;
+//! - [`report`] — Table-I rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apk;
+pub mod assets;
+pub mod classify;
+pub mod netcap;
+pub mod report;
+pub mod study;
+pub mod trace;
+
+use std::fmt;
+
+/// Errors surfaced by the monitoring tool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// The device refused instrumentation (not rooted).
+    Instrumentation {
+        /// What failed.
+        what: String,
+    },
+    /// A probe download failed.
+    Probe {
+        /// What failed.
+        what: String,
+    },
+    /// The app under study failed in an unexpected way.
+    App {
+        /// Description of the failure.
+        what: String,
+    },
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::Instrumentation { what } => write!(f, "instrumentation failed: {what}"),
+            MonitorError::Probe { what } => write!(f, "probe failed: {what}"),
+            MonitorError::App { what } => write!(f, "app failure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}

@@ -1,0 +1,181 @@
+//! The orchestrated WideLeak study: drive every app on a modern and a
+//! discontinued device, observe through hooks and interception, classify.
+
+use std::sync::Arc;
+
+use wideleak_device::catalog::DeviceModel;
+use wideleak_device::net::Interceptor;
+use wideleak_ott::ecosystem::Ecosystem;
+use wideleak_ott::OttError;
+
+use crate::assets::{probe_assets, AssetFindings};
+use crate::classify::{
+    l1_supported, q1_widevine_use, q3_key_usage, q4_legacy_playback, KeyUsage, LegacyFailure,
+    LegacyPlayback, Protection, WidevineUse,
+};
+use crate::{netcap, trace, MonitorError};
+
+/// Everything the study learned about one app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppFindings {
+    /// Display name.
+    pub app_name: String,
+    /// Installs in millions (context column).
+    pub installs_millions: u32,
+    /// Q1 — Widevine reliance.
+    pub widevine_use: WidevineUse,
+    /// Whether the modern device ran at L1 (TEE-backed).
+    pub l1_on_modern_device: bool,
+    /// Q2 — per-asset protection.
+    pub assets: AssetFindings,
+    /// Q3 — key usage discipline.
+    pub key_usage: KeyUsage,
+    /// Whether video renditions use pairwise-distinct keys.
+    pub per_resolution_keys_distinct: Option<bool>,
+    /// Q4 — discontinued-device behaviour.
+    pub legacy: LegacyPlayback,
+    /// Resolution obtained on the discontinued device, when it played.
+    pub legacy_resolution: Option<(u32, u32)>,
+    /// Whether a non-DASH URI-protection channel was observed (and
+    /// pierced by dumping generic-decrypt outputs).
+    pub uri_channel_observed: bool,
+}
+
+/// The full study result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StudyReport {
+    /// Findings per app, in evaluation order.
+    pub findings: Vec<AppFindings>,
+}
+
+impl StudyReport {
+    /// Looks an app's findings up by name.
+    pub fn app(&self, name: &str) -> Option<&AppFindings> {
+        self.findings.iter().find(|f| f.app_name == name)
+    }
+}
+
+/// The study title used by every monitoring run.
+pub const STUDY_TITLE: &str = "title-001";
+
+/// Runs the full study over every evaluated app.
+///
+/// # Errors
+///
+/// Propagates instrumentation and probing failures; app-level refusals
+/// (revocation) are *findings*, not errors.
+pub fn run_study(eco: &Ecosystem) -> Result<StudyReport, MonitorError> {
+    let mut findings = Vec::new();
+    for profile in eco.profiles().to_vec() {
+        findings.push(study_app(eco, profile.slug)?);
+    }
+    Ok(StudyReport { findings })
+}
+
+/// Studies one app (by slug).
+///
+/// # Errors
+///
+/// Returns [`MonitorError`] when instrumentation or probing breaks; the
+/// app failing to play is recorded in the findings instead.
+pub fn study_app(eco: &Ecosystem, slug: &str) -> Result<AppFindings, MonitorError> {
+    let profile = eco
+        .profile(slug)
+        .ok_or_else(|| MonitorError::App { what: format!("unknown app {slug}") })?
+        .clone();
+
+    // ---- Run 1: modern TEE-capable device, fully instrumented. --------
+    let modern = eco.boot_device(DeviceModel::pixel_6(), true);
+    let app = eco.install_app(&modern, slug, "wideleak-researcher");
+
+    let proxy = Arc::new(Interceptor::new());
+    modern.device.network().attach_interceptor(proxy.clone());
+    modern
+        .device
+        .apply_ssl_repinning_bypass()
+        .map_err(|e| MonitorError::Instrumentation { what: e.to_string() })?;
+    modern.device.hook_engine().start_recording();
+
+    let modern_outcome = app.play(STUDY_TITLE);
+    let hook_log = modern.device.hook_engine().stop_recording();
+    let capture = proxy.captured();
+
+    modern_outcome
+        .map_err(|e| MonitorError::App { what: format!("{slug} failed on modern device: {e}") })?;
+    let analysis = trace::analyze(&hook_log);
+
+    // Manifest recovery: plaintext from the capture, or — when the app
+    // protects URIs — from the dumped generic-decrypt outputs.
+    let opaque_manifest = netcap::has_opaque_manifest(&capture);
+    let mpd = match netcap::find_mpd(&capture) {
+        Some(mpd) => Some(mpd),
+        None => trace::recover_mpd_from_trace(&hook_log),
+    };
+    let uri_channel_observed = opaque_manifest && mpd.is_some();
+
+    let (assets, key_usage, per_resolution_keys_distinct) = match &mpd {
+        Some(mpd) => {
+            let assets = probe_assets(eco.backend().as_ref(), mpd)?;
+            let (usage, distinct) = q3_key_usage(mpd);
+            (assets, usage, distinct)
+        }
+        None => (
+            AssetFindings {
+                video: Protection::Unknown,
+                audio: Protection::Unknown,
+                subtitles: Protection::Unknown,
+            },
+            KeyUsage::Unknown,
+            None,
+        ),
+    };
+
+    // ---- Run 2: discontinued L3 device (the Nexus-5 configuration). ---
+    let legacy = eco.boot_device(DeviceModel::nexus_5(), true);
+    let legacy_app = eco.install_app(&legacy, slug, "wideleak-researcher-legacy");
+    legacy.device.hook_engine().start_recording();
+    let legacy_outcome = legacy_app.play(STUDY_TITLE);
+    let legacy_log = legacy.device.hook_engine().stop_recording();
+    let legacy_widevine_active = !legacy_log.is_empty();
+
+    let (legacy_result, legacy_resolution) = match &legacy_outcome {
+        Ok(outcome) => (Ok(outcome.used_platform_widevine), Some(outcome.resolution)),
+        Err(OttError::DeviceRevoked { .. }) => (Err(LegacyFailure::Revoked), None),
+        Err(_) => (Err(LegacyFailure::Other), None),
+    };
+
+    let legacy_played = legacy_outcome.is_ok();
+    let widevine_use = q1_widevine_use(
+        analysis.widevine_active,
+        legacy_widevine_active && legacy_played,
+        legacy_played,
+    );
+
+    Ok(AppFindings {
+        app_name: profile.name.to_owned(),
+        installs_millions: profile.installs_millions,
+        widevine_use,
+        l1_on_modern_device: l1_supported(analysis.observed_level),
+        assets,
+        key_usage,
+        per_resolution_keys_distinct,
+        legacy: q4_legacy_playback(&legacy_result),
+        legacy_resolution,
+        uri_channel_observed,
+    })
+}
+
+/// Demonstrates that interception without the repinning bypass fails —
+/// the control experiment showing why the bypass is necessary.
+///
+/// Returns `true` when pinning blocked the proxied connection.
+pub fn pinning_blocks_without_bypass(eco: &Ecosystem) -> bool {
+    let stack = eco.boot_device(DeviceModel::pixel_6(), true);
+    let app = eco.install_app(&stack, "showtime", "pinning-probe");
+    stack
+        .device
+        .network()
+        .attach_interceptor(Arc::new(Interceptor::new()));
+    // No bypass applied: the app's pinned TLS must refuse the proxy.
+    matches!(app.play(STUDY_TITLE), Err(OttError::Net(_)))
+}

@@ -1,0 +1,65 @@
+//! Subscriber accounts and tokens.
+
+use std::collections::HashSet;
+
+use parking_lot::RwLock;
+
+/// The subscriber database shared by the backend servers.
+#[derive(Debug, Default)]
+pub struct AccountRegistry {
+    tokens: RwLock<HashSet<String>>,
+}
+
+impl AccountRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes `user` to `app`, returning the bearer token.
+    pub fn subscribe(&self, app: &str, user: &str) -> String {
+        let token = Self::token_for(app, user);
+        self.tokens.write().insert(token.clone());
+        token
+    }
+
+    /// The deterministic token format (bearer tokens in the simulator are
+    /// not secrets worth modelling).
+    pub fn token_for(app: &str, user: &str) -> String {
+        format!("token:{app}:{user}")
+    }
+
+    /// Validates a token.
+    pub fn is_valid(&self, token: &str) -> bool {
+        self.tokens.read().contains(token)
+    }
+
+    /// Cancels a subscription, returning whether it existed.
+    pub fn unsubscribe(&self, app: &str, user: &str) -> bool {
+        self.tokens.write().remove(&Self::token_for(app, user))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscribe_validate_unsubscribe() {
+        let reg = AccountRegistry::new();
+        let token = reg.subscribe("netflix", "alice");
+        assert!(reg.is_valid(&token));
+        assert!(!reg.is_valid("token:netflix:bob"));
+        assert!(reg.unsubscribe("netflix", "alice"));
+        assert!(!reg.is_valid(&token));
+        assert!(!reg.unsubscribe("netflix", "alice"));
+    }
+
+    #[test]
+    fn tokens_scope_by_app_and_user() {
+        let reg = AccountRegistry::new();
+        reg.subscribe("hulu", "alice");
+        assert!(!reg.is_valid(&AccountRegistry::token_for("netflix", "alice")));
+        assert!(!reg.is_valid(&AccountRegistry::token_for("hulu", "bob")));
+    }
+}

@@ -1,0 +1,404 @@
+//! The content delivery network: MPDs and media assets over pinned TLS.
+//!
+//! Serving behaviour encodes three app-level choices the monitor probes:
+//!
+//! - **asset protection** — video is always CENC-encrypted, subtitles are
+//!   always clear, audio follows the app's [`AudioProtection`] policy;
+//! - **metadata visibility** — apps under regional restriction (Hulu,
+//!   HBO Max) serve MPDs without `default_KID` attributes, which is what
+//!   blocks the paper's Q3 analysis for them;
+//! - **URI protection** — Netflix serves its manifest through the
+//!   non-DASH Widevine secure channel (AES-CBC under a licensed URI key)
+//!   instead of plaintext-over-TLS.
+//!
+//! Media segment fetches are unauthenticated (as in production CDNs,
+//! where possession of the URL is the only gate) — the property that
+//! makes clear audio playable without any OTT account.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use wideleak_cenc::keys::ContentKey;
+use wideleak_crypto::aes::Aes128;
+use wideleak_crypto::modes::cbc_encrypt_padded;
+use wideleak_dash::mpd::{
+    AdaptationSet, ContentProtection, ContentType, Mpd, Period, Representation,
+};
+
+use crate::accounts::AccountRegistry;
+use crate::content::{
+    key_from_label, kid_from_label, package_track, synth_subtitles, track_key_label,
+    AudioProtection, Title, TrackSelector, AUDIO_LANGS, RESOLUTIONS, SEGMENTS_PER_REP,
+    SUBTITLE_LANGS,
+};
+use crate::license::uri_channel_label;
+use crate::OttError;
+
+/// Per-app CDN behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CdnAppConfig {
+    /// App identifier (lowercase slug).
+    pub app: String,
+    /// Audio protection policy.
+    pub audio: AudioProtection,
+    /// Whether subtitle tracks appear in the MPD (Hulu and Starz deliver
+    /// them through a separate, undiscovered API).
+    pub subtitles_in_mpd: bool,
+    /// Whether `default_KID` metadata is present (regional restrictions
+    /// hide it for Hulu and HBO Max).
+    pub metadata_kids_visible: bool,
+    /// Whether the manifest travels through the non-DASH secure channel.
+    pub uri_protection: bool,
+}
+
+/// The constant IV the Netflix-style URI channel uses (the channel's
+/// security rests on the licensed key, not the IV).
+pub const URI_CHANNEL_IV: [u8; 16] = [0x57; 16];
+
+/// The CDN server.
+pub struct CdnServer {
+    accounts: std::sync::Arc<AccountRegistry>,
+    apps: HashMap<String, CdnAppConfig>,
+    titles: Vec<Title>,
+    /// Lazily packaged asset store: path → bytes.
+    store: Mutex<HashMap<String, Vec<u8>>>,
+}
+
+impl std::fmt::Debug for CdnServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CdnServer(apps: {}, titles: {})", self.apps.len(), self.titles.len())
+    }
+}
+
+impl CdnServer {
+    /// Creates a CDN for a set of apps and titles.
+    pub fn new(
+        accounts: std::sync::Arc<AccountRegistry>,
+        apps: Vec<CdnAppConfig>,
+        titles: Vec<Title>,
+    ) -> Self {
+        CdnServer {
+            accounts,
+            apps: apps.into_iter().map(|c| (c.app.clone(), c)).collect(),
+            titles,
+            store: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn app(&self, app: &str) -> Result<&CdnAppConfig, OttError> {
+        self.apps.get(app).ok_or_else(|| OttError::NotFound { what: format!("app {app}") })
+    }
+
+    fn title(&self, title_id: &str) -> Result<&Title, OttError> {
+        self.titles
+            .iter()
+            .find(|t| t.id == title_id)
+            .ok_or_else(|| OttError::NotFound { what: format!("title {title_id}") })
+    }
+
+    /// All track selectors packaged for one title.
+    fn selectors(config: &CdnAppConfig) -> Vec<TrackSelector> {
+        let mut out: Vec<TrackSelector> =
+            RESOLUTIONS.iter().map(|&(_, h)| TrackSelector::Video { height: h }).collect();
+        out.extend(AUDIO_LANGS.iter().map(|&l| TrackSelector::Audio { lang: l.to_owned() }));
+        let _ = config;
+        out
+    }
+
+    /// Builds the MPD for `(app, title)`.
+    pub fn build_mpd(&self, app: &str, title_id: &str) -> Result<Mpd, OttError> {
+        let config = self.app(app)?;
+        let title = self.title(title_id)?;
+
+        let mut video_set = AdaptationSet {
+            content_type: ContentType::Video,
+            lang: None,
+            content_protections: vec![],
+            representations: vec![],
+        };
+        for &(w, h) in &RESOLUTIONS {
+            let selector = TrackSelector::Video { height: h };
+            let mut rep = Representation::new(selector.rep_id(), h * 2000);
+            rep.resolution = Some((w, h));
+            rep.init_url = format!("asset/{app}/{title_id}/{}/init", selector.rep_id());
+            rep.segment_urls = (1..=SEGMENTS_PER_REP)
+                .map(|s| format!("asset/{app}/{title_id}/{}/seg/{s}", selector.rep_id()))
+                .collect();
+            let mut protections = vec![ContentProtection::widevine()];
+            if config.metadata_kids_visible {
+                let label = track_key_label(app, title_id, &selector, config.audio)
+                    .expect("video is always keyed");
+                protections.insert(
+                    0,
+                    ContentProtection::mp4_protection("cenc", &kid_from_label(&label).to_string()),
+                );
+            }
+            rep.content_protections = protections;
+            video_set.representations.push(rep);
+        }
+
+        let mut sets = vec![video_set];
+        for &lang in &AUDIO_LANGS {
+            let selector = TrackSelector::Audio { lang: lang.to_owned() };
+            let mut rep = Representation::new(selector.rep_id(), 128_000);
+            rep.init_url = format!("asset/{app}/{title_id}/{}/init", selector.rep_id());
+            rep.segment_urls = (1..=SEGMENTS_PER_REP)
+                .map(|s| format!("asset/{app}/{title_id}/{}/seg/{s}", selector.rep_id()))
+                .collect();
+            let mut protections = Vec::new();
+            if let Some(label) = track_key_label(app, title_id, &selector, config.audio) {
+                protections.push(ContentProtection::widevine());
+                if config.metadata_kids_visible {
+                    protections.insert(
+                        0,
+                        ContentProtection::mp4_protection(
+                            "cenc",
+                            &kid_from_label(&label).to_string(),
+                        ),
+                    );
+                }
+            }
+            sets.push(AdaptationSet {
+                content_type: ContentType::Audio,
+                lang: Some(lang.to_owned()),
+                content_protections: protections,
+                representations: vec![rep],
+            });
+        }
+        if config.subtitles_in_mpd {
+            for &lang in &SUBTITLE_LANGS {
+                let mut rep = Representation::new(format!("sub-{lang}"), 1_000);
+                rep.init_url = String::new();
+                rep.segment_urls = vec![format!("asset/{app}/{title_id}/sub/{lang}")];
+                sets.push(AdaptationSet {
+                    content_type: ContentType::Text,
+                    lang: Some(lang.to_owned()),
+                    content_protections: vec![],
+                    representations: vec![rep],
+                });
+            }
+        }
+
+        Ok(Mpd { title: title.name.clone(), periods: vec![Period { adaptation_sets: sets }] })
+    }
+
+    /// Serves the manifest: plaintext XML normally, or wrapped in the
+    /// URI secure channel for apps that protect links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OttError::Unauthorized`] for invalid tokens.
+    pub fn fetch_manifest(
+        &self,
+        app: &str,
+        title_id: &str,
+        account_token: &str,
+    ) -> Result<Vec<u8>, OttError> {
+        if !self.accounts.is_valid(account_token) {
+            return Err(OttError::Unauthorized);
+        }
+        let config = self.app(app)?;
+        let xml = self.build_mpd(app, title_id)?.to_xml_string().into_bytes();
+        if !config.uri_protection {
+            return Ok(xml);
+        }
+        // Netflix-style: AES-CBC under the licensed URI-channel key. The
+        // app decrypts it through MediaCrypto::generic_decrypt.
+        let ContentKey(key) = key_from_label(&uri_channel_label(app, title_id));
+        Ok(cbc_encrypt_padded(&Aes128::new(&key), &URI_CHANNEL_IV, &xml))
+    }
+
+    /// Serves an asset byte range by path (`asset/...`). No account check:
+    /// CDN URLs are bearer capabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OttError::NotFound`] for unknown paths.
+    pub fn fetch_asset(&self, path: &str) -> Result<Vec<u8>, OttError> {
+        if let Some(bytes) = self.store.lock().get(path) {
+            return Ok(bytes.clone());
+        }
+        let bytes = self.package_path(path)?;
+        self.store.lock().insert(path.to_owned(), bytes.clone());
+        Ok(bytes)
+    }
+
+    /// Packages the asset behind a path on first access.
+    fn package_path(&self, path: &str) -> Result<Vec<u8>, OttError> {
+        let not_found = || OttError::NotFound { what: path.to_owned() };
+        let parts: Vec<&str> = path.split('/').collect();
+        // asset/{app}/{title}/{rep}/init | asset/{app}/{title}/{rep}/seg/{n}
+        // | asset/{app}/{title}/sub/{lang}
+        if parts.len() < 5 || parts[0] != "asset" {
+            return Err(not_found());
+        }
+        let (app, title_id) = (parts[1], parts[2]);
+        let config = self.app(app)?;
+        self.title(title_id)?;
+
+        if parts[3] == "sub" {
+            return Ok(synth_subtitles(app, title_id, parts[4]));
+        }
+
+        let selector = Self::selectors(config)
+            .into_iter()
+            .find(|s| s.rep_id() == parts[3])
+            .ok_or_else(not_found)?;
+        let rep = package_track(app, title_id, &selector, config.audio);
+        match (parts[4], parts.get(5)) {
+            ("init", None) => Ok(rep.init),
+            ("seg", Some(n)) => {
+                let idx: usize = n.parse().map_err(|_| not_found())?;
+                rep.segments.get(idx - 1).cloned().ok_or_else(not_found)
+            }
+            _ => Err(not_found()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::demo_catalog;
+    use std::sync::Arc;
+    use wideleak_bmff::fragment::InitSegment;
+    use wideleak_crypto::modes::cbc_decrypt_padded;
+
+    fn cdn() -> (Arc<AccountRegistry>, CdnServer) {
+        let accounts = Arc::new(AccountRegistry::new());
+        let apps = vec![
+            CdnAppConfig {
+                app: "netflix".into(),
+                audio: AudioProtection::Clear,
+                subtitles_in_mpd: true,
+                metadata_kids_visible: true,
+                uri_protection: true,
+            },
+            CdnAppConfig {
+                app: "hulu".into(),
+                audio: AudioProtection::SharedKeyWithVideo,
+                subtitles_in_mpd: false,
+                metadata_kids_visible: false,
+                uri_protection: false,
+            },
+            CdnAppConfig {
+                app: "amazon".into(),
+                audio: AudioProtection::DistinctKey,
+                subtitles_in_mpd: true,
+                metadata_kids_visible: true,
+                uri_protection: false,
+            },
+        ];
+        (accounts.clone(), CdnServer::new(accounts, apps, demo_catalog()))
+    }
+
+    #[test]
+    fn mpd_structure_follows_policy() {
+        let (_, cdn) = cdn();
+        let mpd = cdn.build_mpd("amazon", "title-001").unwrap();
+        let sets: Vec<_> = mpd.adaptation_sets().collect();
+        // 1 video + 2 audio + 2 subtitle sets.
+        assert_eq!(sets.len(), 5);
+        assert_eq!(sets[0].representations.len(), 3, "three video resolutions");
+        assert!(sets[0].is_protected());
+        assert!(sets[1].is_protected(), "amazon audio is keyed");
+        assert!(!sets[3].is_protected(), "subtitles never protected");
+        // Distinct keys: 3 video + 1 audio.
+        assert_eq!(mpd.all_key_ids().len(), 4);
+    }
+
+    #[test]
+    fn clear_audio_has_no_protection_descriptor() {
+        let (_, cdn) = cdn();
+        let mpd = cdn.build_mpd("netflix", "title-001").unwrap();
+        let audio = mpd
+            .adaptation_sets()
+            .find(|s| s.content_type == ContentType::Audio)
+            .unwrap();
+        assert!(!audio.is_protected());
+        // Netflix minimal practice: only the 3 per-resolution video keys.
+        assert_eq!(mpd.all_key_ids().len(), 3);
+    }
+
+    #[test]
+    fn regional_restriction_hides_kids_but_not_protection() {
+        let (_, cdn) = cdn();
+        let mpd = cdn.build_mpd("hulu", "title-001").unwrap();
+        assert!(mpd.all_key_ids().is_empty(), "no default_KID metadata");
+        let video = mpd.adaptation_sets().next().unwrap();
+        assert!(video.is_protected(), "widevine descriptor still present");
+        // Subtitles absent from the manifest entirely.
+        assert!(mpd.adaptation_sets().all(|s| s.content_type != ContentType::Text));
+    }
+
+    #[test]
+    fn manifest_requires_account() {
+        let (accounts, cdn) = cdn();
+        assert_eq!(
+            cdn.fetch_manifest("hulu", "title-001", "token:hulu:nobody"),
+            Err(OttError::Unauthorized)
+        );
+        let token = accounts.subscribe("hulu", "alice");
+        let xml = cdn.fetch_manifest("hulu", "title-001", &token).unwrap();
+        assert!(String::from_utf8(xml).unwrap().contains("<MPD"));
+    }
+
+    #[test]
+    fn netflix_manifest_is_ciphertext() {
+        let (accounts, cdn) = cdn();
+        let token = accounts.subscribe("netflix", "alice");
+        let blob = cdn.fetch_manifest("netflix", "title-001", &token).unwrap();
+        assert!(String::from_utf8_lossy(&blob).find("<MPD").is_none(), "not plaintext");
+        // The URI-channel key decrypts it.
+        let ContentKey(key) = key_from_label(&uri_channel_label("netflix", "title-001"));
+        let xml =
+            cbc_decrypt_padded(&Aes128::new(&key), &URI_CHANNEL_IV, &blob).unwrap();
+        assert!(String::from_utf8(xml).unwrap().contains("<MPD"));
+    }
+
+    #[test]
+    fn assets_served_without_auth() {
+        let (_, cdn) = cdn();
+        let init = cdn.fetch_asset("asset/netflix/title-001/audio-en/init").unwrap();
+        let parsed = InitSegment::from_bytes(&init).unwrap();
+        assert!(!parsed.is_protected(), "netflix audio ships clear");
+        let seg = cdn.fetch_asset("asset/netflix/title-001/audio-en/seg/1").unwrap();
+        assert!(!seg.is_empty());
+    }
+
+    #[test]
+    fn video_assets_are_protected() {
+        let (_, cdn) = cdn();
+        let init = cdn.fetch_asset("asset/hulu/title-001/video-540p/init").unwrap();
+        assert!(InitSegment::from_bytes(&init).unwrap().is_protected());
+    }
+
+    #[test]
+    fn subtitles_are_clear_ascii() {
+        let (_, cdn) = cdn();
+        let sub = cdn.fetch_asset("asset/amazon/title-001/sub/en").unwrap();
+        assert!(sub.is_ascii());
+    }
+
+    #[test]
+    fn unknown_paths_not_found() {
+        let (_, cdn) = cdn();
+        for path in [
+            "asset/netflix/title-001/video-999p/init",
+            "asset/netflix/no-such-title/video-540p/init",
+            "asset/no-such-app/title-001/video-540p/init",
+            "asset/netflix/title-001/video-540p/seg/99",
+            "bogus",
+        ] {
+            assert!(matches!(cdn.fetch_asset(path), Err(OttError::NotFound { .. })), "{path}");
+        }
+    }
+
+    #[test]
+    fn asset_store_caches() {
+        let (_, cdn) = cdn();
+        let a = cdn.fetch_asset("asset/hulu/title-001/video-540p/init").unwrap();
+        let b = cdn.fetch_asset("asset/hulu/title-001/video-540p/init").unwrap();
+        assert_eq!(a, b);
+    }
+}

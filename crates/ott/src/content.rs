@@ -1,0 +1,386 @@
+//! The content catalog and CENC packager.
+//!
+//! Titles are synthetic but structurally faithful: every title is packaged
+//! per app into DASH representations — three video resolutions (each with
+//! its *own* content key, the practice all ten apps follow), audio tracks
+//! per language (clear, sharing the video key, or distinctly keyed,
+//! depending on the app's policy), and plaintext subtitle tracks.
+
+use wideleak_bmff::fragment::{InitSegment, TrackKind};
+use wideleak_bmff::types::{KeyId, Pssh, Tenc};
+use wideleak_cenc::keys::ContentKey;
+use wideleak_cenc::track::{clear_segment, encrypt_segment, Scheme};
+
+/// How an app protects its audio tracks (the Q2/Q3 policy axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AudioProtection {
+    /// Audio ships in the clear (Netflix, myCanal, Salto).
+    Clear,
+    /// Audio is encrypted with the same key as the lowest video rendition
+    /// (the widespread "minimal" practice).
+    SharedKeyWithVideo,
+    /// Audio gets its own key (only Amazon Prime Video).
+    DistinctKey,
+}
+
+/// The video resolutions every title is packaged at.
+pub const RESOLUTIONS: [(u32, u32); 3] = [(960, 540), (1280, 720), (1920, 1080)];
+
+/// The qHD ceiling: the best resolution an L3 device is licensed for.
+pub const L3_MAX_HEIGHT: u32 = 540;
+
+/// Audio languages packaged for every title.
+pub const AUDIO_LANGS: [&str; 2] = ["en", "fr"];
+
+/// Subtitle languages packaged for every title.
+pub const SUBTITLE_LANGS: [&str; 2] = ["en", "fr"];
+
+/// Segments per representation.
+pub const SEGMENTS_PER_REP: u32 = 2;
+
+/// Samples per segment.
+pub const SAMPLES_PER_SEGMENT: usize = 3;
+
+/// A catalog title.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Title {
+    /// Stable identifier used in URLs and license requests.
+    pub id: String,
+    /// Display name.
+    pub name: String,
+}
+
+impl Title {
+    /// Creates a title.
+    pub fn new(id: impl Into<String>, name: impl Into<String>) -> Self {
+        Title { id: id.into(), name: name.into() }
+    }
+}
+
+/// The default demo catalog.
+pub fn demo_catalog() -> Vec<Title> {
+    vec![
+        Title::new("title-001", "The First Stream"),
+        Title::new("title-002", "Pirates of the CDN"),
+    ]
+}
+
+/// Derives a deterministic key ID from a label (app/title/track scoped —
+/// deliberately *not* subscriber scoped, reproducing the paper's finding
+/// that all subscribers receive the same keys for a given media).
+pub fn kid_from_label(label: &str) -> KeyId {
+    let mut out = [0u8; 16];
+    let mut state = 0xcbf2_9ce4_8422_2325u64;
+    for b in label.bytes() {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for (i, byte) in out.iter_mut().enumerate() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *byte = (state >> (8 * (i % 8))) as u8;
+    }
+    KeyId(out)
+}
+
+/// Derives the deterministic content key for a key ID label.
+pub fn key_from_label(label: &str) -> ContentKey {
+    ContentKey::from_label(&format!("content-key:{label}"))
+}
+
+/// Track identity within one title's packaging.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TrackSelector {
+    /// A video rendition at the given height.
+    Video {
+        /// Vertical resolution.
+        height: u32,
+    },
+    /// An audio track for a language.
+    Audio {
+        /// Language tag.
+        lang: String,
+    },
+    /// A subtitle track for a language.
+    Subtitle {
+        /// Language tag.
+        lang: String,
+    },
+}
+
+impl TrackSelector {
+    /// Representation id used in MPDs and URLs.
+    pub fn rep_id(&self) -> String {
+        match self {
+            TrackSelector::Video { height } => format!("video-{height}p"),
+            TrackSelector::Audio { lang } => format!("audio-{lang}"),
+            TrackSelector::Subtitle { lang } => format!("sub-{lang}"),
+        }
+    }
+}
+
+/// Key-id label for a track of a title under an app's policy.
+pub fn track_key_label(app: &str, title_id: &str, selector: &TrackSelector, audio: AudioProtection) -> Option<String> {
+    match selector {
+        TrackSelector::Video { height } => Some(format!("{app}/{title_id}/video-{height}")),
+        TrackSelector::Audio { .. } => match audio {
+            AudioProtection::Clear => None,
+            // Shared: same label as the lowest video rendition.
+            AudioProtection::SharedKeyWithVideo => {
+                Some(format!("{app}/{title_id}/video-{}", RESOLUTIONS[0].1))
+            }
+            AudioProtection::DistinctKey => Some(format!("{app}/{title_id}/audio")),
+        },
+        TrackSelector::Subtitle { .. } => None,
+    }
+}
+
+/// Synthesizes the plaintext samples of one segment, deterministic in all
+/// coordinates; video sample sizes scale with resolution.
+pub fn synth_samples(app: &str, title_id: &str, selector: &TrackSelector, segment: u32) -> Vec<Vec<u8>> {
+    let (kind_tag, size) = match selector {
+        TrackSelector::Video { height } => ("v", (*height as usize) * 4),
+        TrackSelector::Audio { .. } => ("a", 960),
+        TrackSelector::Subtitle { .. } => ("s", 400),
+    };
+    (0..SAMPLES_PER_SEGMENT)
+        .map(|i| {
+            let label = format!("{app}/{title_id}/{kind_tag}/{}/{segment}/{i}", selector.rep_id());
+            let mut state = 0x9e37_79b9u64;
+            for b in label.bytes() {
+                state = state.rotate_left(7) ^ b as u64;
+            }
+            (0..size)
+                .map(|j| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state >> (j % 8)) as u8
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Synthesizes subtitle text (ASCII, the property the monitor checks).
+pub fn synth_subtitles(app: &str, title_id: &str, lang: &str) -> Vec<u8> {
+    format!(
+        "WEBVTT\n\n00:00.000 --> 00:05.000\n[{lang}] Subtitles for {title_id} on {app}.\n\n\
+         00:05.000 --> 00:10.000\n[{lang}] Delivered in the clear.\n"
+    )
+    .into_bytes()
+}
+
+/// One packaged (serialized) representation: an init segment plus media
+/// segments, ready for CDN storage.
+#[derive(Debug, Clone)]
+pub struct PackagedRepresentation {
+    /// The track selector this packaging belongs to.
+    pub selector: TrackSelector,
+    /// Key-id label, `None` when the track ships clear.
+    pub key_label: Option<String>,
+    /// Serialized init segment.
+    pub init: Vec<u8>,
+    /// Serialized media segments.
+    pub segments: Vec<Vec<u8>>,
+}
+
+/// Packages one track of a title for an app.
+///
+/// # Panics
+///
+/// Panics only on internal packaging inconsistencies (fixed subsample
+/// policies always validate).
+pub fn package_track(
+    app: &str,
+    title_id: &str,
+    selector: &TrackSelector,
+    audio_policy: AudioProtection,
+) -> PackagedRepresentation {
+    let kind = match selector {
+        TrackSelector::Video { .. } => TrackKind::Video,
+        TrackSelector::Audio { .. } => TrackKind::Audio,
+        TrackSelector::Subtitle { .. } => TrackKind::Subtitle,
+    };
+    let track_id = 1;
+    let key_label = track_key_label(app, title_id, selector, audio_policy);
+
+    match &key_label {
+        Some(label) => {
+            let kid = kid_from_label(label);
+            let key = key_from_label(label);
+            let tenc = Tenc::cenc(kid);
+            let init = InitSegment::protected(
+                track_id,
+                kind,
+                Scheme::Cenc.fourcc(),
+                tenc.clone(),
+                vec![Pssh::widevine(vec![kid], title_id.as_bytes().to_vec())],
+            );
+            let segments = (1..=SEGMENTS_PER_REP)
+                .map(|seg| {
+                    let samples = synth_samples(app, title_id, selector, seg);
+                    encrypt_segment(Scheme::Cenc, &key, &tenc, kind, track_id, seg, &samples, 0x5eed)
+                        .expect("fixed packaging policy always validates")
+                        .to_bytes()
+                })
+                .collect();
+            PackagedRepresentation {
+                selector: selector.clone(),
+                key_label,
+                init: init.to_bytes(),
+                segments,
+            }
+        }
+        None => {
+            let init = InitSegment::clear(track_id, kind);
+            let segments = (1..=SEGMENTS_PER_REP)
+                .map(|seg| {
+                    let samples = synth_samples(app, title_id, selector, seg);
+                    clear_segment(track_id, seg, &samples).to_bytes()
+                })
+                .collect();
+            PackagedRepresentation {
+                selector: selector.clone(),
+                key_label: None,
+                init: init.to_bytes(),
+                segments,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wideleak_bmff::fragment::MediaSegment;
+    use wideleak_cenc::keys::MemoryKeyStore;
+    use wideleak_cenc::track::decrypt_segment;
+
+    #[test]
+    fn kid_is_deterministic_and_label_separated() {
+        assert_eq!(kid_from_label("a"), kid_from_label("a"));
+        assert_ne!(kid_from_label("a"), kid_from_label("b"));
+    }
+
+    #[test]
+    fn video_tracks_always_keyed_per_resolution() {
+        let mut kids = Vec::new();
+        for (_, h) in RESOLUTIONS {
+            let label =
+                track_key_label("app", "t", &TrackSelector::Video { height: h }, AudioProtection::Clear)
+                    .unwrap();
+            kids.push(kid_from_label(&label));
+        }
+        kids.sort_by_key(|k| k.0);
+        kids.dedup();
+        assert_eq!(kids.len(), 3, "one key per resolution");
+    }
+
+    #[test]
+    fn audio_policy_controls_key_label() {
+        let audio = TrackSelector::Audio { lang: "en".into() };
+        assert_eq!(track_key_label("a", "t", &audio, AudioProtection::Clear), None);
+        let shared = track_key_label("a", "t", &audio, AudioProtection::SharedKeyWithVideo).unwrap();
+        let video540 =
+            track_key_label("a", "t", &TrackSelector::Video { height: 540 }, AudioProtection::Clear)
+                .unwrap();
+        assert_eq!(shared, video540, "minimal practice shares the 540p key");
+        let distinct = track_key_label("a", "t", &audio, AudioProtection::DistinctKey).unwrap();
+        assert_ne!(distinct, video540);
+    }
+
+    #[test]
+    fn subtitles_never_keyed() {
+        let sub = TrackSelector::Subtitle { lang: "en".into() };
+        for policy in [
+            AudioProtection::Clear,
+            AudioProtection::SharedKeyWithVideo,
+            AudioProtection::DistinctKey,
+        ] {
+            assert_eq!(track_key_label("a", "t", &sub, policy), None);
+        }
+    }
+
+    #[test]
+    fn packaged_video_round_trips_through_decryption() {
+        let sel = TrackSelector::Video { height: 540 };
+        let rep = package_track("netflix", "title-001", &sel, AudioProtection::Clear);
+        let label = rep.key_label.clone().unwrap();
+        let init = InitSegment::from_bytes(&rep.init).unwrap();
+        assert!(init.is_protected());
+
+        let mut keys = MemoryKeyStore::new();
+        keys.insert(kid_from_label(&label), key_from_label(&label));
+        for (i, seg_bytes) in rep.segments.iter().enumerate() {
+            let seg = MediaSegment::from_bytes(seg_bytes).unwrap();
+            let decrypted = decrypt_segment(&init, &seg, &keys).unwrap();
+            let expected = synth_samples("netflix", "title-001", &sel, (i + 1) as u32);
+            assert_eq!(decrypted, expected);
+        }
+    }
+
+    #[test]
+    fn clear_audio_is_directly_readable() {
+        let sel = TrackSelector::Audio { lang: "en".into() };
+        let rep = package_track("netflix", "title-001", &sel, AudioProtection::Clear);
+        assert!(rep.key_label.is_none());
+        let init = InitSegment::from_bytes(&rep.init).unwrap();
+        assert!(!init.is_protected());
+        let seg = MediaSegment::from_bytes(&rep.segments[0]).unwrap();
+        assert!(seg.senc.is_none());
+        assert_eq!(
+            seg.samples().unwrap().concat(),
+            synth_samples("netflix", "title-001", &sel, 1).concat()
+        );
+    }
+
+    #[test]
+    fn encrypted_audio_is_not_readable_without_key() {
+        let sel = TrackSelector::Audio { lang: "en".into() };
+        let rep = package_track("hulu", "title-001", &sel, AudioProtection::SharedKeyWithVideo);
+        assert!(rep.key_label.is_some());
+        let seg = MediaSegment::from_bytes(&rep.segments[0]).unwrap();
+        assert!(seg.senc.is_some());
+        let plain = synth_samples("hulu", "title-001", &sel, 1).concat();
+        assert_ne!(seg.data, plain, "ciphertext differs from plaintext");
+    }
+
+    #[test]
+    fn subtitles_are_ascii() {
+        let sub = synth_subtitles("ocs", "title-001", "en");
+        assert!(sub.is_ascii());
+        assert!(String::from_utf8(sub).unwrap().contains("WEBVTT"));
+    }
+
+    #[test]
+    fn samples_deterministic_and_scaled() {
+        let v540 = synth_samples("a", "t", &TrackSelector::Video { height: 540 }, 1);
+        let v540_again = synth_samples("a", "t", &TrackSelector::Video { height: 540 }, 1);
+        assert_eq!(v540, v540_again);
+        let v1080 = synth_samples("a", "t", &TrackSelector::Video { height: 1080 }, 1);
+        assert!(v1080[0].len() > v540[0].len());
+        assert_eq!(v540.len(), SAMPLES_PER_SEGMENT);
+    }
+
+    #[test]
+    fn keys_do_not_depend_on_subscriber() {
+        // Label space has no account component at all; assert the shape.
+        let label = track_key_label(
+            "showtime",
+            "title-002",
+            &TrackSelector::Video { height: 720 },
+            AudioProtection::SharedKeyWithVideo,
+        )
+        .unwrap();
+        assert_eq!(label, "showtime/title-002/video-720");
+    }
+
+    #[test]
+    fn demo_catalog_nonempty() {
+        let cat = demo_catalog();
+        assert!(cat.len() >= 2);
+        assert_ne!(cat[0].id, cat[1].id);
+    }
+}

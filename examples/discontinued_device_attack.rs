@@ -1,0 +1,83 @@
+//! The CVE-2021-0639 proof of concept, end to end (§IV-D).
+//!
+//! Recovers DRM-free media from every app still serving a discontinued
+//! Widevine L3 device: memory-scan the keybox → unwrap the Device RSA
+//! Key → replay the key ladder over hook dumps → decrypt the CENC
+//! segments → repackage clear MP4 and "play it on another device".
+//!
+//! ```text
+//! cargo run --release --example discontinued_device_attack
+//! ```
+
+use wideleak::attack::reconstruct::play_on_another_device;
+use wideleak::attack::recover::attack_all;
+use wideleak::device::catalog::DeviceModel;
+use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
+
+fn main() {
+    println!("== CVE-2021-0639: discontinued-device attack ==\n");
+    let n5 = DeviceModel::nexus_5();
+    println!(
+        "target device: {} — Android {}, CDM v{}, {} only, discontinued: {}\n",
+        n5.name, n5.android_version, n5.cdm_version, n5.security_level, n5.discontinued
+    );
+
+    let eco = Ecosystem::new(EcosystemConfig::default());
+    println!("attacking all 10 apps (victim-style playback + instrumentation)...\n");
+    let outcomes = attack_all(&eco);
+
+    println!(
+        "{:<22} {:>7} {:>8} {:>6} {:>12}  outcome",
+        "app", "keybox", "RSA key", "keys", "best quality"
+    );
+    println!("{}", "-".repeat(78));
+    let mut pirated = 0;
+    for o in &outcomes {
+        let quality = o
+            .media
+            .as_ref()
+            .and_then(|m| m.best_resolution())
+            .map_or("-".to_owned(), |(w, h)| format!("{w}x{h}"));
+        let outcome = match (&o.failure, o.succeeded()) {
+            (None, true) => "DRM-FREE MEDIA RECOVERED".to_owned(),
+            (Some(e), _) => format!("blocked: {e}"),
+            _ => "blocked".to_owned(),
+        };
+        println!(
+            "{:<22} {:>7} {:>8} {:>6} {:>12}  {outcome}",
+            o.app_name,
+            if o.keybox_recovered { "yes" } else { "no" },
+            if o.rsa_key_recovered { "yes" } else { "no" },
+            o.content_keys.len(),
+            quality,
+        );
+        if o.succeeded() {
+            pirated += 1;
+        }
+    }
+
+    println!("\n{pirated}/10 apps yielded DRM-free media (paper: 6, incl. Netflix, Hulu, Showtime)");
+
+    // Demonstrate 'playing on another device': parse the clear MP4 with
+    // nothing but a container parser.
+    if let Some(success) = outcomes.iter().find(|o| o.succeeded()) {
+        let media = success.media.as_ref().expect("succeeded");
+        let track = &media.tracks[0];
+        let samples = play_on_another_device(track).expect("clear MP4 plays anywhere");
+        println!(
+            "\nreplayed {}'s {} on a 'personal computer': {} clear samples, {} bytes",
+            success.app_name,
+            track.rep_id,
+            samples.len(),
+            samples.iter().map(Vec::len).sum::<usize>()
+        );
+    }
+
+    println!("\ncontrol experiment: same pipeline against a modern L1 device...");
+    let l1 = wideleak::attack::recover::attack_app_on(&eco, "netflix", DeviceModel::pixel_6());
+    println!(
+        "  keybox recovered: {} ({})",
+        l1.keybox_recovered,
+        l1.failure.map_or("-".to_owned(), |e| e.to_string())
+    );
+}

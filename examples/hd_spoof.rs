@@ -1,0 +1,41 @@
+//! The §V-C future-work experiment: can stolen L3 credentials obtain HD
+//! keys by simply *claiming* to be an L1 device?
+//!
+//! On the web, the `netflix-1080p` project showed the answer was yes —
+//! browser deployments did not strongly verify the claimed level. On
+//! Android the provisioning-time attestation clamps the claim. This
+//! example runs the forged-L1 license request against both server
+//! configurations.
+//!
+//! ```text
+//! cargo run --release --example hd_spoof
+//! ```
+
+use wideleak::attack::hd_spoof::hd_spoof_experiment;
+use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
+
+fn main() {
+    println!("== Forged-L1 license request with stolen L3 credentials ==\n");
+    println!("step 1: run the CVE-2021-0639 pipeline on the discontinued device");
+    println!("        (keybox memory scan + RSA key unwrap)");
+    println!("step 2: sign a license request claiming SecurityLevel::L1\n");
+
+    for (label, verify) in [
+        ("Android-like server (attestation checked)", true),
+        ("web-like server (netflix-1080p conditions)", false),
+    ] {
+        let eco = Ecosystem::new(EcosystemConfig {
+            verify_attested_level: verify,
+            ..EcosystemConfig::default()
+        });
+        let outcome = hd_spoof_experiment(&eco, "netflix").expect("spoof pipeline runs");
+        println!("{label}:");
+        println!("  keys obtained       : {}", outcome.content_keys.len());
+        println!("  best video height   : {:?}", outcome.best_height);
+        println!("  HD keys leaked      : {}\n", outcome.got_hd_keys());
+    }
+
+    println!("conclusion: the qHD cap of the paper's attack is a *server-side*");
+    println!("property — exactly why the paper flags weak web-side verification");
+    println!("as the open risk (Section V-C).");
+}

@@ -1,0 +1,62 @@
+//! The paper's headline Q2 finding: Netflix does not encrypt its audio
+//! tracks — "audio in any language can be played anywhere without any
+//! OTT account."
+//!
+//! This example downloads Netflix audio straight from the CDN with no
+//! account, no license, and no DRM stack, and plays it.
+//!
+//! ```text
+//! cargo run --release --example netflix_audio_leak
+//! ```
+
+use wideleak::bmff::fragment::{InitSegment, MediaSegment};
+use wideleak::cenc::keys::MemoryKeyStore;
+use wideleak::cenc::track::decrypt_segment;
+use wideleak::device::net::RemoteEndpoint;
+use wideleak::ott::content::AUDIO_LANGS;
+use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
+
+fn main() {
+    println!("== Netflix clear-audio leak (Q2) ==\n");
+    let eco = Ecosystem::new(EcosystemConfig::default());
+    let title = &eco.titles()[0];
+    println!("target title: '{}' — no account, no license\n", title.name);
+
+    for lang in AUDIO_LANGS {
+        let init_path = format!("asset/netflix/{}/audio-{lang}/init", title.id);
+        let init_bytes = eco
+            .backend()
+            .handle(&init_path, &[])
+            .expect("CDN serves assets to anyone holding the URL");
+        let init = InitSegment::from_bytes(&init_bytes).expect("valid init segment");
+        println!("audio track [{lang}]:");
+        println!("  init segment protected : {}", init.is_protected());
+
+        let seg_path = format!("asset/netflix/{}/audio-{lang}/seg/1", title.id);
+        let seg_bytes = eco.backend().handle(&seg_path, &[]).expect("segment download");
+        let segment = MediaSegment::from_bytes(&seg_bytes).expect("valid media segment");
+        println!("  senc (encryption info) : {}", segment.senc.is_some());
+
+        // "Playing" it: an empty key store suffices because nothing is
+        // encrypted.
+        let samples = decrypt_segment(&init, &segment, &MemoryKeyStore::new())
+            .expect("clear audio needs no keys");
+        let bytes: usize = samples.iter().map(Vec::len).sum();
+        println!("  played {} samples ({bytes} bytes) with ZERO keys\n", samples.len());
+    }
+
+    // Contrast: the same probe against an app that encrypts audio.
+    let init_bytes = eco
+        .backend()
+        .handle(&format!("asset/showtime/{}/audio-en/init", title.id), &[])
+        .expect("download");
+    let init = InitSegment::from_bytes(&init_bytes).expect("valid init");
+    println!("contrast — Showtime audio init segment protected: {}", init.is_protected());
+    let seg_bytes = eco
+        .backend()
+        .handle(&format!("asset/showtime/{}/audio-en/seg/1", title.id), &[])
+        .expect("download");
+    let segment = MediaSegment::from_bytes(&seg_bytes).expect("valid segment");
+    let refused = decrypt_segment(&init, &segment, &MemoryKeyStore::new());
+    println!("Showtime audio without keys: {refused:?}");
+}

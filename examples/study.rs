@@ -1,0 +1,27 @@
+//! Reproduces Table I: runs the complete WideLeak study over the ten
+//! evaluated apps and prints the table plus the §IV-C insights.
+//!
+//! ```text
+//! cargo run --release --example study
+//! ```
+
+use wideleak::monitor::report::{render_insights, render_table_1};
+use wideleak::ott::ecosystem::EcosystemConfig;
+
+fn main() {
+    println!("== WideLeak study: Widevine usage and asset protections by OTTs ==\n");
+    println!("running 10 apps x (modern L1 device + discontinued L3 device)...\n");
+
+    let report = wideleak::run_full_study(EcosystemConfig::default()).expect("study completes");
+
+    println!("Table I — Widevine usage and asset protections by OTTs\n");
+    println!("{}", render_table_1(&report));
+    println!("Insights (Section IV-C):\n{}", render_insights(&report));
+
+    // The paper's most surprising single finding, called out explicitly.
+    let netflix = report.app("Netflix").expect("netflix studied");
+    println!(
+        "Netflix URI secure channel observed and pierced via generic-decrypt dumps: {}",
+        netflix.uri_channel_observed
+    );
+}

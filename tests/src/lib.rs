@@ -1,0 +1,11 @@
+//! Cross-crate integration tests for the WideLeak reproduction.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only hosts
+//! shared fixtures.
+
+use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
+
+/// A fast ecosystem fixture shared by the integration tests.
+pub fn fast_ecosystem() -> Ecosystem {
+    Ecosystem::new(EcosystemConfig::fast_for_tests())
+}

@@ -1,0 +1,103 @@
+//! Adversarial-input robustness: every parser in the stack must fail
+//! *gracefully* on arbitrary bytes — DRM components face hostile inputs
+//! by definition, and a panic in `mediadrmserver` is a denial of service.
+
+use proptest::prelude::*;
+use wideleak::bmff::fragment::{InitSegment, MediaSegment};
+use wideleak::bmff::types::{Pssh, Senc, Tenc};
+use wideleak::bmff::Mp4Box;
+use wideleak::cdm::keybox::Keybox;
+use wideleak::cdm::messages::{
+    LicenseRequest, LicenseResponse, ProvisioningRequest, ProvisioningResponse,
+};
+use wideleak::cdm::wire::TlvReader;
+use wideleak::dash::mpd::Mpd;
+use wideleak::dash::XmlElement;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mp4_box_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Mp4Box::parse(&bytes);
+        let _ = Mp4Box::parse_sequence(&bytes);
+    }
+
+    #[test]
+    fn typed_box_parsers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Pssh::from_payload(&bytes);
+        let _ = Tenc::from_payload(&bytes);
+        let _ = Senc::from_payload(&bytes);
+    }
+
+    #[test]
+    fn segment_parsers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = InitSegment::from_bytes(&bytes);
+        let _ = MediaSegment::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn tlv_and_message_parsers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = TlvReader::parse(&bytes);
+        let _ = ProvisioningRequest::parse(&bytes);
+        let _ = ProvisioningResponse::parse(&bytes);
+        let _ = LicenseRequest::parse(&bytes);
+        let _ = LicenseResponse::parse(&bytes);
+    }
+
+    #[test]
+    fn keybox_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Keybox::parse(&bytes);
+    }
+
+    #[test]
+    fn xml_parser_never_panics(input in "\\PC*") {
+        let _ = XmlElement::parse(&input);
+        let _ = Mpd::parse(&input);
+    }
+
+    #[test]
+    fn xml_parser_never_panics_on_tag_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<".to_owned()),
+                Just(">".to_owned()),
+                Just("</".to_owned()),
+                Just("/>".to_owned()),
+                Just("&".to_owned()),
+                Just(";".to_owned()),
+                Just("=\"".to_owned()),
+                Just("<?xml".to_owned()),
+                Just("<!--".to_owned()),
+                "[a-zA-Z]{1,8}".prop_map(|s| s),
+            ],
+            0..30,
+        ),
+    ) {
+        let soup = parts.concat();
+        let _ = XmlElement::parse(&soup);
+    }
+
+    #[test]
+    fn bit_flipped_boxes_never_panic(
+        seed_payload in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_byte in 0usize..1024,
+        flip_bit in 0u8..8,
+    ) {
+        // Start from a *valid* structure, then corrupt one bit: the
+        // nastiest corpus for parsers that trust earlier fields.
+        let pssh = Pssh::widevine(vec![], seed_payload);
+        let init = InitSegment::protected(
+            1,
+            wideleak::bmff::fragment::TrackKind::Video,
+            wideleak::bmff::FourCc(*b"cenc"),
+            Tenc::cenc(wideleak::bmff::types::KeyId([7; 16])),
+            vec![pssh],
+        );
+        let mut bytes = init.to_bytes();
+        let idx = flip_byte % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        let _ = InitSegment::from_bytes(&bytes);
+        let _ = Mp4Box::parse_sequence(&bytes);
+    }
+}

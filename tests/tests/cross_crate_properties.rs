@@ -1,0 +1,160 @@
+//! Property-based tests spanning crate boundaries: packaging/decryption
+//! round trips, protocol codec stability, ladder determinism.
+
+use proptest::prelude::*;
+use wideleak::bmff::fragment::{InitSegment, MediaSegment, TrackKind};
+use wideleak::bmff::types::{KeyId, Tenc};
+use wideleak::cdm::ladder::{derive_session_keys, derive_key_128, labels};
+use wideleak::cdm::messages::{KeyControl, KeyEntry, LicenseRequest, LicenseResponse};
+use wideleak::cenc::keys::{ContentKey, MemoryKeyStore};
+use wideleak::cenc::track::{decrypt_segment, encrypt_segment, Scheme};
+use wideleak::device::catalog::{CdmVersion, SecurityLevel};
+
+fn samples_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..300), 1..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn packaging_round_trip_cenc(
+        samples in samples_strategy(),
+        key in any::<[u8; 16]>(),
+        kid in any::<[u8; 16]>(),
+        seq in 1u32..100,
+        seed in any::<u64>(),
+    ) {
+        let key = ContentKey(key);
+        let kid = KeyId(kid);
+        let tenc = Tenc::cenc(kid);
+        let init = InitSegment::protected(1, TrackKind::Video, Scheme::Cenc.fourcc(), tenc.clone(), vec![]);
+        let seg = encrypt_segment(Scheme::Cenc, &key, &tenc, TrackKind::Video, 1, seq, &samples, seed).unwrap();
+        // Serialize both sides, parse back, decrypt.
+        let init2 = InitSegment::from_bytes(&init.to_bytes()).unwrap();
+        let seg2 = MediaSegment::from_bytes(&seg.to_bytes()).unwrap();
+        let mut store = MemoryKeyStore::new();
+        store.insert(kid, key);
+        prop_assert_eq!(decrypt_segment(&init2, &seg2, &store).unwrap(), samples);
+    }
+
+    #[test]
+    fn packaging_round_trip_cbcs(
+        samples in samples_strategy(),
+        key in any::<[u8; 16]>(),
+        kid in any::<[u8; 16]>(),
+        civ in any::<[u8; 16]>(),
+    ) {
+        let key = ContentKey(key);
+        let kid = KeyId(kid);
+        let tenc = Tenc::cbcs(kid, civ);
+        let init = InitSegment::protected(2, TrackKind::Audio, Scheme::Cbcs.fourcc(), tenc.clone(), vec![]);
+        let seg = encrypt_segment(Scheme::Cbcs, &key, &tenc, TrackKind::Audio, 2, 1, &samples, 0).unwrap();
+        let mut store = MemoryKeyStore::new();
+        store.insert(kid, key);
+        prop_assert_eq!(decrypt_segment(&init, &seg, &store).unwrap(), samples);
+    }
+
+    #[test]
+    fn wrong_key_never_round_trips(
+        samples in samples_strategy(),
+        key_a in any::<[u8; 16]>(),
+        key_b in any::<[u8; 16]>(),
+        kid in any::<[u8; 16]>(),
+    ) {
+        prop_assume!(key_a != key_b);
+        // Only meaningful when some sample is long enough to be encrypted.
+        prop_assume!(samples.iter().any(|s| s.len() > 16));
+        let kid = KeyId(kid);
+        let tenc = Tenc::cenc(kid);
+        let seg = encrypt_segment(Scheme::Cenc, &ContentKey(key_a), &tenc, TrackKind::Video, 1, 1, &samples, 7).unwrap();
+        let init = InitSegment::protected(1, TrackKind::Video, Scheme::Cenc.fourcc(), tenc, vec![]);
+        let mut store = MemoryKeyStore::new();
+        store.insert(kid, ContentKey(key_b));
+        let out = decrypt_segment(&init, &seg, &store).unwrap();
+        prop_assert_ne!(out, samples);
+    }
+
+    #[test]
+    fn license_request_codec_round_trip(
+        device_id in proptest::collection::vec(any::<u8>(), 0..64),
+        content_id in "[a-z0-9-]{1,30}",
+        kids in proptest::collection::vec(any::<[u8; 16]>(), 0..5),
+        nonce in any::<[u8; 16]>(),
+        sig in proptest::collection::vec(any::<u8>(), 1..300),
+    ) {
+        let req = LicenseRequest {
+            device_id,
+            content_id,
+            key_ids: kids.into_iter().map(KeyId).collect(),
+            nonce,
+            cdm_version: CdmVersion::new(16, 1, 2),
+            security_level: SecurityLevel::L3,
+            rsa_signature: sig,
+        };
+        prop_assert_eq!(LicenseRequest::parse(&req.to_bytes()).unwrap(), req);
+    }
+
+    #[test]
+    fn license_response_codec_round_trip(
+        esk in proptest::collection::vec(any::<u8>(), 1..200),
+        enc_ctx in proptest::collection::vec(any::<u8>(), 0..40),
+        mac_ctx in proptest::collection::vec(any::<u8>(), 0..40),
+        entries in proptest::collection::vec(
+            (any::<[u8; 16]>(), any::<[u8; 16]>(), proptest::collection::vec(any::<u8>(), 1..64), 0u32..2160),
+            0..4,
+        ),
+        sig in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let resp = LicenseResponse {
+            nonce: [3; 16],
+            encrypted_session_key: esk,
+            enc_context: enc_ctx,
+            mac_context: mac_ctx,
+            key_entries: entries
+                .into_iter()
+                .map(|(kid, iv, ek, h)| KeyEntry {
+                    kid: KeyId(kid),
+                    iv,
+                    encrypted_key: ek,
+                    control: KeyControl {
+                        max_resolution_height: h,
+                        min_security_level: SecurityLevel::L1,
+                        duration_seconds: 3600,
+                    },
+                })
+                .collect(),
+            signature: sig,
+        };
+        prop_assert_eq!(LicenseResponse::parse(&resp.to_bytes()).unwrap(), resp);
+    }
+
+    #[test]
+    fn ladder_is_deterministic_and_context_separated(
+        session_key in any::<[u8; 16]>(),
+        ctx_a in proptest::collection::vec(any::<u8>(), 0..40),
+        ctx_b in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let a1 = derive_session_keys(&session_key, &ctx_a, &ctx_a);
+        let a2 = derive_session_keys(&session_key, &ctx_a, &ctx_a);
+        prop_assert_eq!(a1.enc_key, a2.enc_key);
+        prop_assert_eq!(a1.mac_key_server, a2.mac_key_server);
+        if ctx_a != ctx_b {
+            let b = derive_session_keys(&session_key, &ctx_b, &ctx_b);
+            prop_assert_ne!(a1.enc_key, b.enc_key);
+        }
+    }
+
+    #[test]
+    fn derivation_labels_never_collide(
+        key in any::<[u8; 16]>(),
+        ctx in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let enc = derive_key_128(&key, labels::ENCRYPTION, &ctx);
+        let auth = derive_key_128(&key, labels::AUTHENTICATION, &ctx);
+        let prov = derive_key_128(&key, labels::PROVISIONING, &ctx);
+        prop_assert_ne!(enc, auth);
+        prop_assert_ne!(enc, prov);
+        prop_assert_ne!(auth, prov);
+    }
+}

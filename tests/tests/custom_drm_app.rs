@@ -1,0 +1,81 @@
+//! Q1's other answer: an app that never touches platform Widevine.
+//!
+//! The paper's Q1 sets out "to quantify the OTT apps leveraging Widevine
+//! or custom DRM implementation like in Indian music industry" (its
+//! reference [14], the Looney Tunes study). All ten evaluated apps turned
+//! out to use Widevine; this test builds a hypothetical music app with a
+//! fully app-embedded DRM and checks the monitor classifies it as *not*
+//! relying on platform Widevine.
+
+use wideleak::device::catalog::DeviceModel;
+use wideleak::monitor::classify::WidevineUse;
+use wideleak::monitor::study::{study_app, STUDY_TITLE};
+use wideleak::ott::apps::{evaluated_apps, AppProfile};
+use wideleak::ott::content::{demo_catalog, AudioProtection};
+use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
+
+fn looney_tunes_profile() -> AppProfile {
+    AppProfile {
+        name: "LooneyTunes Music",
+        slug: "looneytunes",
+        installs_millions: 100,
+        audio: AudioProtection::DistinctKey,
+        enforce_revocation: false,
+        custom_drm_on_l3: false,
+        uri_protection: false,
+        subtitles_in_mpd: false,
+        metadata_kids_visible: true,
+        uses_safetynet: false,
+        always_custom_drm: true,
+    }
+}
+
+fn eco_with_music_app() -> Ecosystem {
+    let mut profiles = evaluated_apps();
+    profiles.push(looney_tunes_profile());
+    Ecosystem::with_profiles(EcosystemConfig::fast_for_tests(), profiles, demo_catalog())
+}
+
+#[test]
+fn custom_drm_app_never_touches_the_platform_cdm() {
+    let eco = eco_with_music_app();
+    for model in [DeviceModel::pixel_6(), DeviceModel::nexus_5()] {
+        let stack = eco.boot_device(model.clone(), true);
+        let app = eco.install_app(&stack, "looneytunes", "music-fan");
+        stack.device.hook_engine().start_recording();
+        let outcome = app.play(STUDY_TITLE).unwrap();
+        let log = stack.device.hook_engine().stop_recording();
+        assert!(!outcome.used_platform_widevine, "{}", model.name);
+        assert!(outcome.trace.is_none());
+        assert!(
+            log.iter().all(|e| e.function.contains("InstallKeybox") || e.function.contains("Initialize")),
+            "{}: playback-phase platform CDM calls observed: {log:?}",
+            model.name
+        );
+        assert!(!outcome.video_samples.is_empty(), "it still plays");
+    }
+}
+
+#[test]
+fn monitor_classifies_the_custom_drm_app_as_not_widevine() {
+    let eco = eco_with_music_app();
+    let findings = study_app(&eco, "looneytunes").unwrap();
+    assert_eq!(findings.widevine_use, WidevineUse::No);
+    assert!(!findings.l1_on_modern_device, "no platform CDM, no L1 observation");
+    // The ten real apps keep their classifications in the same ecosystem.
+    let netflix = study_app(&eco, "netflix").unwrap();
+    assert_eq!(netflix.widevine_use, WidevineUse::Yes);
+}
+
+#[test]
+fn custom_drm_app_is_immune_to_the_platform_keybox_attack() {
+    // Like Amazon's fallback: no platform license traffic, nothing for the
+    // ladder to replay.
+    let eco = eco_with_music_app();
+    let outcome = wideleak::attack::recover::attack_app(&eco, "looneytunes");
+    assert!(!outcome.succeeded());
+    assert!(matches!(
+        outcome.failure,
+        Some(wideleak::attack::AttackError::NoProvisioningTraffic)
+    ));
+}

@@ -1,0 +1,116 @@
+//! System-wide security invariants: what should leak does, what should
+//! not does not.
+
+use wideleak::attack::memscan::scan_for_keyboxes;
+use wideleak::attack::recover::{attack_app_on, ATTACK_TITLE};
+use wideleak::cdm::oemcrypto::KEYBOX_FIX_VERSION;
+use wideleak::device::catalog::{DeviceModel, SecurityLevel};
+use wideleak_tests::fast_ecosystem;
+
+#[test]
+fn l3_boot_leaks_the_keybox_and_l1_boot_does_not() {
+    let eco = fast_ecosystem();
+    let l3 = eco.boot_device(DeviceModel::nexus_5(), true);
+    assert_eq!(
+        scan_for_keyboxes(l3.device.drm_process_memory()).len(),
+        1,
+        "CWE-922 on the software CDM"
+    );
+    let l1 = eco.boot_device(DeviceModel::pixel_6(), true);
+    assert!(
+        scan_for_keyboxes(l1.device.drm_process_memory()).is_empty(),
+        "TEE keeps the keybox out of normal-world memory"
+    );
+}
+
+#[test]
+fn patched_cdm_version_closes_the_leak() {
+    // A device model carrying the CVE-2021-0639 fix.
+    let patched = DeviceModel {
+        name: "Patched L3".into(),
+        android_version: 12,
+        cdm_version: KEYBOX_FIX_VERSION,
+        security_level: SecurityLevel::L3,
+        discontinued: false,
+    };
+    let eco = fast_ecosystem();
+    let stack = eco.boot_device(patched.clone(), true);
+    assert!(scan_for_keyboxes(stack.device.drm_process_memory()).is_empty());
+    // And the full attack pipeline dies at the first step.
+    let outcome = attack_app_on(&eco, "netflix", patched);
+    assert!(!outcome.succeeded());
+    assert!(!outcome.keybox_recovered);
+}
+
+#[test]
+fn current_but_l3_hardware_is_still_vulnerable() {
+    // "L3 because of hardware" (midrange, pre-fix CDM v16.0.0) falls to
+    // the same attack as "L3 because discontinued" — the paper's point is
+    // that the *protection level*, not device age alone, sets the risk.
+    let eco = fast_ecosystem();
+    let outcome = attack_app_on(&eco, "netflix", DeviceModel::midrange_l3());
+    assert!(outcome.succeeded());
+    assert_eq!(
+        outcome.media.unwrap().best_resolution(),
+        Some((960, 540)),
+        "still no HD keys for L3"
+    );
+}
+
+#[test]
+fn hd_keys_never_reach_l3_clients() {
+    // Attack a lenient app on the discontinued device and check the key
+    // census: no recovered key unlocks the 1080p rendition.
+    let eco = fast_ecosystem();
+    let outcome = attack_app_on(&eco, "showtime", DeviceModel::nexus_5());
+    assert!(outcome.succeeded());
+    let hd_kid = wideleak::ott::content::kid_from_label(&format!(
+        "showtime/{ATTACK_TITLE}/video-1080"
+    ));
+    assert!(
+        outcome.content_keys.iter().all(|(kid, _)| *kid != hd_kid),
+        "1080p key must never be licensed to an L3 device"
+    );
+}
+
+#[test]
+fn app_process_never_sees_keys_or_plaintext_buffers() {
+    // The MovieStealer-defeating property: the app receives decrypted
+    // frames only through MediaCodec, and key material never crosses the
+    // Binder as raw bytes. We check the public API surface: no DrmReply
+    // variant carries a content key, and the CDM's key types redact their
+    // Debug output.
+    let key = wideleak::cenc::keys::ContentKey([0x42; 16]);
+    assert!(!format!("{key:?}").contains("42"));
+    let lk = format!(
+        "{:?}",
+        wideleak::cdm::ladder::derive_session_keys(&[1; 16], b"e", b"m")
+    );
+    assert!(lk.contains("redacted"));
+}
+
+#[test]
+fn secure_world_isolation_survives_attacks() {
+    let eco = fast_ecosystem();
+    let stack = eco.boot_device(DeviceModel::pixel_6(), true);
+    let app = eco.install_app(&stack, "netflix", "l1-victim");
+    app.play(ATTACK_TITLE).unwrap();
+    // Even after full playback, the normal world holds no keybox and no
+    // content keys.
+    let memory = stack.device.scan_drm_process_memory().unwrap();
+    assert!(scan_for_keyboxes(memory).is_empty());
+    let kid_540 = wideleak::ott::content::key_from_label("netflix/title-001/video-540");
+    assert!(
+        memory.scan(&kid_540.0).is_empty(),
+        "content keys never land in normal-world memory on L1"
+    );
+}
+
+#[test]
+fn non_rooted_devices_cannot_be_instrumented() {
+    let eco = fast_ecosystem();
+    let stack = eco.boot_device(DeviceModel::nexus_5(), false);
+    assert!(stack.device.scan_drm_process_memory().is_err());
+    assert!(stack.device.attach_hooks(Box::new(|_| {})).is_err());
+    assert!(stack.device.apply_ssl_repinning_bypass().is_err());
+}
