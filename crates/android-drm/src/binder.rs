@@ -11,7 +11,7 @@
 use wideleak_bmff::types::{KeyId, Subsample};
 use wideleak_cdm::oemcrypto::SampleCrypto;
 
-use crate::{DrmError, server::MediaDrmServer};
+use crate::{server::MediaDrmServer, DrmError};
 
 /// One DRM framework transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +118,42 @@ pub enum DrmCall {
     },
 }
 
+impl DrmCall {
+    /// The transaction kind as a static label, used for telemetry
+    /// span fields and per-kind request counters.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DrmCall::IsSchemeSupported { .. } => "is_scheme_supported",
+            DrmCall::OpenSession { .. } => "open_session",
+            DrmCall::CloseSession { .. } => "close_session",
+            DrmCall::IsProvisioned => "is_provisioned",
+            DrmCall::GetProvisionRequest { .. } => "get_provision_request",
+            DrmCall::ProvideProvisionResponse { .. } => "provide_provision_response",
+            DrmCall::GetKeyRequest { .. } => "get_key_request",
+            DrmCall::ProvideKeyResponse { .. } => "provide_key_response",
+            DrmCall::DecryptSample { .. } => "decrypt_sample",
+            DrmCall::GenericEncrypt { .. } => "generic_encrypt",
+            DrmCall::GenericDecrypt { .. } => "generic_decrypt",
+            DrmCall::GenericSign { .. } => "generic_sign",
+            DrmCall::GenericVerify { .. } => "generic_verify",
+        }
+    }
+}
+
+/// Records the telemetry shared by both transports: per-kind request
+/// counters and an error-class counter on failure.
+fn record_transaction(kind: &'static str, reply: &Result<DrmReply, DrmError>) {
+    if !wideleak_telemetry::is_enabled() {
+        return;
+    }
+    wideleak_telemetry::incr("binder.transact");
+    wideleak_telemetry::incr(&format!("binder.transact.{kind}"));
+    if let Err(e) = reply {
+        wideleak_telemetry::incr(&format!("binder.error.{}", e.class()));
+    }
+}
+
 /// A successful transaction reply.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DrmReply {
@@ -207,7 +243,11 @@ impl InProcessBinder {
 
 impl Binder for InProcessBinder {
     fn transact(&self, call: DrmCall) -> Result<DrmReply, DrmError> {
-        self.server.handle(call)
+        let kind = call.kind();
+        let _span = wideleak_telemetry::span!("binder.transact.in_process", kind = kind);
+        let reply = self.server.handle(call);
+        record_transaction(kind, &reply);
+        reply
     }
 }
 
@@ -239,9 +279,15 @@ impl ThreadedBinder {
 
 impl Binder for ThreadedBinder {
     fn transact(&self, call: DrmCall) -> Result<DrmReply, DrmError> {
-        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
-        self.tx.send((call, reply_tx)).map_err(|_| DrmError::BinderDied)?;
-        reply_rx.recv().map_err(|_| DrmError::BinderDied)?
+        let kind = call.kind();
+        let _span = wideleak_telemetry::span!("binder.transact.threaded", kind = kind);
+        let reply = (|| {
+            let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+            self.tx.send((call, reply_tx)).map_err(|_| DrmError::BinderDied)?;
+            reply_rx.recv().map_err(|_| DrmError::BinderDied)?
+        })();
+        record_transaction(kind, &reply);
+        reply
     }
 }
 

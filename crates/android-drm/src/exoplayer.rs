@@ -83,11 +83,7 @@ impl ExoSource {
     ///
     /// Returns [`ExoError::EncryptedSubtitlesUnsupported`] for protected
     /// subtitle inits.
-    pub fn with_subtitles(
-        mut self,
-        init: &InitSegment,
-        text: String,
-    ) -> Result<Self, ExoError> {
+    pub fn with_subtitles(mut self, init: &InitSegment, text: String) -> Result<Self, ExoError> {
         if init.is_protected() {
             return Err(ExoError::EncryptedSubtitlesUnsupported);
         }
@@ -166,9 +162,7 @@ impl ExoPlayer {
             // rather than failing mid-decode.
             for kid in &key_ids {
                 if !loaded.contains(kid) {
-                    return Err(ExoError::Drm(DrmError::Cdm(
-                        wideleak_cdm::CdmError::KeyNotLoaded,
-                    )));
+                    return Err(ExoError::Drm(DrmError::Cdm(wideleak_cdm::CdmError::KeyNotLoaded)));
                 }
             }
         }
@@ -254,8 +248,8 @@ mod tests {
 
     #[test]
     fn clear_source_needs_no_keys() {
-        let source =
-            ExoSource::new(clear_bundle(TrackKind::Video)).with_audio(clear_bundle(TrackKind::Audio));
+        let source = ExoSource::new(clear_bundle(TrackKind::Video))
+            .with_audio(clear_bundle(TrackKind::Audio));
         assert!(source.required_key_ids().is_empty());
     }
 

@@ -53,6 +53,19 @@ pub enum DrmError {
     BadReply,
 }
 
+impl DrmError {
+    /// A stable lowercase label for telemetry error-class counters.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            DrmError::UnsupportedScheme { .. } => "unsupported_scheme",
+            DrmError::Cdm(_) => "cdm",
+            DrmError::BinderDied => "binder_died",
+            DrmError::BadReply => "bad_reply",
+        }
+    }
+}
+
 impl fmt::Display for DrmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

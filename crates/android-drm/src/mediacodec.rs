@@ -61,10 +61,7 @@ impl<'a> MediaCodec<'a> {
             return Ok(samples.into_iter().map(|s| Frame { data: s.to_vec() }).collect());
         };
         let tenc = init.tenc.as_ref().ok_or(DrmError::BadReply)?;
-        let scheme = init
-            .scheme
-            .and_then(Scheme::from_fourcc)
-            .ok_or(DrmError::BadReply)?;
+        let scheme = init.scheme.and_then(Scheme::from_fourcc).ok_or(DrmError::BadReply)?;
         if senc.entries.len() != samples.len() {
             return Err(DrmError::BadReply);
         }

@@ -91,7 +91,11 @@ impl MediaCrypto {
     /// Propagates CDM failures.
     pub fn generic_sign(&self, kid: KeyId, data: &[u8]) -> Result<Vec<u8>, DrmError> {
         self.binder
-            .transact(DrmCall::GenericSign { session_id: self.session_id, kid, data: data.to_vec() })?
+            .transact(DrmCall::GenericSign {
+                session_id: self.session_id,
+                kid,
+                data: data.to_vec(),
+            })?
             .into_bytes()
     }
 

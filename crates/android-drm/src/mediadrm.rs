@@ -140,9 +140,7 @@ impl MediaDrm {
         session_id: u32,
         response: Vec<u8>,
     ) -> Result<Vec<KeyId>, DrmError> {
-        self.binder
-            .transact(DrmCall::ProvideKeyResponse { session_id, response })?
-            .into_key_ids()
+        self.binder.transact(DrmCall::ProvideKeyResponse { session_id, response })?.into_key_ids()
     }
 }
 

@@ -56,9 +56,7 @@ impl MediaDrmServer {
 
     fn active_cdm(&self) -> Result<&Arc<Cdm>, DrmError> {
         let uuid = self.active.ok_or(DrmError::UnsupportedScheme { uuid: [0; 16] })?;
-        self.plugins
-            .get(&uuid)
-            .ok_or(DrmError::UnsupportedScheme { uuid })
+        self.plugins.get(&uuid).ok_or(DrmError::UnsupportedScheme { uuid })
     }
 
     /// Handles one transaction (called by the Binder transports).
@@ -92,10 +90,11 @@ impl MediaDrmServer {
                 Ok(DrmReply::Unit)
             }
             DrmCall::GetKeyRequest { session_id, content_id, key_ids } => {
-                let req = self
-                    .active_cdm()?
-                    .oemcrypto()
-                    .license_request(session_id, &content_id, &key_ids)?;
+                let req = self.active_cdm()?.oemcrypto().license_request(
+                    session_id,
+                    &content_id,
+                    &key_ids,
+                )?;
                 Ok(DrmReply::Bytes(req.to_bytes()))
             }
             DrmCall::ProvideKeyResponse { session_id, response } => {
@@ -178,11 +177,8 @@ mod tests {
     #[test]
     fn session_lifecycle_through_router() {
         let s = boot_server();
-        let id = s
-            .handle(DrmCall::OpenSession { nonce: [3; 16] })
-            .unwrap()
-            .into_session_id()
-            .unwrap();
+        let id =
+            s.handle(DrmCall::OpenSession { nonce: [3; 16] }).unwrap().into_session_id().unwrap();
         assert_eq!(s.handle(DrmCall::CloseSession { session_id: id }).unwrap(), DrmReply::Unit);
         assert!(matches!(
             s.handle(DrmCall::CloseSession { session_id: id }),

@@ -124,8 +124,7 @@ pub fn hd_spoof_experiment(eco: &Ecosystem, slug: &str) -> Result<HdSpoofOutcome
     let stack = eco.boot_device(DeviceModel::nexus_5(), true);
     let app = eco.install_app(&stack, slug, "hd-spoof-attacker");
     stack.device.hook_engine().start_recording();
-    app.play(ATTACK_TITLE)
-        .map_err(|e| AttackError::Playback { reason: e.to_string() })?;
+    app.play(ATTACK_TITLE).map_err(|e| AttackError::Playback { reason: e.to_string() })?;
     let log = stack.device.hook_engine().stop_recording();
     let memory = stack
         .device

@@ -67,9 +67,7 @@ pub fn recover_rsa_key(keybox: &Keybox, log: &[CallEvent]) -> Result<RsaPrivateK
     }
     responses
         .iter()
-        .find_map(|resp| {
-            unwrap_rsa_key(keybox.device_key(), keybox.device_id(), None, resp).ok()
-        })
+        .find_map(|resp| unwrap_rsa_key(keybox.device_key(), keybox.device_id(), None, resp).ok())
         .ok_or(AttackError::Ladder { step: "provisioning response unwrap" })
 }
 

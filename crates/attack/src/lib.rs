@@ -67,6 +67,21 @@ pub enum AttackError {
     },
 }
 
+impl AttackError {
+    /// A stable lowercase label for telemetry error-class counters.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            AttackError::KeyboxNotFound => "keybox_not_found",
+            AttackError::NoProvisioningTraffic => "no_provisioning_traffic",
+            AttackError::NoLicenseTraffic => "no_license_traffic",
+            AttackError::Ladder { .. } => "ladder",
+            AttackError::Playback { .. } => "playback",
+            AttackError::Instrumentation { .. } => "instrumentation",
+        }
+    }
+}
+
 impl fmt::Display for AttackError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -77,7 +92,9 @@ impl fmt::Display for AttackError {
             AttackError::NoLicenseTraffic => f.write_str("no license traffic observed in hook log"),
             AttackError::Ladder { step } => write!(f, "key ladder failed at {step}"),
             AttackError::Playback { reason } => write!(f, "victim playback failed: {reason}"),
-            AttackError::Instrumentation { reason } => write!(f, "instrumentation failed: {reason}"),
+            AttackError::Instrumentation { reason } => {
+                write!(f, "instrumentation failed: {reason}")
+            }
         }
     }
 }

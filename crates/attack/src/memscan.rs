@@ -38,10 +38,7 @@ pub fn scan_for_keyboxes(memory: &ProcessMemory) -> Vec<Keybox> {
 ///
 /// Returns [`AttackError::KeyboxNotFound`] when no candidate validates.
 pub fn recover_keybox(memory: &ProcessMemory) -> Result<Keybox, AttackError> {
-    scan_for_keyboxes(memory)
-        .into_iter()
-        .next()
-        .ok_or(AttackError::KeyboxNotFound)
+    scan_for_keyboxes(memory).into_iter().next().ok_or(AttackError::KeyboxNotFound)
 }
 
 #[cfg(test)]

@@ -172,8 +172,8 @@ pub fn track_kind(track: &ClearTrack) -> Option<TrackKind> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wideleak_ott::content::{key_from_label, kid_from_label, synth_samples, TrackSelector};
     use wideleak_device::net::RemoteEndpoint;
+    use wideleak_ott::content::{key_from_label, kid_from_label, synth_samples, TrackSelector};
     use wideleak_ott::ecosystem::{Ecosystem, EcosystemConfig};
 
     fn eco() -> Ecosystem {

@@ -44,6 +44,9 @@ impl AttackOutcome {
     }
 
     fn failed(app_name: String, keybox: bool, rsa: bool, failure: AttackError) -> Self {
+        if wideleak_telemetry::is_enabled() {
+            wideleak_telemetry::incr(&format!("attack.error.{}", failure.class()));
+        }
         AttackOutcome {
             app_name,
             keybox_recovered: keybox,
@@ -65,6 +68,7 @@ pub const ATTACK_TITLE: &str = "title-001";
 /// The returned outcome is descriptive rather than an `Err` for expected
 /// defense-driven failures, so callers can tabulate results per app.
 pub fn attack_app_on(eco: &Ecosystem, slug: &str, model: DeviceModel) -> AttackOutcome {
+    let _span = wideleak_telemetry::span!("attack.app", app = slug);
     let profile = match eco.profile(slug) {
         Some(p) => p.clone(),
         None => {
@@ -94,9 +98,11 @@ pub fn attack_app_on(eco: &Ecosystem, slug: &str, model: DeviceModel) -> AttackO
     stack.device.hook_engine().start_recording();
 
     // Victim-style playback (the attacker *is* a paying subscriber).
+    let playback_span = wideleak_telemetry::span!("attack.stage.playback", app = slug);
     let play_result = app.play(ATTACK_TITLE);
     let log = stack.device.hook_engine().stop_recording();
     let capture = proxy.captured();
+    drop(playback_span);
 
     if let Err(e) = play_result {
         return AttackOutcome::failed(
@@ -108,6 +114,7 @@ pub fn attack_app_on(eco: &Ecosystem, slug: &str, model: DeviceModel) -> AttackO
     }
 
     // Step 1: keybox from process memory (CWE-922).
+    let memscan_span = wideleak_telemetry::span!("attack.stage.memscan", app = slug);
     let memory = match stack.device.scan_drm_process_memory() {
         Ok(m) => m,
         Err(e) => {
@@ -123,21 +130,29 @@ pub fn attack_app_on(eco: &Ecosystem, slug: &str, model: DeviceModel) -> AttackO
         Ok(kb) => kb,
         Err(e) => return AttackOutcome::failed(app_name, false, false, e),
     };
+    drop(memscan_span);
 
     // Step 2: Device RSA Key from the dumped provisioning response.
-    let rsa = match recover_rsa_key(&keybox, &log) {
-        Ok(k) => k,
-        Err(e) => return AttackOutcome::failed(app_name, true, false, e),
+    let rsa = {
+        let _s = wideleak_telemetry::span!("attack.stage.recover_rsa_key", app = slug);
+        match recover_rsa_key(&keybox, &log) {
+            Ok(k) => k,
+            Err(e) => return AttackOutcome::failed(app_name, true, false, e),
+        }
     };
 
     // Steps 3–4: content keys from the dumped license traffic.
-    let content_keys = match recover_content_keys(&rsa, &log) {
-        Ok(k) => k,
-        Err(e) => return AttackOutcome::failed(app_name, true, true, e),
+    let content_keys = {
+        let _s = wideleak_telemetry::span!("attack.stage.recover_content_keys", app = slug);
+        match recover_content_keys(&rsa, &log) {
+            Ok(k) => k,
+            Err(e) => return AttackOutcome::failed(app_name, true, true, e),
+        }
     };
 
     // Step 5: fetch the manifest like the monitor does (plaintext capture
     // or generic-decrypt dump) and reconstruct DRM-free media.
+    let _reconstruct_span = wideleak_telemetry::span!("attack.stage.reconstruct", app = slug);
     let mpd: Option<Mpd> =
         netcap::find_mpd(&capture).or_else(|| trace::recover_mpd_from_trace(&log));
     let Some(mpd) = mpd else {
@@ -173,11 +188,7 @@ pub fn attack_app(eco: &Ecosystem, slug: &str) -> AttackOutcome {
 /// Attacks every evaluated app on the discontinued device, in Table-I
 /// order — the paper's practical-impact sweep.
 pub fn attack_all(eco: &Ecosystem) -> Vec<AttackOutcome> {
-    eco.profiles()
-        .to_vec()
-        .iter()
-        .map(|p| attack_app(eco, p.slug))
-        .collect()
+    eco.profiles().to_vec().iter().map(|p| attack_app(eco, p.slug)).collect()
 }
 
 /// §IV-D: "OTT apps use the same keys for all their subscribers for a

@@ -38,7 +38,11 @@ fn attack_succeeds_on_exactly_the_papers_six_apps() {
     let amazon = outcomes.iter().find(|o| o.app_name == "Amazon Prime Video").unwrap();
     assert!(!amazon.succeeded());
     assert!(amazon.keybox_recovered, "the platform keybox still leaks");
-    assert!(matches!(amazon.failure, Some(AttackError::NoProvisioningTraffic)), "{:?}", amazon.failure);
+    assert!(
+        matches!(amazon.failure, Some(AttackError::NoProvisioningTraffic)),
+        "{:?}",
+        amazon.failure
+    );
 }
 
 #[test]

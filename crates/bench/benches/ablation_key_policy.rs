@@ -43,9 +43,7 @@ fn blast_radius(eco: &Ecosystem, slug: &str) -> usize {
     let label = format!("{slug}/title-001/video-540");
     let keys = vec![(kid_from_label(&label), key_from_label(&label))];
     let mpd = manifest(eco, slug);
-    reconstruct_media(eco.backend().as_ref(), &mpd, &keys)
-        .map(|m| m.tracks.len())
-        .unwrap_or(0)
+    reconstruct_media(eco.backend().as_ref(), &mpd, &keys).map(|m| m.tracks.len()).unwrap_or(0)
 }
 
 fn bench_ablation(c: &mut Criterion) {

@@ -37,8 +37,12 @@ fn bench_ablation(c: &mut Criterion) {
     let all_enforce = success_rate(&fleet_with_enforcement(Some(true)));
     eprintln!("apps compromised (out of 10):");
     eprintln!("  as measured in the paper      : {as_measured}  (3 enforce, Amazon embedded)");
-    eprintln!("  nobody enforces revocation    : {none_enforce}  (only Amazon's embedded DRM resists)");
-    eprintln!("  everybody enforces revocation : {all_enforce}  (the discontinued device is useless)\n");
+    eprintln!(
+        "  nobody enforces revocation    : {none_enforce}  (only Amazon's embedded DRM resists)"
+    );
+    eprintln!(
+        "  everybody enforces revocation : {all_enforce}  (the discontinued device is useless)\n"
+    );
 
     let mut group = c.benchmark_group("ablation_revocation");
     group.sample_size(10);

@@ -24,10 +24,9 @@ fn bench_cenc(c: &mut Criterion) {
         let samples = vec![vec![0xCDu8; size]];
         group.throughput(Throughput::Bytes(size as u64));
 
-        for (scheme, tenc) in [
-            (Scheme::Cenc, Tenc::cenc(kid)),
-            (Scheme::Cbcs, Tenc::cbcs(kid, [3; 16])),
-        ] {
+        for (scheme, tenc) in
+            [(Scheme::Cenc, Tenc::cenc(kid)), (Scheme::Cbcs, Tenc::cbcs(kid, [3; 16]))]
+        {
             let label = match scheme {
                 Scheme::Cenc => "cenc",
                 Scheme::Cbcs => "cbcs",
@@ -43,7 +42,8 @@ fn bench_cenc(c: &mut Criterion) {
                 },
             );
 
-            let init = InitSegment::protected(1, TrackKind::Video, scheme.fourcc(), tenc.clone(), vec![]);
+            let init =
+                InitSegment::protected(1, TrackKind::Video, scheme.fourcc(), tenc.clone(), vec![]);
             let seg =
                 encrypt_segment(scheme, &key, &tenc, TrackKind::Video, 1, 1, &samples, 7).unwrap();
             let mut store = MemoryKeyStore::new();

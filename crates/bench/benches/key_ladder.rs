@@ -71,8 +71,7 @@ fn bench_ladder(c: &mut Criterion) {
     let (sid3, kid3, data) = primed(&l3, &eco, "ladder-l3");
     group.bench_function("l3_in_process", |b| {
         b.iter(|| {
-            l3.decrypt_sample(sid3, &kid3, &SampleCrypto::Cenc { iv: [5; 8] }, &data, &[])
-                .unwrap()
+            l3.decrypt_sample(sid3, &kid3, &SampleCrypto::Cenc { iv: [5; 8] }, &data, &[]).unwrap()
         });
     });
 
@@ -81,8 +80,7 @@ fn bench_ladder(c: &mut Criterion) {
     let (sid1, kid1, data) = primed(&l1, &eco, "ladder-l1");
     group.bench_function("l1_world_switch", |b| {
         b.iter(|| {
-            l1.decrypt_sample(sid1, &kid1, &SampleCrypto::Cenc { iv: [5; 8] }, &data, &[])
-                .unwrap()
+            l1.decrypt_sample(sid1, &kid1, &SampleCrypto::Cenc { iv: [5; 8] }, &data, &[]).unwrap()
         });
     });
     group.finish();

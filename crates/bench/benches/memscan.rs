@@ -35,9 +35,13 @@ fn bench_memscan(c: &mut Criterion) {
         let total = mib << 20;
         let mem = planted_memory(total);
         group.throughput(Throughput::Bytes(total as u64));
-        group.bench_with_input(BenchmarkId::new("recover_keybox", format!("{mib}MiB")), &mem, |b, mem| {
-            b.iter(|| recover_keybox(mem).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("recover_keybox", format!("{mib}MiB")),
+            &mem,
+            |b, mem| {
+                b.iter(|| recover_keybox(mem).unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -13,7 +13,9 @@ fn bench_practical_impact(c: &mut Criterion) {
     let eco = bench_ecosystem();
 
     // Regenerate the sweep table.
-    eprintln!("\n=== Practical impact (Section IV-D): attack sweep on the discontinued device ===\n");
+    eprintln!(
+        "\n=== Practical impact (Section IV-D): attack sweep on the discontinued device ===\n"
+    );
     eprintln!(
         "{:<22} {:>7} {:>8} {:>6} {:>12}  outcome",
         "app", "keybox", "RSA key", "keys", "best quality"

@@ -108,7 +108,9 @@ impl BigInt {
 impl From<i64> for BigInt {
     fn from(v: i64) -> Self {
         match v.cmp(&0) {
-            Ordering::Less => BigInt::with_sign(Sign::Negative, BigUint::from_u64(v.unsigned_abs())),
+            Ordering::Less => {
+                BigInt::with_sign(Sign::Negative, BigUint::from_u64(v.unsigned_abs()))
+            }
             Ordering::Equal => BigInt::zero(),
             Ordering::Greater => BigInt::with_sign(Sign::Positive, BigUint::from_u64(v as u64)),
         }

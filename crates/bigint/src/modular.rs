@@ -99,9 +99,7 @@ pub fn extended_gcd(a: &BigUint, b: &BigUint) -> (BigUint, BigInt, BigInt) {
     let mut t = BigInt::one();
 
     while !r.is_zero() {
-        let (q, rem) = old_r
-            .magnitude()
-            .div_rem(r.magnitude());
+        let (q, rem) = old_r.magnitude().div_rem(r.magnitude());
         // Signs: our remainders stay non-negative because we always divide
         // magnitudes; track coefficient signs explicitly.
         let q = BigInt::with_sign(Sign::Positive, q);
@@ -113,11 +111,7 @@ pub fn extended_gcd(a: &BigUint, b: &BigUint) -> (BigUint, BigInt, BigInt) {
         old_t = std::mem::replace(&mut t, new_t);
     }
 
-    (
-        old_r.to_biguint().expect("gcd is non-negative"),
-        old_s,
-        old_t,
-    )
+    (old_r.to_biguint().expect("gcd is non-negative"), old_s, old_t)
 }
 
 /// Computes the modular inverse of `a` modulo `m`, if it exists.
@@ -147,7 +141,13 @@ pub fn mod_inv(a: &BigUint, m: &BigUint) -> Option<BigUint> {
 /// Chinese-remainder recombination for a two-prime RSA private operation:
 /// given residues `(mp mod p, mq mod q)` and `q_inv = q^-1 mod p`, returns
 /// the unique value modulo `p*q`.
-pub fn crt_combine(mp: &BigUint, mq: &BigUint, p: &BigUint, q: &BigUint, q_inv: &BigUint) -> BigUint {
+pub fn crt_combine(
+    mp: &BigUint,
+    mq: &BigUint,
+    p: &BigUint,
+    q: &BigUint,
+    q_inv: &BigUint,
+) -> BigUint {
     // h = q_inv * (mp - mq) mod p
     let h = mod_mul(q_inv, &mod_sub(mp, mq, p), p);
     mq + &(q * &h)

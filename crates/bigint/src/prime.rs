@@ -11,9 +11,9 @@ use crate::BigUint;
 
 /// Small primes used for cheap trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 46] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199,
 ];
 
 /// Default number of Miller–Rabin rounds; gives an error probability well
@@ -126,10 +126,7 @@ impl WitnessStream {
 ///
 /// Panics if `candidate` is zero or one (no meaningful search start).
 pub fn next_prime_from(candidate: &BigUint, rounds: u32) -> BigUint {
-    assert!(
-        !candidate.is_zero() && !candidate.is_one(),
-        "prime search requires a candidate >= 2"
-    );
+    assert!(!candidate.is_zero() && !candidate.is_one(), "prime search requires a candidate >= 2");
     let two = BigUint::from_u64(2);
     if *candidate == two {
         return two;

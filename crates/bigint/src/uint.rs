@@ -65,9 +65,7 @@ impl BigUint {
 
     /// Builds a value from a `u128`.
     pub fn from_u128(v: u128) -> Self {
-        let mut n = BigUint {
-            limbs: vec![v as u64, (v >> 64) as u64],
-        };
+        let mut n = BigUint { limbs: vec![v as u64, (v >> 64) as u64] };
         n.normalize();
         n
     }
@@ -131,12 +129,7 @@ impl BigUint {
     /// Panics if the value does not fit in `width` bytes.
     pub fn to_bytes_be_padded(&self, width: usize) -> Vec<u8> {
         let raw = self.to_bytes_be();
-        assert!(
-            raw.len() <= width,
-            "value of {} bytes does not fit in {} bytes",
-            raw.len(),
-            width
-        );
+        assert!(raw.len() <= width, "value of {} bytes does not fit in {} bytes", raw.len(), width);
         let mut out = vec![0u8; width - raw.len()];
         out.extend_from_slice(&raw);
         out
@@ -313,9 +306,7 @@ impl BigUint {
             let u_hi2 = (u[j + n] as u128) << 64 | u[j + n - 1] as u128;
             let mut qhat: u128 = u_hi2 / v_hi as u128;
             let mut rhat: u128 = u_hi2 % v_hi as u128;
-            while qhat >> 64 != 0
-                || qhat * v_lo as u128 > (rhat << 64 | u[j + n - 2] as u128)
-            {
+            while qhat >> 64 != 0 || qhat * v_lo as u128 > (rhat << 64 | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v_hi as u128;
                 if rhat >> 64 != 0 {
@@ -434,11 +425,8 @@ impl Add for &BigUint {
     type Output = BigUint;
 
     fn add(self, rhs: &BigUint) -> BigUint {
-        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
-            (self, rhs)
-        } else {
-            (rhs, self)
-        };
+        let (long, short) =
+            if self.limbs.len() >= rhs.limbs.len() { (self, rhs) } else { (rhs, self) };
         let mut out = Vec::with_capacity(long.limbs.len() + 1);
         let mut carry = 0u64;
         for i in 0..long.limbs.len() {
@@ -548,11 +536,7 @@ impl Shr<usize> for &BigUint {
         }
         let mut out = Vec::with_capacity(src.len());
         for i in 0..src.len() {
-            let hi = if i + 1 < src.len() {
-                src[i + 1] << (64 - bit_shift)
-            } else {
-                0
-            };
+            let hi = if i + 1 < src.len() { src[i + 1] << (64 - bit_shift) } else { 0 };
             out.push(src[i] >> bit_shift | hi);
         }
         BigUint::from_limbs(out)
@@ -638,10 +622,7 @@ mod tests {
     #[test]
     fn bytes_round_trip() {
         let n = BigUint::from_bytes_be(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04, 0x05]);
-        assert_eq!(
-            n.to_bytes_be(),
-            vec![0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04, 0x05]
-        );
+        assert_eq!(n.to_bytes_be(), vec![0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04, 0x05]);
     }
 
     #[test]
@@ -700,10 +681,7 @@ mod tests {
     #[test]
     fn checked_sub_underflow_is_none() {
         assert_eq!(BigUint::one().checked_sub(&BigUint::from_u64(2)), None);
-        assert_eq!(
-            BigUint::from_u64(5).checked_sub(&BigUint::from_u64(5)),
-            Some(BigUint::zero())
-        );
+        assert_eq!(BigUint::from_u64(5).checked_sub(&BigUint::from_u64(5)), Some(BigUint::zero()));
     }
 
     #[test]

@@ -103,7 +103,9 @@ pub enum BmffError {
 impl fmt::Display for BmffError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BmffError::Truncated { context } => write!(f, "truncated input while parsing {context}"),
+            BmffError::Truncated { context } => {
+                write!(f, "truncated input while parsing {context}")
+            }
             BmffError::BadSize { size } => write!(f, "inconsistent box size {size}"),
             BmffError::UnsupportedVersion { version } => {
                 write!(f, "unsupported box version {version}")
@@ -198,9 +200,7 @@ impl Mp4Box {
     pub fn to_bytes(&self) -> Vec<u8> {
         let payload = match &self.data {
             BoxData::Leaf(bytes) => bytes.clone(),
-            BoxData::Container(children) => {
-                children.iter().flat_map(|c| c.to_bytes()).collect()
-            }
+            BoxData::Container(children) => children.iter().flat_map(|c| c.to_bytes()).collect(),
         };
         let mut out = Vec::with_capacity(8 + payload.len());
         out.extend_from_slice(&((payload.len() + 8) as u32).to_be_bytes());
@@ -322,10 +322,7 @@ mod tests {
 
     #[test]
     fn truncated_header_rejected() {
-        assert_eq!(
-            Mp4Box::parse(&[0, 0, 0]),
-            Err(BmffError::Truncated { context: "box header" })
-        );
+        assert_eq!(Mp4Box::parse(&[0, 0, 0]), Err(BmffError::Truncated { context: "box header" }));
     }
 
     #[test]
@@ -364,8 +361,6 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(BmffError::Truncated { context: "x" }.to_string().contains("truncated"));
-        assert!(BmffError::MissingBox { expected: FourCc(*b"tenc") }
-            .to_string()
-            .contains("tenc"));
+        assert!(BmffError::MissingBox { expected: FourCc(*b"tenc") }.to_string().contains("tenc"));
     }
 }

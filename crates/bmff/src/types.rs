@@ -10,8 +10,7 @@ use crate::{BmffError, ByteReader, FourCc, Mp4Box};
 /// The Widevine DRM system identifier used in `pssh` boxes and DASH
 /// `ContentProtection` descriptors (a public, registered UUID).
 pub const WIDEVINE_SYSTEM_ID: [u8; 16] = [
-    0xed, 0xef, 0x8b, 0xa9, 0x79, 0xd6, 0x4a, 0xce, 0xa3, 0xc8, 0x27, 0xdc, 0xd5, 0x1d, 0x21,
-    0xed,
+    0xed, 0xef, 0x8b, 0xa9, 0x79, 0xd6, 0x4a, 0xce, 0xa3, 0xc8, 0x27, 0xdc, 0xd5, 0x1d, 0x21, 0xed,
 ];
 
 /// A 16-byte content key identifier.
@@ -202,10 +201,7 @@ impl Tenc {
         r.u8()?; // reserved
         let pattern_byte = r.u8()?;
         let pattern = if version == 1 && pattern_byte != 0 {
-            Some(CryptPattern {
-                crypt_blocks: pattern_byte >> 4,
-                skip_blocks: pattern_byte & 0x0f,
-            })
+            Some(CryptPattern { crypt_blocks: pattern_byte >> 4, skip_blocks: pattern_byte & 0x0f })
         } else {
             None
         };
@@ -308,6 +304,14 @@ impl Senc {
         let has_subsamples = flags & 0x2 != 0;
         let iv_size = r.u8()? as usize;
         let count = r.u32()? as usize;
+        // `count` is attacker-controlled; an entry needs at least
+        // `iv_size` (+2 for a subsample count) bytes, so anything the
+        // remaining payload cannot hold is a truncation, not an
+        // allocation request.
+        let min_entry = iv_size + if has_subsamples { 2 } else { 0 };
+        if count > r.remaining() / min_entry.max(1) {
+            return Err(BmffError::Truncated { context: "senc sample count" });
+        }
         let mut entries = Vec::with_capacity(count);
         for _ in 0..count {
             let iv = r.take(iv_size)?.to_vec();
@@ -315,10 +319,7 @@ impl Senc {
                 let n = r.u16()? as usize;
                 let mut subs = Vec::with_capacity(n);
                 for _ in 0..n {
-                    subs.push(Subsample {
-                        clear_bytes: r.u16()?,
-                        encrypted_bytes: r.u32()?,
-                    });
+                    subs.push(Subsample { clear_bytes: r.u16()?, encrypted_bytes: r.u32()? });
                 }
                 subs
             } else {
@@ -490,6 +491,11 @@ impl Trun {
         let mut r = ByteReader::new(payload);
         r.take(4)?;
         let count = r.u32()? as usize;
+        // Attacker-controlled count: every sample size is 4 bytes, so a
+        // count the payload cannot hold is a truncation.
+        if count > r.remaining() / 4 {
+            return Err(BmffError::Truncated { context: "trun sample count" });
+        }
         let mut sample_sizes = Vec::with_capacity(count);
         for _ in 0..count {
             sample_sizes.push(r.u32()?);
@@ -550,10 +556,7 @@ mod tests {
     fn pssh_rejects_future_version() {
         let mut payload = Pssh::widevine(vec![], vec![]).to_payload();
         payload[0] = 2;
-        assert_eq!(
-            Pssh::from_payload(&payload),
-            Err(BmffError::UnsupportedVersion { version: 2 })
-        );
+        assert_eq!(Pssh::from_payload(&payload), Err(BmffError::UnsupportedVersion { version: 2 }));
     }
 
     #[test]
@@ -606,10 +609,7 @@ mod tests {
                         Subsample { clear_bytes: 0, encrypted_bytes: 128 },
                     ],
                 },
-                SampleEncryption {
-                    iv: vec![9, 9, 9, 9, 9, 9, 9, 9],
-                    subsamples: vec![],
-                },
+                SampleEncryption { iv: vec![9, 9, 9, 9, 9, 9, 9, 9], subsamples: vec![] },
             ],
         };
         assert_eq!(Senc::from_payload(&s.to_payload()).unwrap(), s);
@@ -617,9 +617,7 @@ mod tests {
 
     #[test]
     fn senc_round_trip_full_sample_encryption() {
-        let s = Senc {
-            entries: vec![SampleEncryption { iv: vec![0; 8], subsamples: vec![] }],
-        };
+        let s = Senc { entries: vec![SampleEncryption { iv: vec![0; 8], subsamples: vec![] }] };
         assert_eq!(Senc::from_payload(&s.to_payload()).unwrap(), s);
     }
 

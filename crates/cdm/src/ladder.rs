@@ -24,7 +24,13 @@ pub mod labels {
 /// Computes one derivation step: `AES-CMAC(key, counter || label || 0x00
 /// || context || bits)` where `bits` is the output bit length as a
 /// big-endian u32.
-pub fn derive_block(key: &[u8; 16], counter: u8, label: &str, context: &[u8], bits: u32) -> [u8; 16] {
+pub fn derive_block(
+    key: &[u8; 16],
+    counter: u8,
+    label: &str,
+    context: &[u8],
+    bits: u32,
+) -> [u8; 16] {
     let mut buf = derivation_buffer(counter, label, context, bits);
     let mac = aes_cmac_with_key(key, &buf);
     buf.clear(); // derivation buffers are not secret, but keep tidy
@@ -87,6 +93,7 @@ pub fn derive_session_keys(
     enc_context: &[u8],
     mac_context: &[u8],
 ) -> SessionKeys {
+    let _span = wideleak_telemetry::span!("cdm.ladder.derive_session_keys");
     let enc_key = derive_key_128(session_key, labels::ENCRYPTION, enc_context);
     let mac = derive_key_256(session_key, labels::AUTHENTICATION, mac_context);
     // Server and client halves come from distinct counters (3 and 4).
@@ -102,6 +109,7 @@ pub fn derive_session_keys(
 /// id to the AES key protecting the provisioning response and the MAC key
 /// signing it.
 pub fn derive_provisioning_keys(device_key: &[u8; 16], device_id: &[u8]) -> ([u8; 16], [u8; 32]) {
+    let _span = wideleak_telemetry::span!("cdm.ladder.derive_provisioning_keys");
     let enc = derive_key_128(device_key, labels::PROVISIONING, device_id);
     let mac = derive_key_256(device_key, labels::AUTHENTICATION, device_id);
     (enc, mac)

@@ -83,6 +83,25 @@ pub enum CdmError {
     },
 }
 
+impl CdmError {
+    /// A stable lowercase label for telemetry error-class counters.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            CdmError::BadKeybox { .. } => "bad_keybox",
+            CdmError::NotProvisioned => "not_provisioned",
+            CdmError::BadMessage { .. } => "bad_message",
+            CdmError::BadSignature => "bad_signature",
+            CdmError::Crypto(_) => "crypto",
+            CdmError::Tee(_) => "tee",
+            CdmError::NoSuchSession { .. } => "no_such_session",
+            CdmError::KeyNotLoaded => "key_not_loaded",
+            CdmError::KeyExpired => "key_expired",
+            CdmError::Rejected { .. } => "rejected",
+        }
+    }
+}
+
 impl fmt::Display for CdmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

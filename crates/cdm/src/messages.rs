@@ -114,9 +114,7 @@ impl ProvisioningResponse {
     /// The signed portion of the message.
     pub fn body_bytes(&self) -> Vec<u8> {
         let mut w = TlvWriter::new();
-        w.bytes(0x0111, &self.iv)
-            .bytes(0x0112, &self.encrypted_rsa_key)
-            .bytes(0x0113, &self.nonce);
+        w.bytes(0x0111, &self.iv).bytes(0x0112, &self.encrypted_rsa_key).bytes(0x0113, &self.nonce);
         w.finish()
     }
 
@@ -329,11 +327,8 @@ impl LicenseResponse {
         let body = outer.require(0x0300)?;
         let signature = outer.require(0x03FF)?.to_vec();
         let r = TlvReader::parse(body)?;
-        let key_entries = r
-            .get_all(0x0304)
-            .into_iter()
-            .map(KeyEntry::decode)
-            .collect::<Result<_, _>>()?;
+        let key_entries =
+            r.get_all(0x0304).into_iter().map(KeyEntry::decode).collect::<Result<_, _>>()?;
         Ok(LicenseResponse {
             nonce: r.require_array(0x0305)?,
             encrypted_session_key: r.require(0x0301)?.to_vec(),
@@ -469,10 +464,7 @@ mod tests {
             .u32(0x0206, 1);
         let mut outer = TlvWriter::new();
         outer.bytes(0x0200, body.as_slice()).bytes(0x02FF, &[0]);
-        assert!(matches!(
-            LicenseRequest::parse(&outer.finish()),
-            Err(CdmError::BadMessage { .. })
-        ));
+        assert!(matches!(LicenseRequest::parse(&outer.finish()), Err(CdmError::BadMessage { .. })));
     }
 
     #[test]

@@ -142,6 +142,7 @@ impl CdmCore {
     ///
     /// Returns [`CdmError::BadKeybox`] before keybox installation.
     pub fn provisioning_request(&self, nonce: [u8; 16]) -> Result<ProvisioningRequest, CdmError> {
+        let _span = wideleak_telemetry::span!("cdm.provisioning_request");
         let kb = self.keybox()?;
         let mut req = ProvisioningRequest {
             device_id: kb.device_id().to_vec(),
@@ -167,9 +168,13 @@ impl CdmCore {
         expected_nonce: [u8; 16],
         response: &crate::messages::ProvisioningResponse,
     ) -> Result<(), CdmError> {
+        let _span = wideleak_telemetry::span!("cdm.install_rsa_key");
         let kb = self.keybox()?.clone();
         let key = unwrap_rsa_key(kb.device_key(), kb.device_id(), Some(expected_nonce), response)?;
         self.rsa_key = Some(key);
+        // Installing the unwrapped key completes one provisioning
+        // round-trip (request + response).
+        wideleak_telemetry::incr("cdm.provisioning.round_trips");
         Ok(())
     }
 
@@ -187,10 +192,7 @@ impl CdmCore {
     ///
     /// Returns [`CdmError::NoSuchSession`].
     pub fn close_session(&mut self, session_id: u32) -> Result<(), CdmError> {
-        self.sessions
-            .remove(&session_id)
-            .map(|_| ())
-            .ok_or(CdmError::NoSuchSession { session_id })
+        self.sessions.remove(&session_id).map(|_| ()).ok_or(CdmError::NoSuchSession { session_id })
     }
 
     fn session(&self, session_id: u32) -> Result<&Session, CdmError> {
@@ -213,6 +215,7 @@ impl CdmCore {
         content_id: &str,
         key_ids: &[KeyId],
     ) -> Result<LicenseRequest, CdmError> {
+        let _span = wideleak_telemetry::span!("cdm.license_request", session = session_id);
         let session = self.session(session_id)?;
         let rsa = self.rsa_key.as_ref().ok_or(CdmError::NotProvisioned)?;
         let kb = self.keybox()?;
@@ -239,10 +242,14 @@ impl CdmCore {
         session_id: u32,
         response: &LicenseResponse,
     ) -> Result<Vec<KeyId>, CdmError> {
+        let _span = wideleak_telemetry::span!("cdm.load_license", session = session_id);
         let rsa = self.rsa_key.clone().ok_or(CdmError::NotProvisioned)?;
         let level = self.security_level;
         let now = self.clock;
-        self.session_mut(session_id)?.load_license(&rsa, level, now, response)
+        let keys = self.session_mut(session_id)?.load_license(&rsa, level, now, response)?;
+        wideleak_telemetry::incr("cdm.license.loads");
+        wideleak_telemetry::add("cdm.license.keys_loaded", keys.len() as u64);
+        Ok(keys)
     }
 
     /// Decrypts one CENC sample with a loaded content key.
@@ -259,7 +266,17 @@ impl CdmCore {
         subsamples: &[Subsample],
     ) -> Result<Vec<u8>, CdmError> {
         let key = self.session(session_id)?.content_key_at(kid, self.clock)?.key;
-        decrypt_sample_with_key(&key, crypto, data, subsamples)
+        let out = decrypt_sample_with_key(&key, crypto, data, subsamples);
+        if out.is_ok() && wideleak_telemetry::is_enabled() {
+            // Per-session throughput: decrypted sample and byte counts.
+            wideleak_telemetry::incr("cdm.decrypt.samples");
+            wideleak_telemetry::add("cdm.decrypt.bytes", data.len() as u64);
+            wideleak_telemetry::add(
+                &format!("cdm.decrypt.bytes.session.{session_id}"),
+                data.len() as u64,
+            );
+        }
+        out
     }
 
     /// Generic (non-DASH) encryption under a loaded key — the secure
@@ -300,7 +317,12 @@ impl CdmCore {
     /// # Errors
     ///
     /// Returns [`CdmError::KeyNotLoaded`] for unknown keys.
-    pub fn generic_sign(&self, session_id: u32, kid: &KeyId, data: &[u8]) -> Result<Vec<u8>, CdmError> {
+    pub fn generic_sign(
+        &self,
+        session_id: u32,
+        kid: &KeyId,
+        data: &[u8],
+    ) -> Result<Vec<u8>, CdmError> {
         let key = self.session(session_id)?.content_key_at(kid, self.clock)?.key;
         let mac_key = derive_key_256(&key, crate::ladder::labels::AUTHENTICATION, b"generic");
         Ok(Hmac::<Sha256>::mac(&mac_key, data))
@@ -396,8 +418,11 @@ pub trait OemCrypto: Send {
     ) -> Result<LicenseRequest, CdmError>;
 
     /// Loads a license response.
-    fn load_license(&self, session_id: u32, response: &LicenseResponse)
-        -> Result<Vec<KeyId>, CdmError>;
+    fn load_license(
+        &self,
+        session_id: u32,
+        response: &LicenseResponse,
+    ) -> Result<Vec<KeyId>, CdmError>;
 
     /// Decrypts one sample.
     fn decrypt_sample(
@@ -472,7 +497,12 @@ impl L3OemCrypto {
     }
 
     fn trace(&self, function: &str, args: Vec<Vec<u8>>, result: Option<Vec<u8>>) {
-        self.hooks.trace(CallEvent { library: L3_LIBRARY.into(), function: function.into(), args, result });
+        self.hooks.trace(CallEvent {
+            library: L3_LIBRARY.into(),
+            function: function.into(),
+            args,
+            result,
+        });
     }
 
     /// Whether this CDM version zeroizes the keybox after ladder
@@ -541,11 +571,7 @@ impl OemCrypto for L3OemCrypto {
     ) -> Result<(), CdmError> {
         // The hook dump of this call is what lets the attack decrypt the
         // RSA key once it owns the keybox.
-        self.trace(
-            "_oecc31_RewrapDeviceRSAKey",
-            vec![response.to_bytes()],
-            None,
-        );
+        self.trace("_oecc31_RewrapDeviceRSAKey", vec![response.to_bytes()], None);
         self.core.lock().install_rsa_key(expected_nonce, response)?;
         self.trace("_oecc32_LoadDeviceRSAKey", vec![], None);
         Ok(())
@@ -740,15 +766,16 @@ impl Trustlet for WidevineTrustlet {
             cmd::INSTALL_RSA => {
                 let r = TlvReader::parse(input)
                     .map_err(|_| TeeError::BadParameters { reason: "bad TLV" })?;
-                let nonce: [u8; 16] = r
-                    .require_array(1)
-                    .map_err(|_| TeeError::BadParameters { reason: "nonce" })?;
+                let nonce: [u8; 16] =
+                    r.require_array(1).map_err(|_| TeeError::BadParameters { reason: "nonce" })?;
                 let resp = crate::messages::ProvisioningResponse::parse(
                     r.require(2).map_err(|_| TeeError::BadParameters { reason: "resp" })?,
                 )
                 .map_err(tee_bad_params)?;
                 self.core.install_rsa_key(nonce, &resp).map_err(|e| match e {
-                    CdmError::BadSignature => TeeError::AccessDenied { reason: "bad provisioning MAC" },
+                    CdmError::BadSignature => {
+                        TeeError::AccessDenied { reason: "bad provisioning MAC" }
+                    }
                     other => tee_bad_params(other),
                 })?;
                 // Persist the provisioned key in secure storage.
@@ -787,10 +814,8 @@ impl Trustlet for WidevineTrustlet {
                     .into_iter()
                     .filter_map(|raw| raw.try_into().ok().map(KeyId))
                     .collect();
-                let req = self
-                    .core
-                    .license_request(id, &content_id, &kids)
-                    .map_err(tee_bad_params)?;
+                let req =
+                    self.core.license_request(id, &content_id, &kids).map_err(tee_bad_params)?;
                 Ok(req.to_bytes())
             }
             cmd::LOAD_LICENSE => {
@@ -875,7 +900,11 @@ fn parse_decrypt_input(input: &[u8]) -> Result<DecryptInput, TeeError> {
         1 => {
             let iv: [u8; 16] = r.require_array(4).map_err(|_| bad("civ"))?;
             let pattern: [u8; 2] = r.require_array(5).map_err(|_| bad("pattern"))?;
-            SampleCrypto::Cbcs { constant_iv: iv, crypt_blocks: pattern[0], skip_blocks: pattern[1] }
+            SampleCrypto::Cbcs {
+                constant_iv: iv,
+                crypt_blocks: pattern[0],
+                skip_blocks: pattern[1],
+            }
         }
         _ => return Err(bad("unknown mode")),
     };
@@ -1037,10 +1066,7 @@ impl OemCrypto for L1OemCrypto {
         w.u32(1, session_id).bytes(2, &response.to_bytes());
         let raw = self.call("_oecc11_LoadKeys", cmd::LOAD_LICENSE, w.finish())?;
         let r = TlvReader::parse(&raw)?;
-        Ok(r.get_all(1)
-            .into_iter()
-            .filter_map(|raw| raw.try_into().ok().map(KeyId))
-            .collect())
+        Ok(r.get_all(1).into_iter().filter_map(|raw| raw.try_into().ok().map(KeyId)).collect())
     }
 
     fn decrypt_sample(
@@ -1169,7 +1195,8 @@ mod tests {
         // L1: calls cross liboemcrypto.so.
         let h1 = hooks();
         h1.start_recording();
-        let l1 = L1OemCrypto::new(CdmVersion::new(16, 0, 0), Arc::new(SecureWorld::new()), h1.clone());
+        let l1 =
+            L1OemCrypto::new(CdmVersion::new(16, 0, 0), Arc::new(SecureWorld::new()), h1.clone());
         l1.install_keybox(keybox()).unwrap();
         let log1 = h1.stop_recording();
         assert!(!log1.is_empty());
@@ -1203,10 +1230,7 @@ mod tests {
         l3.install_keybox(keybox()).unwrap();
         let sid = l3.open_session([0; 16]).unwrap();
         assert!(!l3.is_provisioned());
-        assert!(matches!(
-            l3.license_request(sid, "title", &[]),
-            Err(CdmError::NotProvisioned)
-        ));
+        assert!(matches!(l3.license_request(sid, "title", &[]), Err(CdmError::NotProvisioned)));
     }
 
     #[test]

@@ -95,8 +95,9 @@ pub fn unwrap_rsa_key(
             return Err(CdmError::BadMessage { reason: "provisioning nonce mismatch" });
         }
     }
-    let blob = cbc_decrypt_padded(&Aes128::new(&enc_key), &response.iv, &response.encrypted_rsa_key)
-        .map_err(|_| CdmError::BadMessage { reason: "provisioning blob decryption failed" })?;
+    let blob =
+        cbc_decrypt_padded(&Aes128::new(&enc_key), &response.iv, &response.encrypted_rsa_key)
+            .map_err(|_| CdmError::BadMessage { reason: "provisioning blob decryption failed" })?;
     deserialize_rsa_key(&blob)
 }
 
@@ -141,19 +142,13 @@ mod tests {
     #[test]
     fn wrong_device_key_fails_mac() {
         let resp = wrap_rsa_key(&[1; 16], b"dev", [0; 16], [0; 16], test_key());
-        assert_eq!(
-            unwrap_rsa_key(&[2; 16], b"dev", None, &resp),
-            Err(CdmError::BadSignature)
-        );
+        assert_eq!(unwrap_rsa_key(&[2; 16], b"dev", None, &resp), Err(CdmError::BadSignature));
     }
 
     #[test]
     fn wrong_device_id_fails_mac() {
         let resp = wrap_rsa_key(&[1; 16], b"dev-a", [0; 16], [0; 16], test_key());
-        assert_eq!(
-            unwrap_rsa_key(&[1; 16], b"dev-b", None, &resp),
-            Err(CdmError::BadSignature)
-        );
+        assert_eq!(unwrap_rsa_key(&[1; 16], b"dev-b", None, &resp), Err(CdmError::BadSignature));
     }
 
     #[test]
@@ -171,9 +166,6 @@ mod tests {
     fn tampered_ciphertext_fails_mac_first() {
         let mut resp = wrap_rsa_key(&[1; 16], b"dev", [0; 16], [0; 16], test_key());
         resp.encrypted_rsa_key[10] ^= 1;
-        assert_eq!(
-            unwrap_rsa_key(&[1; 16], b"dev", None, &resp),
-            Err(CdmError::BadSignature)
-        );
+        assert_eq!(unwrap_rsa_key(&[1; 16], b"dev", None, &resp), Err(CdmError::BadSignature));
     }
 }

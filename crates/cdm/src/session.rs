@@ -174,10 +174,8 @@ mod tests {
                 }
             })
             .collect();
-        let encrypted_session_key = rsa()
-            .public_key()
-            .encrypt_oaep(&mut seeded_rng(5), &session_key)
-            .unwrap();
+        let encrypted_session_key =
+            rsa().public_key().encrypt_oaep(&mut seeded_rng(5), &session_key).unwrap();
         let mut resp = LicenseResponse {
             nonce: [0; 16],
             encrypted_session_key,
@@ -191,11 +189,7 @@ mod tests {
     }
 
     fn control(level: SecurityLevel) -> KeyControl {
-        KeyControl {
-            max_resolution_height: 540,
-            min_security_level: level,
-            duration_seconds: 0,
-        }
+        KeyControl { max_resolution_height: 540, min_security_level: level, duration_seconds: 0 }
     }
 
     #[test]

@@ -151,9 +151,7 @@ impl<'a> TlvReader<'a> {
     ///
     /// Returns [`WireError::MissingField`] or [`WireError::BadField`].
     pub fn require_array<const N: usize>(&self, tag: u16) -> Result<[u8; N], WireError> {
-        self.require(tag)?
-            .try_into()
-            .map_err(|_| WireError::BadField { tag })
+        self.require(tag)?.try_into().map_err(|_| WireError::BadField { tag })
     }
 
     /// Required u32 field.
@@ -226,11 +224,7 @@ mod tests {
         w.bytes(1, b"abcdef");
         let bytes = w.finish();
         for cut in 1..bytes.len() {
-            assert_eq!(
-                TlvReader::parse(&bytes[..cut]),
-                Err(WireError::Truncated),
-                "cut at {cut}"
-            );
+            assert_eq!(TlvReader::parse(&bytes[..cut]), Err(WireError::Truncated), "cut at {cut}");
         }
     }
 

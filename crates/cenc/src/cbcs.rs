@@ -40,9 +40,8 @@ fn xcrypt_region(
             continue; // skip block, stays clear
         }
         let start = block_idx * BLOCK_LEN;
-        let block: &mut [u8; BLOCK_LEN] = (&mut region[start..start + BLOCK_LEN])
-            .try_into()
-            .expect("slice is block sized");
+        let block: &mut [u8; BLOCK_LEN] =
+            (&mut region[start..start + BLOCK_LEN]).try_into().expect("slice is block sized");
         match dir {
             Dir::Encrypt => {
                 for i in 0..BLOCK_LEN {
@@ -198,10 +197,7 @@ mod tests {
         ];
         let ct = encrypt_sample(&key(), [4; 16], video_pattern(), &pt, &subs).unwrap();
         assert_eq!(&ct[..37], &pt[..37]);
-        assert_eq!(
-            decrypt_sample(&key(), [4; 16], video_pattern(), &ct, &subs).unwrap(),
-            pt
-        );
+        assert_eq!(decrypt_sample(&key(), [4; 16], video_pattern(), &ct, &subs).unwrap(), pt);
     }
 
     #[test]

@@ -68,10 +68,9 @@ pub enum CencError {
 impl fmt::Display for CencError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CencError::SubsampleMismatch { described, actual } => write!(
-                f,
-                "subsample map describes {described} bytes but the sample has {actual}"
-            ),
+            CencError::SubsampleMismatch { described, actual } => {
+                write!(f, "subsample map describes {described} bytes but the sample has {actual}")
+            }
             CencError::MissingKey { kid } => write!(f, "no content key for key id {kid}"),
             CencError::BadMetadata { reason } => write!(f, "bad encryption metadata: {reason}"),
             CencError::Bmff(e) => write!(f, "container error: {e}"),
@@ -108,10 +107,8 @@ pub fn validate_subsamples(
     if subsamples.is_empty() {
         return Ok(());
     }
-    let described: usize = subsamples
-        .iter()
-        .map(|s| s.clear_bytes as usize + s.encrypted_bytes as usize)
-        .sum();
+    let described: usize =
+        subsamples.iter().map(|s| s.clear_bytes as usize + s.encrypted_bytes as usize).sum();
     if described != len {
         return Err(CencError::SubsampleMismatch { described, actual: len });
     }

@@ -46,10 +46,9 @@ impl Scheme {
 /// audio and subtitles encrypt whole samples.
 pub fn default_subsamples(kind: TrackKind, sample_len: usize) -> Vec<Subsample> {
     match kind {
-        TrackKind::Video if sample_len > 16 => vec![Subsample {
-            clear_bytes: 16,
-            encrypted_bytes: (sample_len - 16) as u32,
-        }],
+        TrackKind::Video if sample_len > 16 => {
+            vec![Subsample { clear_bytes: 16, encrypted_bytes: (sample_len - 16) as u32 }]
+        }
         _ => Vec::new(),
     }
 }
@@ -105,21 +104,11 @@ pub fn encrypt_segment(
         data.extend_from_slice(&encrypted);
     }
 
-    Ok(MediaSegment {
-        sequence_number,
-        track_id,
-        sample_sizes,
-        senc: Some(Senc { entries }),
-        data,
-    })
+    Ok(MediaSegment { sequence_number, track_id, sample_sizes, senc: Some(Senc { entries }), data })
 }
 
 /// Builds a clear (unencrypted) media segment from plaintext samples.
-pub fn clear_segment(
-    track_id: u32,
-    sequence_number: u32,
-    samples: &[Vec<u8>],
-) -> MediaSegment {
+pub fn clear_segment(track_id: u32, sequence_number: u32, samples: &[Vec<u8>]) -> MediaSegment {
     let mut data = Vec::new();
     let mut sample_sizes = Vec::with_capacity(samples.len());
     for s in samples {
@@ -166,11 +155,10 @@ pub fn decrypt_segment(
     for (sample, entry) in samples.iter().zip(&senc.entries) {
         let pt = match scheme {
             Scheme::Cenc => {
-                let iv: [u8; 8] = entry
-                    .iv
-                    .as_slice()
-                    .try_into()
-                    .map_err(|_| CencError::BadMetadata { reason: "cenc IV must be 8 bytes" })?;
+                let iv: [u8; 8] =
+                    entry.iv.as_slice().try_into().map_err(|_| CencError::BadMetadata {
+                        reason: "cenc IV must be 8 bytes",
+                    })?;
                 ctr::decrypt_sample(&key, iv, sample, &entry.subsamples)?
             }
             Scheme::Cbcs => {
@@ -207,11 +195,7 @@ mod tests {
     }
 
     fn sample_payloads() -> Vec<Vec<u8>> {
-        vec![
-            (0..200u32).map(|i| (i % 256) as u8).collect(),
-            vec![0x5a; 64],
-            b"short".to_vec(),
-        ]
+        vec![(0..200u32).map(|i| (i % 256) as u8).collect(), vec![0x5a; 64], b"short".to_vec()]
     }
 
     fn store(k: KeyId, key: ContentKey) -> MemoryKeyStore {
@@ -240,13 +224,8 @@ mod tests {
     fn cenc_video_segment_round_trip() {
         let key = ContentKey::from_label("video-key");
         let tenc = Tenc::cenc(kid(1));
-        let init = InitSegment::protected(
-            1,
-            TrackKind::Video,
-            FourCc(*b"cenc"),
-            tenc.clone(),
-            vec![],
-        );
+        let init =
+            InitSegment::protected(1, TrackKind::Video, FourCc(*b"cenc"), tenc.clone(), vec![]);
         let samples = sample_payloads();
         let seg = encrypt_segment(Scheme::Cenc, &key, &tenc, TrackKind::Video, 1, 1, &samples, 99)
             .unwrap();
@@ -260,13 +239,8 @@ mod tests {
     fn cbcs_audio_segment_round_trip() {
         let key = ContentKey::from_label("audio-key");
         let tenc = Tenc::cbcs(kid(2), [3; 16]);
-        let init = InitSegment::protected(
-            2,
-            TrackKind::Audio,
-            FourCc(*b"cbcs"),
-            tenc.clone(),
-            vec![],
-        );
+        let init =
+            InitSegment::protected(2, TrackKind::Audio, FourCc(*b"cbcs"), tenc.clone(), vec![]);
         let samples = sample_payloads();
         let seg = encrypt_segment(Scheme::Cbcs, &key, &tenc, TrackKind::Audio, 2, 5, &samples, 7)
             .unwrap();
@@ -289,8 +263,17 @@ mod tests {
         let tenc = Tenc::cenc(kid(9));
         let init =
             InitSegment::protected(1, TrackKind::Video, FourCc(*b"cenc"), tenc.clone(), vec![]);
-        let seg = encrypt_segment(Scheme::Cenc, &key, &tenc, TrackKind::Video, 1, 1, &sample_payloads(), 0)
-            .unwrap();
+        let seg = encrypt_segment(
+            Scheme::Cenc,
+            &key,
+            &tenc,
+            TrackKind::Video,
+            1,
+            1,
+            &sample_payloads(),
+            0,
+        )
+        .unwrap();
         let err = decrypt_segment(&init, &seg, &MemoryKeyStore::new()).unwrap_err();
         assert!(matches!(err, CencError::MissingKey { .. }));
     }
@@ -313,8 +296,17 @@ mod tests {
     fn encrypted_segment_with_clear_init_rejected() {
         let key = ContentKey::from_label("k");
         let tenc = Tenc::cenc(kid(1));
-        let seg = encrypt_segment(Scheme::Cenc, &key, &tenc, TrackKind::Video, 1, 1, &sample_payloads(), 0)
-            .unwrap();
+        let seg = encrypt_segment(
+            Scheme::Cenc,
+            &key,
+            &tenc,
+            TrackKind::Video,
+            1,
+            1,
+            &sample_payloads(),
+            0,
+        )
+        .unwrap();
         let init = InitSegment::clear(1, TrackKind::Video);
         assert!(matches!(
             decrypt_segment(&init, &seg, &store(kid(1), key)),
@@ -328,8 +320,17 @@ mod tests {
         let tenc = Tenc::cenc(kid(1));
         let init =
             InitSegment::protected(1, TrackKind::Video, FourCc(*b"cenc"), tenc.clone(), vec![]);
-        let mut seg = encrypt_segment(Scheme::Cenc, &key, &tenc, TrackKind::Video, 1, 1, &sample_payloads(), 0)
-            .unwrap();
+        let mut seg = encrypt_segment(
+            Scheme::Cenc,
+            &key,
+            &tenc,
+            TrackKind::Video,
+            1,
+            1,
+            &sample_payloads(),
+            0,
+        )
+        .unwrap();
         seg.senc.as_mut().unwrap().entries.pop();
         assert!(matches!(
             decrypt_segment(&init, &seg, &store(kid(1), key)),
@@ -341,8 +342,17 @@ mod tests {
     fn per_sample_ivs_are_distinct() {
         let key = ContentKey::from_label("k");
         let tenc = Tenc::cenc(kid(1));
-        let seg = encrypt_segment(Scheme::Cenc, &key, &tenc, TrackKind::Video, 1, 1, &sample_payloads(), 0)
-            .unwrap();
+        let seg = encrypt_segment(
+            Scheme::Cenc,
+            &key,
+            &tenc,
+            TrackKind::Video,
+            1,
+            1,
+            &sample_payloads(),
+            0,
+        )
+        .unwrap();
         let ivs: Vec<_> = seg.senc.unwrap().entries.into_iter().map(|e| e.iv).collect();
         assert_eq!(ivs.len(), 3);
         assert_ne!(ivs[0], ivs[1]);

@@ -8,33 +8,54 @@
 //! wideleak attack hulu      # attack one app
 //! wideleak spoof            # the §V-C forged-L1 experiment
 //! wideleak play <slug>      # one instrumented playback with trace dump
+//! wideleak stats <file>     # re-render a telemetry JSONL export
 //! ```
 //!
 //! Flags: `--fast` shrinks RSA keys for quick runs; `--seed N` reseeds the
-//! deterministic ecosystem.
+//! deterministic ecosystem; `--telemetry <path.jsonl>` records structured
+//! spans/counters/histograms across the whole run, exports them to the
+//! given file and prints a stats summary after `study`/`attack`.
 
 use std::process::ExitCode;
 
 use wideleak::attack::recover::{attack_all, attack_app};
 use wideleak::device::catalog::DeviceModel;
-use wideleak::monitor::report::{render_insights, render_table_1};
+use wideleak::monitor::report::{render_call_histogram, render_insights, render_table_1};
 use wideleak::monitor::study::{run_study, study_app};
 use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
+use wideleak::telemetry;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: wideleak [--fast] [--seed N] <command>\n\
+        "usage: wideleak [--fast] [--seed N] [--telemetry FILE.jsonl] <command>\n\
          commands:\n\
            study [slug]   regenerate Table I (or one app's findings)\n\
            attack [slug]  run the CVE-2021-0639 pipeline\n\
            spoof          run the forged-L1 HD experiment (Section V-C)\n\
-           play <slug>    one instrumented playback with a Figure-1 trace"
+           play <slug>    one instrumented playback with a Figure-1 trace\n\
+           stats FILE     re-render a telemetry JSONL export as a summary"
     );
     ExitCode::FAILURE
 }
 
+/// Writes the collected telemetry to `path` and prints the stats
+/// summary when `print_summary` is set (after `study`/`attack` runs).
+fn export_telemetry(path: &str, print_summary: bool) {
+    let snapshot = telemetry::snapshot();
+    let jsonl = telemetry::to_jsonl(&snapshot);
+    if let Err(e) = std::fs::write(path, &jsonl) {
+        eprintln!("telemetry: failed to write {path}: {e}");
+    } else {
+        eprintln!("telemetry: wrote {} lines to {path}", jsonl.lines().count());
+    }
+    if print_summary {
+        println!("{}", telemetry::summary_table(&snapshot));
+    }
+}
+
 fn main() -> ExitCode {
     let mut config = EcosystemConfig::default();
+    let mut telemetry_path: Option<String> = None;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,6 +63,10 @@ fn main() -> ExitCode {
             "--fast" => config.rsa_bits = 768,
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(seed) => config.seed = seed,
+                None => return usage(),
+            },
+            "--telemetry" => match args.next() {
+                Some(path) => telemetry_path = Some(path),
                 None => return usage(),
             },
             "--help" | "-h" => {
@@ -55,16 +80,41 @@ fn main() -> ExitCode {
         return usage();
     };
     let slug = positional.get(1).map(String::as_str);
+
+    // `stats` operates on a prior run's export; no ecosystem needed.
+    if command == "stats" {
+        let Some(path) = slug else {
+            return usage();
+        };
+        return match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let run = telemetry::export::parse_jsonl(&text);
+                print!("{}", telemetry::export::parsed_summary_table(&run));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("stats: cannot read {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if telemetry_path.is_some() {
+        telemetry::enable();
+        telemetry::event("info", format!("run start: {command} {}", slug.unwrap_or("")));
+    }
     let eco = Ecosystem::new(config);
 
-    match (command, slug) {
+    let code = match (command, slug) {
         ("study", None) => match run_study(&eco) {
             Ok(report) => {
                 println!("{}", render_table_1(&report));
                 println!("{}", render_insights(&report));
+                print!("{}", render_call_histogram(&report));
                 ExitCode::SUCCESS
             }
             Err(e) => {
+                telemetry::event("error", format!("study failed: {e} [{}]", e.class()));
                 eprintln!("study failed: {e}");
                 ExitCode::FAILURE
             }
@@ -75,6 +125,7 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             Err(e) => {
+                telemetry::event("error", format!("study failed: {e} [{}]", e.class()));
                 eprintln!("study failed: {e}");
                 ExitCode::FAILURE
             }
@@ -88,7 +139,10 @@ fn main() -> ExitCode {
                         o.media.as_ref().and_then(|m| m.best_resolution())
                     )
                 } else {
-                    format!("blocked ({})", o.failure.as_ref().map_or("?".into(), |e| e.to_string()))
+                    format!(
+                        "blocked ({})",
+                        o.failure.as_ref().map_or("?".into(), |e| e.to_string())
+                    )
                 };
                 println!("{:<22} {status}", o.app_name);
             }
@@ -146,6 +200,11 @@ fn main() -> ExitCode {
                 }
             }
         }
-        _ => usage(),
+        _ => return usage(),
+    };
+
+    if let Some(path) = &telemetry_path {
+        export_telemetry(path, matches!(command, "study" | "attack"));
     }
+    code
 }

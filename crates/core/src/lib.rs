@@ -59,6 +59,7 @@ pub use wideleak_device as device;
 pub use wideleak_monitor as monitor;
 pub use wideleak_ott as ott;
 pub use wideleak_tee as tee;
+pub use wideleak_telemetry as telemetry;
 
 use wideleak_attack::recover::AttackOutcome;
 use wideleak_monitor::study::StudyReport;

@@ -82,10 +82,7 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     fn rfc_key() -> [u8; 16] {
@@ -131,10 +128,7 @@ mod tests {
     #[test]
     fn distinct_messages_distinct_macs() {
         let key = [3u8; 16];
-        assert_ne!(
-            aes_cmac_with_key(&key, b"context-a"),
-            aes_cmac_with_key(&key, b"context-b")
-        );
+        assert_ne!(aes_cmac_with_key(&key, b"context-a"), aes_cmac_with_key(&key, b"context-b"));
     }
 
     #[test]
@@ -148,10 +142,7 @@ mod tests {
     #[test]
     fn deterministic() {
         let key = [5u8; 16];
-        assert_eq!(
-            aes_cmac_with_key(&key, b"widevine"),
-            aes_cmac_with_key(&key, b"widevine")
-        );
+        assert_eq!(aes_cmac_with_key(&key, b"widevine"), aes_cmac_with_key(&key, b"widevine"));
     }
 
     #[test]

@@ -67,10 +67,7 @@ mod tests {
     use crate::sha256::Sha256;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     fn hexify(d: &[u8]) -> String {
@@ -108,7 +105,8 @@ mod tests {
     fn rfc4231_case_6_long_key() {
         // Key longer than the block length must be hashed first.
         let key = vec![0xaa; 131];
-        let tag = Hmac::<Sha256>::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag =
+            Hmac::<Sha256>::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
         assert_eq!(
             hexify(&tag),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
@@ -140,9 +138,6 @@ mod tests {
 
     #[test]
     fn key_sensitivity() {
-        assert_ne!(
-            Hmac::<Sha256>::mac(b"key-a", b"msg"),
-            Hmac::<Sha256>::mac(b"key-b", b"msg")
-        );
+        assert_ne!(Hmac::<Sha256>::mac(b"key-a", b"msg"), Hmac::<Sha256>::mac(b"key-b", b"msg"));
     }
 }

@@ -49,7 +49,11 @@ pub fn ecb_decrypt(cipher: &Aes128, data: &[u8]) -> Result<Vec<u8>, CryptoError>
 /// # Errors
 ///
 /// Returns [`CryptoError::NotBlockAligned`] for misaligned input.
-pub fn cbc_encrypt_raw(cipher: &Aes128, iv: &[u8; BLOCK_LEN], data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+pub fn cbc_encrypt_raw(
+    cipher: &Aes128,
+    iv: &[u8; BLOCK_LEN],
+    data: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
     if !data.len().is_multiple_of(BLOCK_LEN) {
         return Err(CryptoError::NotBlockAligned { len: data.len() });
     }
@@ -72,7 +76,11 @@ pub fn cbc_encrypt_raw(cipher: &Aes128, iv: &[u8; BLOCK_LEN], data: &[u8]) -> Re
 /// # Errors
 ///
 /// Returns [`CryptoError::NotBlockAligned`] for misaligned input.
-pub fn cbc_decrypt_raw(cipher: &Aes128, iv: &[u8; BLOCK_LEN], data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+pub fn cbc_decrypt_raw(
+    cipher: &Aes128,
+    iv: &[u8; BLOCK_LEN],
+    data: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
     if !data.len().is_multiple_of(BLOCK_LEN) {
         return Err(CryptoError::NotBlockAligned { len: data.len() });
     }
@@ -145,10 +153,7 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     /// NIST SP 800-38A test key.
@@ -194,10 +199,7 @@ mod tests {
                 "3ff1caa1681fac09120eca307586e1a7",
             ))
         );
-        assert_eq!(
-            cbc_decrypt_raw(&nist_cipher(), &iv, &ct).unwrap(),
-            nist_plaintext()
-        );
+        assert_eq!(cbc_decrypt_raw(&nist_cipher(), &iv, &ct).unwrap(), nist_plaintext());
     }
 
     #[test]

@@ -38,11 +38,7 @@ pub struct RsaPrivateKey {
 
 impl std::fmt::Debug for RsaPrivateKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "RsaPrivateKey({} bits, <private exponent redacted>)",
-            self.public.n.bit_len()
-        )
+        write!(f, "RsaPrivateKey({} bits, <private exponent redacted>)", self.public.n.bit_len())
     }
 }
 
@@ -230,15 +226,7 @@ impl RsaPrivateKey {
             let d_p = &d % &(&p - &one);
             let d_q = &d % &(&q - &one);
             let q_inv = mod_inv(&q, &p).expect("p, q are distinct primes");
-            return RsaPrivateKey {
-                public: RsaPublicKey { n, e },
-                d,
-                p,
-                q,
-                d_p,
-                d_q,
-                q_inv,
-            };
+            return RsaPrivateKey { public: RsaPublicKey { n, e }, d, p, q, d_p, d_q, q_inv };
         }
     }
 
@@ -269,15 +257,7 @@ impl RsaPrivateKey {
         let d_p = &d % &p1;
         let d_q = &d % &q1;
         let q_inv = mod_inv(&q, &p).ok_or(CryptoError::InvalidKey)?;
-        Ok(RsaPrivateKey {
-            public: RsaPublicKey { n, e },
-            d,
-            p,
-            q,
-            d_p,
-            d_q,
-            q_inv,
-        })
+        Ok(RsaPrivateKey { public: RsaPublicKey { n, e }, d, p, q, d_p, d_q, q_inv })
     }
 
     /// The corresponding public key.
@@ -426,8 +406,8 @@ impl RsaPrivateKey {
 
 /// DER DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1).
 const SHA256_DIGEST_INFO: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 fn pkcs1v15_encode_sha256(message: &[u8], k: usize) -> Result<Vec<u8>, CryptoError> {
@@ -533,10 +513,7 @@ mod tests {
     #[test]
     fn oaep_rejects_tampered_ciphertext() {
         let key = test_key();
-        let mut ct = key
-            .public_key()
-            .encrypt_oaep(&mut seeded_rng(4), b"content key")
-            .unwrap();
+        let mut ct = key.public_key().encrypt_oaep(&mut seeded_rng(4), b"content key").unwrap();
         ct[10] ^= 0x40;
         assert_eq!(key.decrypt_oaep(&ct), Err(CryptoError::DecryptionFailed));
     }
@@ -544,10 +521,7 @@ mod tests {
     #[test]
     fn oaep_rejects_wrong_length() {
         let key = test_key();
-        assert_eq!(
-            key.decrypt_oaep(&[0u8; 10]),
-            Err(CryptoError::DecryptionFailed)
-        );
+        assert_eq!(key.decrypt_oaep(&[0u8; 10]), Err(CryptoError::DecryptionFailed));
     }
 
     #[test]
@@ -555,9 +529,7 @@ mod tests {
         let key = test_key();
         let sig = key.sign_pkcs1v15_sha256(b"license request").unwrap();
         assert_eq!(sig.len(), key.public_key().modulus_len());
-        key.public_key()
-            .verify_pkcs1v15_sha256(b"license request", &sig)
-            .unwrap();
+        key.public_key().verify_pkcs1v15_sha256(b"license request", &sig).unwrap();
     }
 
     #[test]

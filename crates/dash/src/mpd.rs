@@ -149,9 +149,8 @@ impl Representation {
         }
         let mut seg_list = XmlElement::new("SegmentList");
         if !self.init_url.is_empty() {
-            seg_list = seg_list.child(
-                XmlElement::new("Initialization").attr("sourceURL", &self.init_url),
-            );
+            seg_list =
+                seg_list.child(XmlElement::new("Initialization").attr("sourceURL", &self.init_url));
         }
         for url in &self.segment_urls {
             seg_list = seg_list.child(XmlElement::new("SegmentURL").attr("media", url));
@@ -161,10 +160,7 @@ impl Representation {
 
     fn from_xml(e: &XmlElement) -> Result<Self, XmlError> {
         let id = e.attribute("id").unwrap_or_default().to_owned();
-        let bandwidth = e
-            .attribute("bandwidth")
-            .and_then(|b| b.parse().ok())
-            .unwrap_or(0);
+        let bandwidth = e.attribute("bandwidth").and_then(|b| b.parse().ok()).unwrap_or(0);
         let resolution = match (e.attribute("width"), e.attribute("height")) {
             (Some(w), Some(h)) => match (w.parse(), h.parse()) {
                 (Ok(w), Ok(h)) => Some((w, h)),
@@ -172,10 +168,8 @@ impl Representation {
             },
             _ => None,
         };
-        let content_protections = e
-            .elements("ContentProtection")
-            .map(ContentProtection::from_xml)
-            .collect();
+        let content_protections =
+            e.elements("ContentProtection").map(ContentProtection::from_xml).collect();
         let (init_url, segment_urls) = match e.element("SegmentList") {
             Some(list) => {
                 let init = list
@@ -242,7 +236,8 @@ impl AdaptationSet {
     }
 
     fn to_xml(&self) -> XmlElement {
-        let mut e = XmlElement::new("AdaptationSet").attr("contentType", self.content_type.as_str());
+        let mut e =
+            XmlElement::new("AdaptationSet").attr("contentType", self.content_type.as_str());
         if let Some(lang) = &self.lang {
             e = e.attr("lang", lang);
         }
@@ -261,14 +256,10 @@ impl AdaptationSet {
             .and_then(ContentType::from_str_opt)
             .unwrap_or(ContentType::Video);
         let lang = e.attribute("lang").map(str::to_owned);
-        let content_protections = e
-            .elements("ContentProtection")
-            .map(ContentProtection::from_xml)
-            .collect();
-        let representations = e
-            .elements("Representation")
-            .map(Representation::from_xml)
-            .collect::<Result<_, _>>()?;
+        let content_protections =
+            e.elements("ContentProtection").map(ContentProtection::from_xml).collect();
+        let representations =
+            e.elements("Representation").map(Representation::from_xml).collect::<Result<_, _>>()?;
         Ok(AdaptationSet { content_type, lang, content_protections, representations })
     }
 }
@@ -393,7 +384,8 @@ mod tests {
                         content_type: ContentType::Audio,
                         lang: Some("en".into()),
                         content_protections: vec![ContentProtection::mp4_protection(
-                            "cenc", "kid-audio",
+                            "cenc",
+                            "kid-audio",
                         )],
                         representations: vec![audio_rep],
                     },
@@ -484,10 +476,7 @@ mod tests {
         assert!(xml.contains(WIDEVINE_SCHEME));
         let parsed = Mpd::parse(&xml).unwrap();
         let rep = &parsed.periods[0].adaptation_sets[0].representations[0];
-        assert!(rep
-            .content_protections
-            .iter()
-            .any(|cp| cp.scheme_id_uri == WIDEVINE_SCHEME));
+        assert!(rep.content_protections.iter().any(|cp| cp.scheme_id_uri == WIDEVINE_SCHEME));
     }
 
     #[test]

@@ -253,8 +253,8 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_whitespace();
             if self.starts_with("<!--") {
-                let end = find_from(self.input, self.pos + 4, b"-->")
-                    .ok_or(XmlError::UnexpectedEof)?;
+                let end =
+                    find_from(self.input, self.pos + 4, b"-->").ok_or(XmlError::UnexpectedEof)?;
                 self.pos = end + 3;
             } else {
                 return Ok(());
@@ -373,10 +373,7 @@ impl<'a> Parser<'a> {
 }
 
 fn find_from(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
-    haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|p| p + from)
 }
 
 fn unescape(s: &str) -> Result<String, XmlError> {
@@ -478,10 +475,7 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        assert!(matches!(
-            XmlElement::parse("<A/><B/>"),
-            Err(XmlError::Malformed { .. })
-        ));
+        assert!(matches!(XmlElement::parse("<A/><B/>"), Err(XmlError::Malformed { .. })));
     }
 
     #[test]

@@ -215,14 +215,8 @@ mod tests {
     fn new_device_is_not_rooted() {
         let d = Device::new(DeviceModel::pixel_6());
         assert!(!d.is_rooted());
-        assert!(matches!(
-            d.scan_drm_process_memory(),
-            Err(DeviceError::RootRequired { .. })
-        ));
-        assert!(matches!(
-            d.apply_ssl_repinning_bypass(),
-            Err(DeviceError::RootRequired { .. })
-        ));
+        assert!(matches!(d.scan_drm_process_memory(), Err(DeviceError::RootRequired { .. })));
+        assert!(matches!(d.apply_ssl_repinning_bypass(), Err(DeviceError::RootRequired { .. })));
     }
 
     #[test]

@@ -120,10 +120,7 @@ impl ProcessMemory {
         for (ri, region) in regions.iter().enumerate() {
             let mut start = 0usize;
             while start + pattern.len() <= region.bytes.len() {
-                match region.bytes[start..]
-                    .windows(pattern.len())
-                    .position(|w| w == pattern)
-                {
+                match region.bytes[start..].windows(pattern.len()).position(|w| w == pattern) {
                     Some(p) => {
                         hits.push((ri, start + p));
                         start += p + 1;
@@ -138,10 +135,7 @@ impl ProcessMemory {
     /// Reads a byte range out of a region, if in bounds.
     pub fn read(&self, region: usize, offset: usize, len: usize) -> Option<Vec<u8>> {
         let regions = self.regions.read();
-        regions
-            .get(region)
-            .and_then(|r| r.bytes.get(offset..offset + len))
-            .map(<[u8]>::to_vec)
+        regions.get(region).and_then(|r| r.bytes.get(offset..offset + len)).map(<[u8]>::to_vec)
     }
 }
 

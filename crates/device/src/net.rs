@@ -156,9 +156,8 @@ impl NetworkStack {
         if proxy.is_some() && !self.is_repinning_bypassed() {
             return Err(NetError::PinningViolation);
         }
-        let result = endpoint
-            .handle(path, body)
-            .map_err(|message| NetError::EndpointError { message });
+        let result =
+            endpoint.handle(path, body).map_err(|message| NetError::EndpointError { message });
         if let Some(proxy) = proxy {
             proxy.record(CapturedExchange {
                 path: path.to_owned(),

@@ -110,11 +110,7 @@ mod tests {
             "the static prong cannot tell it is dead code"
         );
         // The APK model itself knows (dynamic analysis will refute it).
-        assert!(mycanal
-            .apk()
-            .dead_code_references
-            .iter()
-            .any(|r| r.contains("playready")));
+        assert!(mycanal.apk().dead_code_references.iter().any(|r| r.contains("playready")));
     }
 
     #[test]

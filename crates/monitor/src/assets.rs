@@ -13,9 +13,7 @@ use crate::MonitorError;
 /// Downloads a URL straight from the CDN (the researcher's own transport,
 /// no pinning involved).
 pub fn fetch(endpoint: &dyn RemoteEndpoint, path: &str) -> Result<Vec<u8>, MonitorError> {
-    endpoint
-        .handle(path, &[])
-        .map_err(|e| MonitorError::Probe { what: format!("{path}: {e}") })
+    endpoint.handle(path, &[]).map_err(|e| MonitorError::Probe { what: format!("{path}: {e}") })
 }
 
 /// Probes the protection status of a media track by its init segment.
@@ -112,15 +110,13 @@ pub fn probe_metadata_consistency(
             let Some(tenc) = &init.tenc else { continue };
             let kid = KeyId(tenc.default_kid.0);
             // pssh must advertise the tenc KID.
-            if !init.pssh.is_empty()
-                && !init.pssh.iter().any(|p| p.key_ids.contains(&kid))
-            {
+            if !init.pssh.is_empty() && !init.pssh.iter().any(|p| p.key_ids.contains(&kid)) {
                 return Ok(false);
             }
             // MPD metadata (when present) must agree with the container.
-            let declared = rep
-                .default_kid()
-                .or_else(|| set.content_protections.iter().find_map(|cp| cp.default_kid.as_deref()));
+            let declared = rep.default_kid().or_else(|| {
+                set.content_protections.iter().find_map(|cp| cp.default_kid.as_deref())
+            });
             if let Some(hex) = declared {
                 match KeyId::from_hex(hex) {
                     Ok(mpd_kid) if mpd_kid == kid => {}

@@ -112,9 +112,7 @@ pub fn q3_key_usage(mpd: &Mpd) -> (KeyUsage, Option<bool>) {
 }
 
 /// Classifies Q4 from the legacy-device playback attempt.
-pub fn q4_legacy_playback(
-    play_result: &Result<bool, LegacyFailure>,
-) -> LegacyPlayback {
+pub fn q4_legacy_playback(play_result: &Result<bool, LegacyFailure>) -> LegacyPlayback {
     match play_result {
         Ok(true) => LegacyPlayback::Plays,
         Ok(false) => LegacyPlayback::PlaysViaEmbeddedDrm,

@@ -51,6 +51,18 @@ pub enum MonitorError {
     },
 }
 
+impl MonitorError {
+    /// A stable lowercase label for telemetry error-class counters.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            MonitorError::Instrumentation { .. } => "instrumentation",
+            MonitorError::Probe { .. } => "probe",
+            MonitorError::App { .. } => "app",
+        }
+    }
+}
+
 impl fmt::Display for MonitorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

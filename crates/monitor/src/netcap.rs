@@ -30,11 +30,7 @@ pub fn has_opaque_manifest(capture: &[CapturedExchange]) -> bool {
 
 /// All asset paths the app touched during the capture.
 pub fn asset_paths(capture: &[CapturedExchange]) -> Vec<String> {
-    capture
-        .iter()
-        .filter(|ex| ex.path.starts_with("asset/"))
-        .map(|ex| ex.path.clone())
-        .collect()
+    capture.iter().filter(|ex| ex.path.starts_with("asset/")).map(|ex| ex.path.clone()).collect()
 }
 
 #[cfg(test)]

@@ -59,9 +59,8 @@ pub fn render_table_1(report: &StudyReport) -> String {
         ]);
     }
 
-    let widths: Vec<usize> = (0..7)
-        .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
-        .collect();
+    let widths: Vec<usize> =
+        (0..7).map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0)).collect();
     let mut out = String::new();
     for (i, row) in rows.iter().enumerate() {
         for (c, cell) in row.iter().enumerate() {
@@ -76,47 +75,46 @@ pub fn render_table_1(report: &StudyReport) -> String {
     out
 }
 
+/// Renders the per-function CDM call counts aggregated over all apps —
+/// the raw statistic behind Q1 ("any function called within the CDM
+/// process linked to the Widevine protocol").
+pub fn render_call_histogram(report: &StudyReport) -> String {
+    let mut totals: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for f in &report.findings {
+        for (func, count) in &f.cdm_call_histogram {
+            *totals.entry(func.as_str()).or_default() += count;
+        }
+    }
+    if totals.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("CDM calls observed (all apps):\n");
+    for (func, count) in totals {
+        out.push_str(&format!("  {func:<56} {count:>8}\n"));
+    }
+    out
+}
+
 /// The learned-lessons summary lines (§IV-C), derived from the findings.
 pub fn render_insights(report: &StudyReport) -> String {
     let total = report.findings.len();
-    let widevine = report
-        .findings
-        .iter()
-        .filter(|f| f.widevine_use != WidevineUse::No)
-        .count();
+    let widevine = report.findings.iter().filter(|f| f.widevine_use != WidevineUse::No).count();
     let l1 = report.findings.iter().filter(|f| f.l1_on_modern_device).count();
-    let clear_audio = report
-        .findings
-        .iter()
-        .filter(|f| f.assets.audio == Protection::Clear)
-        .count();
-    let clear_subs = report
-        .findings
-        .iter()
-        .filter(|f| f.assets.subtitles == Protection::Clear)
-        .count();
-    let unknown_subs = report
-        .findings
-        .iter()
-        .filter(|f| f.assets.subtitles == Protection::Unknown)
-        .count();
-    let recommended = report
-        .findings
-        .iter()
-        .filter(|f| f.key_usage == KeyUsage::Recommended)
-        .count();
+    let clear_audio =
+        report.findings.iter().filter(|f| f.assets.audio == Protection::Clear).count();
+    let clear_subs =
+        report.findings.iter().filter(|f| f.assets.subtitles == Protection::Clear).count();
+    let unknown_subs =
+        report.findings.iter().filter(|f| f.assets.subtitles == Protection::Unknown).count();
+    let recommended =
+        report.findings.iter().filter(|f| f.key_usage == KeyUsage::Recommended).count();
     let legacy_play = report
         .findings
         .iter()
-        .filter(|f| {
-            matches!(f.legacy, LegacyPlayback::Plays | LegacyPlayback::PlaysViaEmbeddedDrm)
-        })
+        .filter(|f| matches!(f.legacy, LegacyPlayback::Plays | LegacyPlayback::PlaysViaEmbeddedDrm))
         .count();
-    let revoking = report
-        .findings
-        .iter()
-        .filter(|f| f.legacy == LegacyPlayback::ProvisioningFails)
-        .count();
+    let revoking =
+        report.findings.iter().filter(|f| f.legacy == LegacyPlayback::ProvisioningFails).count();
     format!(
         "apps evaluated: {total}\n\
          apps relying on Widevine: {widevine}/{total}\n\
@@ -149,6 +147,7 @@ mod tests {
             legacy: LegacyPlayback::Plays,
             legacy_resolution: Some((960, 540)),
             uri_channel_observed: false,
+            cdm_call_histogram: vec![("liboemcrypto.so!_oecc21_DecryptCTR".into(), 4)],
         }
     }
 
@@ -162,6 +161,15 @@ mod tests {
         assert!(table.contains("Minimum"));
         assert!(table.contains("plays"));
         assert_eq!(table.lines().count(), 4, "header + rule + two rows");
+    }
+
+    #[test]
+    fn call_histogram_aggregates_across_apps() {
+        let report = StudyReport { findings: vec![finding("A"), finding("B")] };
+        let rendered = render_call_histogram(&report);
+        assert!(rendered.contains("liboemcrypto.so!_oecc21_DecryptCTR"));
+        assert!(rendered.contains('8'), "4 calls from each of two apps");
+        assert!(render_call_histogram(&StudyReport { findings: vec![] }).is_empty());
     }
 
     #[test]

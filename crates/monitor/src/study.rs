@@ -39,6 +39,9 @@ pub struct AppFindings {
     /// Whether a non-DASH URI-protection channel was observed (and
     /// pierced by dumping generic-decrypt outputs).
     pub uri_channel_observed: bool,
+    /// Per-function CDM call counts from the modern-device hook log
+    /// (`library!function` keys, as [`trace::call_histogram`] emits).
+    pub cdm_call_histogram: Vec<(String, usize)>,
 }
 
 /// The full study result.
@@ -65,10 +68,12 @@ pub const STUDY_TITLE: &str = "title-001";
 /// Propagates instrumentation and probing failures; app-level refusals
 /// (revocation) are *findings*, not errors.
 pub fn run_study(eco: &Ecosystem) -> Result<StudyReport, MonitorError> {
+    let _span = wideleak_telemetry::span!("study.run");
     let mut findings = Vec::new();
     for profile in eco.profiles().to_vec() {
         findings.push(study_app(eco, profile.slug)?);
     }
+    wideleak_telemetry::add("study.apps_studied", findings.len() as u64);
     Ok(StudyReport { findings })
 }
 
@@ -79,12 +84,14 @@ pub fn run_study(eco: &Ecosystem) -> Result<StudyReport, MonitorError> {
 /// Returns [`MonitorError`] when instrumentation or probing breaks; the
 /// app failing to play is recorded in the findings instead.
 pub fn study_app(eco: &Ecosystem, slug: &str) -> Result<AppFindings, MonitorError> {
+    let _span = wideleak_telemetry::span!("study.app", app = slug);
     let profile = eco
         .profile(slug)
         .ok_or_else(|| MonitorError::App { what: format!("unknown app {slug}") })?
         .clone();
 
     // ---- Run 1: modern TEE-capable device, fully instrumented. --------
+    let modern_run = wideleak_telemetry::span!("study.run.modern", app = slug);
     let modern = eco.boot_device(DeviceModel::pixel_6(), true);
     let app = eco.install_app(&modern, slug, "wideleak-researcher");
 
@@ -99,10 +106,27 @@ pub fn study_app(eco: &Ecosystem, slug: &str) -> Result<AppFindings, MonitorErro
     let modern_outcome = app.play(STUDY_TITLE);
     let hook_log = modern.device.hook_engine().stop_recording();
     let capture = proxy.captured();
+    drop(modern_run);
 
     modern_outcome
         .map_err(|e| MonitorError::App { what: format!("{slug} failed on modern device: {e}") })?;
-    let analysis = trace::analyze(&hook_log);
+    let analysis = {
+        let _q1 = wideleak_telemetry::span!("study.q1.widevine_use", app = slug);
+        trace::analyze(&hook_log)
+    };
+
+    // The raw per-function call counts behind Q1: kept in the findings
+    // for the report and mirrored into telemetry counters.
+    let cdm_call_histogram = trace::call_histogram(&hook_log);
+    if wideleak_telemetry::is_enabled() {
+        for (func, count) in &cdm_call_histogram {
+            wideleak_telemetry::add(&format!("hook.calls.{func}"), *count as u64);
+        }
+        wideleak_telemetry::add(
+            "hook.cdm_calls",
+            cdm_call_histogram.iter().map(|(_, c)| *c as u64).sum(),
+        );
+    }
 
     // Manifest recovery: plaintext from the capture, or — when the app
     // protects URIs — from the dumped generic-decrypt outputs.
@@ -115,7 +139,11 @@ pub fn study_app(eco: &Ecosystem, slug: &str) -> Result<AppFindings, MonitorErro
 
     let (assets, key_usage, per_resolution_keys_distinct) = match &mpd {
         Some(mpd) => {
-            let assets = probe_assets(eco.backend().as_ref(), mpd)?;
+            let assets = {
+                let _q2 = wideleak_telemetry::span!("study.q2.asset_protection", app = slug);
+                probe_assets(eco.backend().as_ref(), mpd)?
+            };
+            let _q3 = wideleak_telemetry::span!("study.q3.key_usage", app = slug);
             let (usage, distinct) = q3_key_usage(mpd);
             (assets, usage, distinct)
         }
@@ -131,6 +159,7 @@ pub fn study_app(eco: &Ecosystem, slug: &str) -> Result<AppFindings, MonitorErro
     };
 
     // ---- Run 2: discontinued L3 device (the Nexus-5 configuration). ---
+    let _q4 = wideleak_telemetry::span!("study.q4.legacy_playback", app = slug);
     let legacy = eco.boot_device(DeviceModel::nexus_5(), true);
     let legacy_app = eco.install_app(&legacy, slug, "wideleak-researcher-legacy");
     legacy.device.hook_engine().start_recording();
@@ -162,6 +191,7 @@ pub fn study_app(eco: &Ecosystem, slug: &str) -> Result<AppFindings, MonitorErro
         legacy: q4_legacy_playback(&legacy_result),
         legacy_resolution,
         uri_channel_observed,
+        cdm_call_histogram,
     })
 }
 
@@ -172,10 +202,7 @@ pub fn study_app(eco: &Ecosystem, slug: &str) -> Result<AppFindings, MonitorErro
 pub fn pinning_blocks_without_bypass(eco: &Ecosystem) -> bool {
     let stack = eco.boot_device(DeviceModel::pixel_6(), true);
     let app = eco.install_app(&stack, "showtime", "pinning-probe");
-    stack
-        .device
-        .network()
-        .attach_interceptor(Arc::new(Interceptor::new()));
+    stack.device.network().attach_interceptor(Arc::new(Interceptor::new()));
     // No bypass applied: the app's pinned TLS must refuse the proxy.
     matches!(app.play(STUDY_TITLE), Err(OttError::Net(_)))
 }

@@ -33,12 +33,7 @@ pub fn analyze(log: &[CallEvent]) -> TraceAnalysis {
         None
     };
     let generic_crypto_used = log.iter().any(|e| e.function.contains("Generic_"));
-    TraceAnalysis {
-        call_count: log.len(),
-        widevine_active,
-        observed_level,
-        generic_crypto_used,
-    }
+    TraceAnalysis { call_count: log.len(), widevine_active, observed_level, generic_crypto_used }
 }
 
 /// Per-function call counts — the raw statistic the paper's tool logs
@@ -101,10 +96,8 @@ mod tests {
 
     #[test]
     fn l3_when_calls_stay_in_engine() {
-        let log = vec![
-            event(L3_LIBRARY, "_oecc04_OpenSession"),
-            event(L3_LIBRARY, "_oecc21_DecryptCTR"),
-        ];
+        let log =
+            vec![event(L3_LIBRARY, "_oecc04_OpenSession"), event(L3_LIBRARY, "_oecc21_DecryptCTR")];
         let a = analyze(&log);
         assert!(a.widevine_active);
         assert_eq!(a.observed_level, Some(SecurityLevel::L3));
@@ -112,10 +105,8 @@ mod tests {
 
     #[test]
     fn l1_when_control_flow_reaches_oemcrypto() {
-        let log = vec![
-            event(L3_LIBRARY, "_oecc04_OpenSession"),
-            event(L1_LIBRARY, "_oecc21_DecryptCTR"),
-        ];
+        let log =
+            vec![event(L3_LIBRARY, "_oecc04_OpenSession"), event(L1_LIBRARY, "_oecc21_DecryptCTR")];
         assert_eq!(analyze(&log).observed_level, Some(SecurityLevel::L1));
     }
 
@@ -156,10 +147,8 @@ mod tests {
         ];
         let hist = call_histogram(&log);
         assert_eq!(hist.len(), 3, "library-qualified keys");
-        let decrypt_l3 = hist
-            .iter()
-            .find(|(k, _)| k == &format!("{L3_LIBRARY}!_oecc21_DecryptCTR"))
-            .unwrap();
+        let decrypt_l3 =
+            hist.iter().find(|(k, _)| k == &format!("{L3_LIBRARY}!_oecc21_DecryptCTR")).unwrap();
         assert_eq!(decrypt_l3.1, 2);
         assert!(call_histogram(&[]).is_empty());
     }

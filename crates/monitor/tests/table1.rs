@@ -28,16 +28,96 @@ fn expected_table_1() -> Vec<Expected> {
     use Protection::*;
     use WidevineUse::*;
     vec![
-        Expected { app: "Netflix", q1: Yes, video: Encrypted, audio: Clear, subtitles: Clear, q3: Minimum, q4: Plays },
-        Expected { app: "Disney+", q1: Yes, video: Encrypted, audio: Encrypted, subtitles: Clear, q3: Minimum, q4: ProvisioningFails },
-        Expected { app: "Amazon Prime Video", q1: YesWithEmbeddedFallback, video: Encrypted, audio: Encrypted, subtitles: Clear, q3: Recommended, q4: PlaysViaEmbeddedDrm },
-        Expected { app: "Hulu", q1: Yes, video: Encrypted, audio: Encrypted, subtitles: Protection::Unknown, q3: KeyUsage::Unknown, q4: Plays },
-        Expected { app: "HBO Max", q1: Yes, video: Encrypted, audio: Encrypted, subtitles: Clear, q3: KeyUsage::Unknown, q4: ProvisioningFails },
-        Expected { app: "Starz", q1: Yes, video: Encrypted, audio: Encrypted, subtitles: Protection::Unknown, q3: KeyUsage::Minimum, q4: ProvisioningFails },
-        Expected { app: "myCANAL", q1: Yes, video: Encrypted, audio: Clear, subtitles: Clear, q3: Minimum, q4: Plays },
-        Expected { app: "Showtime", q1: Yes, video: Encrypted, audio: Encrypted, subtitles: Clear, q3: Minimum, q4: Plays },
-        Expected { app: "OCS", q1: Yes, video: Encrypted, audio: Encrypted, subtitles: Clear, q3: Minimum, q4: Plays },
-        Expected { app: "Salto", q1: Yes, video: Encrypted, audio: Clear, subtitles: Clear, q3: Minimum, q4: Plays },
+        Expected {
+            app: "Netflix",
+            q1: Yes,
+            video: Encrypted,
+            audio: Clear,
+            subtitles: Clear,
+            q3: Minimum,
+            q4: Plays,
+        },
+        Expected {
+            app: "Disney+",
+            q1: Yes,
+            video: Encrypted,
+            audio: Encrypted,
+            subtitles: Clear,
+            q3: Minimum,
+            q4: ProvisioningFails,
+        },
+        Expected {
+            app: "Amazon Prime Video",
+            q1: YesWithEmbeddedFallback,
+            video: Encrypted,
+            audio: Encrypted,
+            subtitles: Clear,
+            q3: Recommended,
+            q4: PlaysViaEmbeddedDrm,
+        },
+        Expected {
+            app: "Hulu",
+            q1: Yes,
+            video: Encrypted,
+            audio: Encrypted,
+            subtitles: Protection::Unknown,
+            q3: KeyUsage::Unknown,
+            q4: Plays,
+        },
+        Expected {
+            app: "HBO Max",
+            q1: Yes,
+            video: Encrypted,
+            audio: Encrypted,
+            subtitles: Clear,
+            q3: KeyUsage::Unknown,
+            q4: ProvisioningFails,
+        },
+        Expected {
+            app: "Starz",
+            q1: Yes,
+            video: Encrypted,
+            audio: Encrypted,
+            subtitles: Protection::Unknown,
+            q3: KeyUsage::Minimum,
+            q4: ProvisioningFails,
+        },
+        Expected {
+            app: "myCANAL",
+            q1: Yes,
+            video: Encrypted,
+            audio: Clear,
+            subtitles: Clear,
+            q3: Minimum,
+            q4: Plays,
+        },
+        Expected {
+            app: "Showtime",
+            q1: Yes,
+            video: Encrypted,
+            audio: Encrypted,
+            subtitles: Clear,
+            q3: Minimum,
+            q4: Plays,
+        },
+        Expected {
+            app: "OCS",
+            q1: Yes,
+            video: Encrypted,
+            audio: Encrypted,
+            subtitles: Clear,
+            q3: Minimum,
+            q4: Plays,
+        },
+        Expected {
+            app: "Salto",
+            q1: Yes,
+            video: Encrypted,
+            audio: Clear,
+            subtitles: Clear,
+            q3: Minimum,
+            q4: Plays,
+        },
     ]
 }
 

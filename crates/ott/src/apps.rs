@@ -231,7 +231,6 @@ pub fn evaluated_apps() -> Vec<AppProfile> {
     ]
 }
 
-
 /// A decompiled APK's class-reference census — what the paper's *static*
 /// analysis prong sees ("we decompile the Java classes of the evaluated
 /// OTT apps to identify some of the included Android classes", §IV-B).
@@ -265,11 +264,8 @@ impl AppProfile {
     /// Android DRM API (they all use Widevine); some carry extra dead
     /// code that a purely static analysis would over-report.
     pub fn apk(&self) -> Apk {
-        let mut live = vec![
-            "android.media.MediaDrm",
-            "android.media.MediaCrypto",
-            "android.media.MediaCodec",
-        ];
+        let mut live =
+            vec!["android.media.MediaDrm", "android.media.MediaCrypto", "android.media.MediaCodec"];
         if self.uri_protection {
             // The non-DASH generic crypto entry points.
             live.push("android.media.MediaDrm$CryptoSession");
@@ -619,10 +615,9 @@ impl OttApp {
         else {
             return Ok(Vec::new());
         };
-        let rep =
-            audio_set.representations.first().ok_or_else(|| OttError::Protocol {
-                reason: "audio set has no representation".into(),
-            })?;
+        let rep = audio_set.representations.first().ok_or_else(|| OttError::Protocol {
+            reason: "audio set has no representation".into(),
+        })?;
         let bundle = self.fetch_bundle(mpd, &rep.id)?;
         if !bundle.init.is_protected() {
             // Clear audio: directly readable, no DRM involved at all.
@@ -708,38 +703,37 @@ impl OttApp {
         core.load_license(session, &response)?;
 
         // Decrypt video and audio with the embedded core's loaded keys.
-        let decrypt_rep = |core: &CdmCore, rep_id: &str| -> Result<Vec<Vec<u8>>, OttError> {
-            let bundle = self.fetch_bundle(&mpd, rep_id)?;
-            let mut out = Vec::new();
-            for seg in &bundle.segments {
-                let samples =
-                    seg.samples().map_err(|e| OttError::Protocol { reason: e.to_string() })?;
-                match &seg.senc {
-                    None => out.extend(samples.into_iter().map(<[u8]>::to_vec)),
-                    Some(senc) => {
-                        let tenc = bundle
-                            .init
-                            .tenc
-                            .as_ref()
-                            .ok_or_else(|| OttError::Protocol { reason: "missing tenc".into() })?;
-                        let kid = KeyId(tenc.default_kid.0);
-                        for (sample, entry) in samples.iter().zip(&senc.entries) {
-                            let iv: [u8; 8] = entry.iv.as_slice().try_into().map_err(|_| {
-                                OttError::Protocol { reason: "bad cenc IV".into() }
+        let decrypt_rep =
+            |core: &CdmCore, rep_id: &str| -> Result<Vec<Vec<u8>>, OttError> {
+                let bundle = self.fetch_bundle(&mpd, rep_id)?;
+                let mut out = Vec::new();
+                for seg in &bundle.segments {
+                    let samples =
+                        seg.samples().map_err(|e| OttError::Protocol { reason: e.to_string() })?;
+                    match &seg.senc {
+                        None => out.extend(samples.into_iter().map(<[u8]>::to_vec)),
+                        Some(senc) => {
+                            let tenc = bundle.init.tenc.as_ref().ok_or_else(|| {
+                                OttError::Protocol { reason: "missing tenc".into() }
                             })?;
-                            out.push(core.decrypt_sample(
-                                session,
-                                &kid,
-                                &wideleak_cdm::oemcrypto::SampleCrypto::Cenc { iv },
-                                sample,
-                                &entry.subsamples,
-                            )?);
+                            let kid = KeyId(tenc.default_kid.0);
+                            for (sample, entry) in samples.iter().zip(&senc.entries) {
+                                let iv: [u8; 8] = entry.iv.as_slice().try_into().map_err(|_| {
+                                    OttError::Protocol { reason: "bad cenc IV".into() }
+                                })?;
+                                out.push(core.decrypt_sample(
+                                    session,
+                                    &kid,
+                                    &wideleak_cdm::oemcrypto::SampleCrypto::Cenc { iv },
+                                    sample,
+                                    &entry.subsamples,
+                                )?);
+                            }
                         }
                     }
                 }
-            }
-            Ok(out)
-        };
+                Ok(out)
+            };
 
         let video_samples = decrypt_rep(&core, &rep_id)?;
         let audio_samples = decrypt_rep(&core, "audio-en")?;
@@ -810,9 +804,8 @@ mod tests {
             assert_eq!(decode_backend_error(&encode_backend_error(&e)), e);
         }
         // Other errors collapse into Protocol.
-        let p = decode_backend_error(&encode_backend_error(&OttError::Protocol {
-            reason: "x".into(),
-        }));
+        let p =
+            decode_backend_error(&encode_backend_error(&OttError::Protocol { reason: "x".into() }));
         assert!(matches!(p, OttError::Protocol { .. }));
     }
 

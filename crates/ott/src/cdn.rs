@@ -311,10 +311,7 @@ mod tests {
     fn clear_audio_has_no_protection_descriptor() {
         let (_, cdn) = cdn();
         let mpd = cdn.build_mpd("netflix", "title-001").unwrap();
-        let audio = mpd
-            .adaptation_sets()
-            .find(|s| s.content_type == ContentType::Audio)
-            .unwrap();
+        let audio = mpd.adaptation_sets().find(|s| s.content_type == ContentType::Audio).unwrap();
         assert!(!audio.is_protected());
         // Netflix minimal practice: only the 3 per-resolution video keys.
         assert_eq!(mpd.all_key_ids().len(), 3);
@@ -351,8 +348,7 @@ mod tests {
         assert!(String::from_utf8_lossy(&blob).find("<MPD").is_none(), "not plaintext");
         // The URI-channel key decrypts it.
         let ContentKey(key) = key_from_label(&uri_channel_label("netflix", "title-001"));
-        let xml =
-            cbc_decrypt_padded(&Aes128::new(&key), &URI_CHANNEL_IV, &blob).unwrap();
+        let xml = cbc_decrypt_padded(&Aes128::new(&key), &URI_CHANNEL_IV, &blob).unwrap();
         assert!(String::from_utf8(xml).unwrap().contains("<MPD"));
     }
 

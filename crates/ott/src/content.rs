@@ -59,10 +59,7 @@ impl Title {
 
 /// The default demo catalog.
 pub fn demo_catalog() -> Vec<Title> {
-    vec![
-        Title::new("title-001", "The First Stream"),
-        Title::new("title-002", "Pirates of the CDN"),
-    ]
+    vec![Title::new("title-001", "The First Stream"), Title::new("title-002", "Pirates of the CDN")]
 }
 
 /// Derives a deterministic key ID from a label (app/title/track scoped —
@@ -121,7 +118,12 @@ impl TrackSelector {
 }
 
 /// Key-id label for a track of a title under an app's policy.
-pub fn track_key_label(app: &str, title_id: &str, selector: &TrackSelector, audio: AudioProtection) -> Option<String> {
+pub fn track_key_label(
+    app: &str,
+    title_id: &str,
+    selector: &TrackSelector,
+    audio: AudioProtection,
+) -> Option<String> {
     match selector {
         TrackSelector::Video { height } => Some(format!("{app}/{title_id}/video-{height}")),
         TrackSelector::Audio { .. } => match audio {
@@ -138,7 +140,12 @@ pub fn track_key_label(app: &str, title_id: &str, selector: &TrackSelector, audi
 
 /// Synthesizes the plaintext samples of one segment, deterministic in all
 /// coordinates; video sample sizes scale with resolution.
-pub fn synth_samples(app: &str, title_id: &str, selector: &TrackSelector, segment: u32) -> Vec<Vec<u8>> {
+pub fn synth_samples(
+    app: &str,
+    title_id: &str,
+    selector: &TrackSelector,
+    segment: u32,
+) -> Vec<Vec<u8>> {
     let (kind_tag, size) = match selector {
         TrackSelector::Video { height } => ("v", (*height as usize) * 4),
         TrackSelector::Audio { .. } => ("a", 960),
@@ -221,9 +228,18 @@ pub fn package_track(
             let segments = (1..=SEGMENTS_PER_REP)
                 .map(|seg| {
                     let samples = synth_samples(app, title_id, selector, seg);
-                    encrypt_segment(Scheme::Cenc, &key, &tenc, kind, track_id, seg, &samples, 0x5eed)
-                        .expect("fixed packaging policy always validates")
-                        .to_bytes()
+                    encrypt_segment(
+                        Scheme::Cenc,
+                        &key,
+                        &tenc,
+                        kind,
+                        track_id,
+                        seg,
+                        &samples,
+                        0x5eed,
+                    )
+                    .expect("fixed packaging policy always validates")
+                    .to_bytes()
                 })
                 .collect();
             PackagedRepresentation {
@@ -268,9 +284,13 @@ mod tests {
     fn video_tracks_always_keyed_per_resolution() {
         let mut kids = Vec::new();
         for (_, h) in RESOLUTIONS {
-            let label =
-                track_key_label("app", "t", &TrackSelector::Video { height: h }, AudioProtection::Clear)
-                    .unwrap();
+            let label = track_key_label(
+                "app",
+                "t",
+                &TrackSelector::Video { height: h },
+                AudioProtection::Clear,
+            )
+            .unwrap();
             kids.push(kid_from_label(&label));
         }
         kids.sort_by_key(|k| k.0);
@@ -282,10 +302,15 @@ mod tests {
     fn audio_policy_controls_key_label() {
         let audio = TrackSelector::Audio { lang: "en".into() };
         assert_eq!(track_key_label("a", "t", &audio, AudioProtection::Clear), None);
-        let shared = track_key_label("a", "t", &audio, AudioProtection::SharedKeyWithVideo).unwrap();
-        let video540 =
-            track_key_label("a", "t", &TrackSelector::Video { height: 540 }, AudioProtection::Clear)
-                .unwrap();
+        let shared =
+            track_key_label("a", "t", &audio, AudioProtection::SharedKeyWithVideo).unwrap();
+        let video540 = track_key_label(
+            "a",
+            "t",
+            &TrackSelector::Video { height: 540 },
+            AudioProtection::Clear,
+        )
+        .unwrap();
         assert_eq!(shared, video540, "minimal practice shares the 540p key");
         let distinct = track_key_label("a", "t", &audio, AudioProtection::DistinctKey).unwrap();
         assert_ne!(distinct, video540);

@@ -78,7 +78,26 @@ impl std::fmt::Debug for BackendRouter {
 impl BackendRouter {
     fn route(&self, path: &str, body: &[u8]) -> Result<Vec<u8>, OttError> {
         let parts: Vec<&str> = path.split('/').collect();
-        match parts.as_slice() {
+        let endpoint = match parts.first() {
+            Some(&"provision") => "provision",
+            Some(&"license") => "license",
+            Some(&"manifest") => "manifest",
+            Some(&"asset") => "asset",
+            _ => "unknown",
+        };
+        let _span = wideleak_telemetry::span!("ott.server.request", endpoint = endpoint);
+        let result = self.dispatch(parts.as_slice(), path, body);
+        if wideleak_telemetry::is_enabled() {
+            wideleak_telemetry::incr(&format!("ott.server.requests.{endpoint}"));
+            if let Err(e) = &result {
+                wideleak_telemetry::incr(&format!("ott.server.error.{}", e.class()));
+            }
+        }
+        result
+    }
+
+    fn dispatch(&self, parts: &[&str], path: &str, body: &[u8]) -> Result<Vec<u8>, OttError> {
+        match parts {
             ["provision", slug] => {
                 let profile = self
                     .profiles
@@ -93,17 +112,15 @@ impl BackendRouter {
                     .profiles
                     .get(*slug)
                     .ok_or_else(|| OttError::NotFound { what: format!("app {slug}") })?;
-                let r = TlvReader::parse(body).map_err(|_| OttError::Protocol {
-                    reason: "bad license envelope".into(),
-                })?;
-                let token = r.require_string(1).map_err(|_| OttError::Protocol {
-                    reason: "missing account token".into(),
-                })?;
-                let request = wideleak_cdm::messages::LicenseRequest::parse(
-                    r.require(2).map_err(|_| OttError::Protocol {
-                        reason: "missing license request".into(),
-                    })?,
-                )?;
+                let r = TlvReader::parse(body)
+                    .map_err(|_| OttError::Protocol { reason: "bad license envelope".into() })?;
+                let token = r
+                    .require_string(1)
+                    .map_err(|_| OttError::Protocol { reason: "missing account token".into() })?;
+                let request =
+                    wideleak_cdm::messages::LicenseRequest::parse(r.require(2).map_err(|_| {
+                        OttError::Protocol { reason: "missing license request".into() }
+                    })?)?;
                 let response = self.license.issue_license(
                     slug,
                     title,
@@ -114,8 +131,7 @@ impl BackendRouter {
                 Ok(response.to_bytes())
             }
             ["manifest", slug, title] => {
-                let token = String::from_utf8(body.to_vec())
-                    .map_err(|_| OttError::Unauthorized)?;
+                let token = String::from_utf8(body.to_vec()).map_err(|_| OttError::Unauthorized)?;
                 self.cdn.fetch_manifest(slug, title, &token)
             }
             ["asset", ..] => self.cdn.fetch_asset(path),
@@ -276,8 +292,7 @@ impl Ecosystem {
     ) -> DeviceStack {
         let n = self.device_counter.fetch_add(1, Ordering::SeqCst);
         let instance_name = format!("{}#{n}", model.name.to_lowercase().replace(' ', "-"));
-        let device =
-            Arc::new(if rooted { Device::rooted(model) } else { Device::new(model) });
+        let device = Arc::new(if rooted { Device::rooted(model) } else { Device::new(model) });
         let keybox = self.trust.issue_keybox(&instance_name);
         let cdm = Arc::new(Cdm::boot(&device, keybox).expect("keybox installation succeeds"));
         let mut server = MediaDrmServer::new();
@@ -391,7 +406,9 @@ mod tests {
         assert!(!outcome.used_platform_widevine);
         assert!(outcome.trace.is_none());
         assert!(
-            hook_log.iter().all(|e| e.function.contains("Initialize") || e.function.contains("InstallKeybox")),
+            hook_log
+                .iter()
+                .all(|e| e.function.contains("Initialize") || e.function.contains("InstallKeybox")),
             "no playback-time platform CDM calls: {hook_log:?}"
         );
         assert_eq!(outcome.resolution, (960, 540));

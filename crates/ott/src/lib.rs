@@ -57,6 +57,23 @@ pub enum OttError {
     },
 }
 
+impl OttError {
+    /// A stable lowercase label for telemetry error-class counters.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            OttError::Unauthorized => "unauthorized",
+            OttError::NotFound { .. } => "not_found",
+            OttError::AttestationFailed => "attestation_failed",
+            OttError::DeviceRevoked { .. } => "device_revoked",
+            OttError::Drm(_) => "drm",
+            OttError::Cdm(_) => "cdm",
+            OttError::Net(_) => "net",
+            OttError::Protocol { .. } => "protocol",
+        }
+    }
+}
+
 impl fmt::Display for OttError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

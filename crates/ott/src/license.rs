@@ -149,10 +149,7 @@ impl LicenseServer {
         if !self.accounts.is_valid(account_token) {
             return Err(OttError::Unauthorized);
         }
-        let device_rsa = self
-            .trust
-            .rsa_key(&request.device_id)
-            .ok_or(OttError::Unauthorized)?;
+        let device_rsa = self.trust.rsa_key(&request.device_id).ok_or(OttError::Unauthorized)?;
         device_rsa
             .verify_pkcs1v15_sha256(&request.body_bytes(), &request.rsa_signature)
             .map_err(|_| OttError::Unauthorized)?;
@@ -180,10 +177,7 @@ impl LicenseServer {
             // No explicit key ids: serve everything the level permits.
             available.iter().collect()
         } else {
-            available
-                .iter()
-                .filter(|(kid, _)| request.key_ids.contains(kid))
-                .collect()
+            available.iter().filter(|(kid, _)| request.key_ids.contains(kid)).collect()
         };
         if selected.is_empty() {
             return Err(OttError::NotFound { what: format!("keys for {title_id}") });
@@ -257,8 +251,7 @@ mod tests {
     fn fixture() -> Fixture {
         let trust = Arc::new(TrustAuthority::new(42));
         let accounts = Arc::new(AccountRegistry::new());
-        let prov =
-            ProvisioningServer::new(trust.clone(), RevocationPolicy::default(), 768, 1000);
+        let prov = ProvisioningServer::new(trust.clone(), RevocationPolicy::default(), 768, 1000);
         // Provision a device so the license server knows its RSA key.
         let kb = trust.issue_keybox("test-device");
         let mut preq = ProvisioningRequest {
@@ -307,7 +300,13 @@ mod tests {
         let req = signed_request(&f, vec![], SecurityLevel::L3, CdmVersion::new(3, 1, 0));
         let resp = f
             .license
-            .issue_license("netflix", "title-001", policy(AudioProtection::Clear, false), &token, &req)
+            .issue_license(
+                "netflix",
+                "title-001",
+                policy(AudioProtection::Clear, false),
+                &token,
+                &req,
+            )
             .unwrap();
         // Clear-audio app: only video keys exist; L3 gets only 540p.
         assert_eq!(resp.key_entries.len(), 1);
@@ -442,8 +441,7 @@ mod tests {
         let token = f.accounts.subscribe("netflix", "alice");
         let hd_label = "netflix/title-001/video-1080";
         let hd_kid = kid_from_label(hd_label);
-        let req =
-            signed_request(&f, vec![hd_kid], SecurityLevel::L3, CdmVersion::new(3, 1, 0));
+        let req = signed_request(&f, vec![hd_kid], SecurityLevel::L3, CdmVersion::new(3, 1, 0));
         // The only requested key needs L1 → nothing issuable.
         assert!(matches!(
             f.license.issue_license(

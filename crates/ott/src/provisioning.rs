@@ -68,7 +68,12 @@ impl std::fmt::Debug for ProvisioningServer {
 impl ProvisioningServer {
     /// Creates a server issuing RSA keys of `rsa_bits` (2048 in
     /// production; tests use smaller for speed).
-    pub fn new(trust: Arc<TrustAuthority>, policy: RevocationPolicy, rsa_bits: usize, seed: u64) -> Self {
+    pub fn new(
+        trust: Arc<TrustAuthority>,
+        policy: RevocationPolicy,
+        rsa_bits: usize,
+        seed: u64,
+    ) -> Self {
         ProvisioningServer { trust, policy, rsa_bits, seed, issued: Mutex::new(HashMap::new()) }
     }
 
@@ -92,10 +97,7 @@ impl ProvisioningServer {
         request: &ProvisioningRequest,
         enforce_revocation: bool,
     ) -> Result<ProvisioningResponse, OttError> {
-        let device_key = self
-            .trust
-            .device_key(&request.device_id)
-            .ok_or(OttError::Unauthorized)?;
+        let device_key = self.trust.device_key(&request.device_id).ok_or(OttError::Unauthorized)?;
         let expected = aes_cmac_with_key(&device_key, &request.body_bytes());
         if !ct_eq(&expected, &request.signature) {
             return Err(OttError::Unauthorized);
@@ -120,7 +122,9 @@ impl ProvisioningServer {
         self.trust.record_rsa_key(&request.device_id, key.public_key().clone());
         self.trust.record_attested_level(&request.device_id, request.security_level);
 
-        let mut iv_rng = seeded_rng(self.seed ^ u64::from_be_bytes(request.nonce[..8].try_into().expect("8 bytes")));
+        let mut iv_rng = seeded_rng(
+            self.seed ^ u64::from_be_bytes(request.nonce[..8].try_into().expect("8 bytes")),
+        );
         let iv: [u8; 16] = random_array(&mut iv_rng);
         Ok(wrap_rsa_key(&device_key, &request.device_id, request.nonce, iv, &key))
     }
@@ -134,8 +138,7 @@ mod tests {
 
     fn setup() -> (Arc<TrustAuthority>, ProvisioningServer) {
         let trust = Arc::new(TrustAuthority::new(11));
-        let server =
-            ProvisioningServer::new(trust.clone(), RevocationPolicy::default(), 512, 900);
+        let server = ProvisioningServer::new(trust.clone(), RevocationPolicy::default(), 512, 900);
         (trust, server)
     }
 
@@ -184,10 +187,7 @@ mod tests {
         let (trust, server) = setup();
         let req = request(&trust, "nexus5", CdmVersion::new(3, 1, 0));
         // Enforcing app (Disney+-like): refused.
-        assert!(matches!(
-            server.provision(&req, true),
-            Err(OttError::DeviceRevoked { .. })
-        ));
+        assert!(matches!(server.provision(&req, true), Err(OttError::DeviceRevoked { .. })));
         // Lenient app (Netflix-like): provisioned anyway.
         assert!(server.provision(&req, false).is_ok());
     }

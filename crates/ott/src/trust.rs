@@ -53,9 +53,7 @@ impl TrustAuthority {
         }
         let device_key: [u8; 16] = random_array(&mut seeded_rng(id_seed));
         let keybox = Keybox::issue(device_name.as_bytes(), &device_key);
-        self.device_keys
-            .write()
-            .insert(keybox.device_id().to_vec(), device_key);
+        self.device_keys.write().insert(keybox.device_id().to_vec(), device_key);
         keybox
     }
 

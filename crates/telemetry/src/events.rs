@@ -1,0 +1,112 @@
+//! Bounded event ring buffer — a "flight recorder" keeping the last N
+//! discrete events so a failed run can be reconstructed after the fact
+//! without unbounded memory growth.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// Default ring capacity.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// One discrete, timestamped event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the collector epoch.
+    pub ts_ns: u64,
+    /// Severity or category label (`"info"`, `"error"`, ...).
+    pub level: &'static str,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// A bounded ring of the most recent events.
+pub struct EventRing {
+    inner: Mutex<RingState>,
+}
+
+struct RingState {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    /// Total events ever pushed, including evicted ones.
+    pushed: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            inner: Mutex::new(RingState {
+                buf: VecDeque::with_capacity(capacity),
+                capacity,
+                pushed: 0,
+            }),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, event: Event) {
+        let mut s = self.inner.lock();
+        if s.buf.len() == s.capacity {
+            s.buf.pop_front();
+        }
+        s.buf.push_back(event);
+        s.pushed += 1;
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn drain_ordered(&self) -> Vec<Event> {
+        self.inner.lock().buf.iter().cloned().collect()
+    }
+
+    /// Total events ever pushed (retained + evicted).
+    #[must_use]
+    pub fn total_pushed(&self) -> u64 {
+        self.inner.lock().pushed
+    }
+
+    /// Empties the ring.
+    pub fn clear(&self) {
+        let mut s = self.inner.lock();
+        s.buf.clear();
+        s.pushed = 0;
+    }
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        EventRing::new(DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> Event {
+        Event { ts_ns: i, level: "info", message: format!("e{i}") }
+    }
+
+    #[test]
+    fn ring_keeps_only_last_n() {
+        let r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        let kept: Vec<u64> = r.drain_ordered().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(r.total_pushed(), 5);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let r = EventRing::new(2);
+        r.push(ev(1));
+        r.clear();
+        assert!(r.drain_ordered().is_empty());
+        assert_eq!(r.total_pushed(), 0);
+    }
+}

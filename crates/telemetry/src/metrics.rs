@@ -1,0 +1,271 @@
+//! Counters and fixed-bucket latency histograms.
+//!
+//! Both are lock-free on the hot path: a counter is an `AtomicU64`
+//! handed out as an `Arc`, and a histogram is a fixed array of atomic
+//! bucket counts indexed by the position of the highest set bit of the
+//! observed nanosecond value. Registration (first use of a name) takes
+//! a short-lived write lock; every subsequent observation is a relaxed
+//! atomic increment.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+/// Number of power-of-two latency buckets. Bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds, so 64 buckets span the full `u64`
+/// range (bucket 0 also absorbs a zero observation).
+pub const BUCKETS: usize = 64;
+
+/// Returns the bucket index for a nanosecond observation.
+#[must_use]
+pub fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        63 - ns.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` in nanoseconds.
+#[must_use]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// A fixed-bucket latency histogram with power-of-two bucket bounds.
+///
+/// Observations are recorded lock-free; quantile queries walk the
+/// bucket array and report the bucket upper bound (clamped to the
+/// observed maximum), so `p50 <= p90 <= p99 <= max` always holds.
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one latency observation.
+    pub fn observe(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) in nanoseconds.
+    ///
+    /// Returns the upper bound of the bucket containing the quantile,
+    /// clamped to the observed maximum; `0` when empty.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper_bound(i).min(self.max_ns.load(Ordering::Relaxed));
+            }
+        }
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// An immutable summary of the current state.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            min_ns: if count == 0 { 0 } else { self.min_ns.load(Ordering::Relaxed) },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            p50_ns: self.quantile_ns(0.50),
+            p90_ns: self.quantile_ns(0.90),
+            p99_ns: self.quantile_ns(0.99),
+        }
+    }
+}
+
+/// Point-in-time percentile summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations in nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest observation (0 when empty).
+    pub min_ns: u64,
+    /// Largest observation.
+    pub max_ns: u64,
+    /// Estimated median.
+    pub p50_ns: u64,
+    /// Estimated 90th percentile.
+    pub p90_ns: u64,
+    /// Estimated 99th percentile.
+    pub p99_ns: u64,
+}
+
+impl HistogramSummary {
+    /// Mean observation in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Name-keyed registries for counters and histograms.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Returns the counter handle for `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut w = self.counters.write();
+        Arc::clone(w.entry(name.to_owned()).or_default())
+    }
+
+    /// Returns the histogram handle for `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        let mut w = self.histograms.write();
+        Arc::clone(w.entry(name.to_owned()).or_default())
+    }
+
+    /// All counters as `(name, value)`, sorted by name.
+    #[must_use]
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<_> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// All histogram summaries as `(name, summary)`, sorted by name.
+    #[must_use]
+    pub fn histogram_summaries(&self) -> Vec<(String, HistogramSummary)> {
+        let mut out: Vec<_> =
+            self.histograms.read().iter().map(|(k, v)| (k.clone(), v.summary())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Drops all registered counters and histograms.
+    pub fn clear(&self) {
+        self.counters.write().clear();
+        self.histograms.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_upper_bound(0), 1);
+        assert_eq!(bucket_upper_bound(9), 1023);
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_tracks_min_max_and_count() {
+        let h = Histogram::default();
+        for ns in [100u64, 200, 3_000, 40_000] {
+            h.observe(Duration::from_nanos(ns));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 40_000);
+        assert_eq!(s.sum_ns, 43_300);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zero() {
+        let s = Histogram::default().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_ns, 0);
+        assert_eq!(s.min_ns, 0);
+        assert_eq!(s.max_ns, 0);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let h = Histogram::default();
+        // 90 fast observations (~1us) and 10 slow ones (~1ms).
+        for _ in 0..90 {
+            h.observe(Duration::from_nanos(1_000));
+        }
+        for _ in 0..10 {
+            h.observe(Duration::from_nanos(1_000_000));
+        }
+        let s = h.summary();
+        // p50 must fall inside the 1us bucket [1024, 2047].
+        assert!(s.p50_ns < 2_048, "p50={}", s.p50_ns);
+        // p99 must land in the slow bucket, clamped to max.
+        assert_eq!(s.p99_ns, 1_000_000);
+        assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns);
+    }
+
+    #[test]
+    fn registry_reuses_handles_by_name() {
+        let r = Registry::default();
+        r.counter("a").fetch_add(2, Ordering::Relaxed);
+        r.counter("a").fetch_add(3, Ordering::Relaxed);
+        r.counter("b").fetch_add(1, Ordering::Relaxed);
+        assert_eq!(r.counter_values(), vec![("a".to_owned(), 5), ("b".to_owned(), 1)]);
+    }
+}

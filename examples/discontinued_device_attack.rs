@@ -56,7 +56,9 @@ fn main() {
         }
     }
 
-    println!("\n{pirated}/10 apps yielded DRM-free media (paper: 6, incl. Netflix, Hulu, Showtime)");
+    println!(
+        "\n{pirated}/10 apps yielded DRM-free media (paper: 6, incl. Netflix, Hulu, Showtime)"
+    );
 
     // Demonstrate 'playing on another device': parse the clear MP4 with
     // nothing but a container parser.

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use wideleak::bmff::fragment::{InitSegment, MediaSegment, TrackKind};
 use wideleak::bmff::types::{KeyId, Tenc};
-use wideleak::cdm::ladder::{derive_session_keys, derive_key_128, labels};
+use wideleak::cdm::ladder::{derive_key_128, derive_session_keys, labels};
 use wideleak::cdm::messages::{KeyControl, KeyEntry, LicenseRequest, LicenseResponse};
 use wideleak::cenc::keys::{ContentKey, MemoryKeyStore};
 use wideleak::cenc::track::{decrypt_segment, encrypt_segment, Scheme};

@@ -48,7 +48,8 @@ fn custom_drm_app_never_touches_the_platform_cdm() {
         assert!(!outcome.used_platform_widevine, "{}", model.name);
         assert!(outcome.trace.is_none());
         assert!(
-            log.iter().all(|e| e.function.contains("InstallKeybox") || e.function.contains("Initialize")),
+            log.iter()
+                .all(|e| e.function.contains("InstallKeybox") || e.function.contains("Initialize")),
             "{}: playback-phase platform CDM calls observed: {log:?}",
             model.name
         );
@@ -74,8 +75,5 @@ fn custom_drm_app_is_immune_to_the_platform_keybox_attack() {
     let eco = eco_with_music_app();
     let outcome = wideleak::attack::recover::attack_app(&eco, "looneytunes");
     assert!(!outcome.succeeded());
-    assert!(matches!(
-        outcome.failure,
-        Some(wideleak::attack::AttackError::NoProvisioningTraffic)
-    ));
+    assert!(matches!(outcome.failure, Some(wideleak::attack::AttackError::NoProvisioningTraffic)));
 }

@@ -19,10 +19,8 @@ fn bundle(eco: &wideleak::ott::ecosystem::Ecosystem, app: &str, rep: &str) -> Me
     let init = InitSegment::from_bytes(&init_bytes).unwrap();
     let segments = (1..=SEGMENTS_PER_REP)
         .map(|i| {
-            let raw = eco
-                .backend()
-                .handle(&format!("asset/{app}/title-001/{rep}/seg/{i}"), &[])
-                .unwrap();
+            let raw =
+                eco.backend().handle(&format!("asset/{app}/title-001/{rep}/seg/{i}"), &[]).unwrap();
             MediaSegment::from_bytes(&raw).unwrap()
         })
         .collect();
@@ -55,7 +53,9 @@ fn one_session_covers_distinct_video_and_audio_keys() {
         .unwrap();
 
     let expected_video: Vec<Vec<u8>> = (1..=SEGMENTS_PER_REP)
-        .flat_map(|s| synth_samples("amazon", "title-001", &TrackSelector::Video { height: 1080 }, s))
+        .flat_map(|s| {
+            synth_samples("amazon", "title-001", &TrackSelector::Video { height: 1080 }, s)
+        })
         .collect();
     assert_eq!(
         playback.video_frames.iter().map(|f| f.data.clone()).collect::<Vec<_>>(),

@@ -118,9 +118,7 @@ fn cancelled_subscription_stops_new_licenses() {
 #[test]
 fn decrypt_with_unloaded_key_fails() {
     let eco = fast_ecosystem();
-    for (model, expect_exact) in
-        [(DeviceModel::nexus_5(), true), (DeviceModel::pixel_6(), false)]
-    {
+    for (model, expect_exact) in [(DeviceModel::nexus_5(), true), (DeviceModel::pixel_6(), false)] {
         let stack = eco.boot_device(model, false);
         let sid = stack
             .binder
@@ -140,10 +138,7 @@ fn decrypt_with_unloaded_key_fails() {
             .unwrap_err();
         if expect_exact {
             // L3 reports the precise CDM error.
-            assert!(matches!(
-                err,
-                wideleak::android_drm::DrmError::Cdm(CdmError::KeyNotLoaded)
-            ));
+            assert!(matches!(err, wideleak::android_drm::DrmError::Cdm(CdmError::KeyNotLoaded)));
         } else {
             // L1 surfaces the failure through the TEE boundary, which
             // deliberately coarsens error detail.

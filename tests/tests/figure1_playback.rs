@@ -13,12 +13,7 @@ fn figure_1_holds_on_l1_and_l3() {
         let app = eco.install_app(&stack, "ocs", "fig1-user");
         let outcome = app.play("title-001").unwrap();
         let trace = outcome.trace.expect("platform playback traces");
-        assert!(
-            trace.matches_figure_1(),
-            "{}: {:?}",
-            model.name,
-            trace.steps()
-        );
+        assert!(trace.matches_figure_1(), "{}: {:?}", model.name, trace.steps());
     }
 }
 

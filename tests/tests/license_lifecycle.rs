@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use wideleak::cdm::messages::{LicenseResponse, ProvisioningResponse};
-use wideleak::cdm::oemcrypto::{
-    L1OemCrypto, L3OemCrypto, OemCrypto, SampleCrypto,
-};
+use wideleak::cdm::oemcrypto::{L1OemCrypto, L3OemCrypto, OemCrypto, SampleCrypto};
 use wideleak::cdm::CdmError;
 use wideleak::device::catalog::CdmVersion;
 use wideleak::device::hooks::HookEngine;
@@ -35,9 +33,7 @@ fn license(
     if !backend.is_provisioned() {
         let preq = backend.provisioning_request([1; 16]).unwrap();
         let raw = eco.backend().handle("provision/ocs", &preq.to_bytes()).unwrap();
-        backend
-            .install_rsa_key([1; 16], &ProvisioningResponse::parse(&raw).unwrap())
-            .unwrap();
+        backend.install_rsa_key([1; 16], &ProvisioningResponse::parse(&raw).unwrap()).unwrap();
     }
     let token = eco.accounts().subscribe("ocs", user);
     let sid = backend.open_session([2; 16]).unwrap();
@@ -45,13 +41,15 @@ fn license(
     let mut w = wideleak::cdm::wire::TlvWriter::new();
     w.string(1, &token).bytes(2, &req.to_bytes());
     let raw = eco.backend().handle("license/ocs/title-001", &w.finish()).unwrap();
-    let kids = backend
-        .load_license(sid, &LicenseResponse::parse(&raw).unwrap())
-        .unwrap();
+    let kids = backend.load_license(sid, &LicenseResponse::parse(&raw).unwrap()).unwrap();
     (sid, kids[0])
 }
 
-fn decrypt(backend: &dyn OemCrypto, sid: u32, kid: &wideleak::bmff::types::KeyId) -> Result<Vec<u8>, wideleak::cdm::CdmError> {
+fn decrypt(
+    backend: &dyn OemCrypto,
+    sid: u32,
+    kid: &wideleak::bmff::types::KeyId,
+) -> Result<Vec<u8>, wideleak::cdm::CdmError> {
     backend.decrypt_sample(sid, kid, &SampleCrypto::Cenc { iv: [1; 8] }, &[0u8; 64], &[])
 }
 
@@ -103,10 +101,7 @@ fn generic_crypto_respects_expiry_too() {
     let (sid, kid) = license(&eco, &backend, "generic-expiry", "user-d");
     assert!(backend.generic_sign(sid, &kid, b"payload").is_ok());
     backend.advance_clock(DEFAULT_LICENSE_DURATION_SECS as u64).unwrap();
-    assert!(matches!(
-        backend.generic_sign(sid, &kid, b"payload"),
-        Err(CdmError::KeyExpired)
-    ));
+    assert!(matches!(backend.generic_sign(sid, &kid, b"payload"), Err(CdmError::KeyExpired)));
 }
 
 #[test]

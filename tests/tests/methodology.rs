@@ -3,10 +3,10 @@
 //! anti-debugging) cannot stop CDM-process monitoring.
 
 use wideleak::device::catalog::DeviceModel;
+use wideleak::device::net::RemoteEndpoint;
 use wideleak::monitor::apk::{scan_apk, DrmIntegration};
 use wideleak::monitor::study::{study_app, STUDY_TITLE};
 use wideleak::monitor::trace;
-use wideleak::device::net::RemoteEndpoint;
 use wideleak::ott::OttError;
 use wideleak_tests::fast_ecosystem;
 
@@ -24,11 +24,7 @@ fn static_prong_flags_every_app_and_dynamic_prong_confirms() {
         stack.device.hook_engine().start_recording();
         app.play(STUDY_TITLE).unwrap();
         let log = stack.device.hook_engine().stop_recording();
-        assert!(
-            trace::analyze(&log).widevine_active,
-            "{} dynamic confirmation",
-            profile.name
-        );
+        assert!(trace::analyze(&log).widevine_active, "{} dynamic confirmation", profile.name);
     }
 }
 
@@ -97,9 +93,8 @@ fn mpd_pssh_and_tenc_metadata_agree_for_every_app() {
     let eco = fast_ecosystem();
     for profile in eco.profiles().to_vec() {
         let token = eco.accounts().subscribe(profile.slug, "metadata-probe");
-        let raw = eco
-            .backend()
-            .handle(&format!("manifest/{}/title-001", profile.slug), token.as_bytes());
+        let raw =
+            eco.backend().handle(&format!("manifest/{}/title-001", profile.slug), token.as_bytes());
         let Ok(raw) = raw else { continue }; // Netflix's manifest is wrapped
         let Ok(text) = String::from_utf8(raw) else { continue };
         let Ok(mpd) = wideleak::dash::mpd::Mpd::parse(&text) else { continue };

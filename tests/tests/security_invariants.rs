@@ -64,9 +64,8 @@ fn hd_keys_never_reach_l3_clients() {
     let eco = fast_ecosystem();
     let outcome = attack_app_on(&eco, "showtime", DeviceModel::nexus_5());
     assert!(outcome.succeeded());
-    let hd_kid = wideleak::ott::content::kid_from_label(&format!(
-        "showtime/{ATTACK_TITLE}/video-1080"
-    ));
+    let hd_kid =
+        wideleak::ott::content::kid_from_label(&format!("showtime/{ATTACK_TITLE}/video-1080"));
     assert!(
         outcome.content_keys.iter().all(|(kid, _)| *kid != hd_kid),
         "1080p key must never be licensed to an L3 device"
@@ -82,10 +81,7 @@ fn app_process_never_sees_keys_or_plaintext_buffers() {
     // Debug output.
     let key = wideleak::cenc::keys::ContentKey([0x42; 16]);
     assert!(!format!("{key:?}").contains("42"));
-    let lk = format!(
-        "{:?}",
-        wideleak::cdm::ladder::derive_session_keys(&[1; 16], b"e", b"m")
-    );
+    let lk = format!("{:?}", wideleak::cdm::ladder::derive_session_keys(&[1; 16], b"e", b"m"));
     assert!(lk.contains("redacted"));
 }
 

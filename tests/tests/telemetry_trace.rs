@@ -1,0 +1,90 @@
+//! End-to-end telemetry trace: a full `--fast` study with the global
+//! collector enabled must produce spans and counters covering every
+//! layer of the stack — binder transactions, CDM provisioning, OTT
+//! server requests and per-app study spans for all ten apps.
+//!
+//! Deliberately a single `#[test]`: the global collector is process-wide
+//! state, and this file being its own integration binary keeps other
+//! tests from interleaving records into the snapshot.
+
+use wideleak::monitor::study::run_study;
+use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
+use wideleak::telemetry;
+use wideleak::telemetry::FieldValue;
+
+#[test]
+fn full_study_emits_cross_layer_telemetry() {
+    telemetry::enable();
+    let eco = Ecosystem::new(EcosystemConfig::fast_for_tests());
+    let report = run_study(&eco).expect("fast study runs");
+    let snapshot = telemetry::snapshot();
+
+    // --- Binder layer: per-transaction spans with a kind field. -------
+    let binder_spans: Vec<_> =
+        snapshot.spans.iter().filter(|s| s.name.starts_with("binder.transact")).collect();
+    assert!(!binder_spans.is_empty(), "no binder transaction spans");
+    assert!(
+        binder_spans.iter().all(|s| s.fields.iter().any(|(k, _)| *k == "kind")),
+        "every binder span carries its transaction kind"
+    );
+    let (_, binder_hist) = snapshot
+        .histograms
+        .iter()
+        .find(|(n, _)| n == "binder.transact.in_process")
+        .expect("binder latency histogram registered");
+    assert!(binder_hist.count > 0);
+    assert!(binder_hist.p50_ns <= binder_hist.p90_ns && binder_hist.p90_ns <= binder_hist.p99_ns);
+
+    // --- CDM layer: at least one provisioning round-trip. -------------
+    let round_trips = snapshot
+        .counters
+        .iter()
+        .find(|(n, _)| n == "cdm.provisioning.round_trips")
+        .map_or(0, |(_, v)| *v);
+    assert!(round_trips >= 1, "no provisioning round-trips recorded");
+
+    // --- OTT server layer: request counters per endpoint. -------------
+    for endpoint in ["provision", "license", "manifest"] {
+        let name = format!("ott.server.requests.{endpoint}");
+        let hits = snapshot.counters.iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v);
+        assert!(hits > 0, "no {name} requests recorded");
+    }
+
+    // --- Study layer: one study.app span per evaluated app. -----------
+    let app_spans: Vec<&str> = snapshot
+        .spans
+        .iter()
+        .filter(|s| s.name == "study.app")
+        .filter_map(|s| {
+            s.fields.iter().find_map(|(k, v)| match (k, v) {
+                (&"app", FieldValue::Str(slug)) => Some(slug.as_str()),
+                _ => None,
+            })
+        })
+        .collect();
+    assert_eq!(report.findings.len(), eco.profiles().len(), "study covered all apps");
+    for profile in eco.profiles() {
+        assert!(app_spans.contains(&profile.slug), "missing study.app span for {}", profile.slug);
+    }
+
+    // Per-question sub-spans exist and nest under a study.app span.
+    let q_span = snapshot
+        .spans
+        .iter()
+        .find(|s| s.name.starts_with("study.q"))
+        .expect("per-question spans recorded");
+    let parent = q_span.parent.expect("question spans have a parent");
+    let parent_span = snapshot.spans.iter().find(|s| s.id == parent).unwrap();
+    assert!(
+        parent_span.name == "study.app" || parent_span.name.starts_with("study.run"),
+        "question span nests under the study, got {}",
+        parent_span.name
+    );
+
+    // --- Export sanity: JSONL is non-empty, one object per line. ------
+    let jsonl = telemetry::to_jsonl(&snapshot);
+    assert!(jsonl.lines().count() > 100, "export suspiciously small");
+    let parsed = telemetry::export::parse_jsonl(&jsonl);
+    assert_eq!(parsed.skipped, 0, "every exported line parses");
+    assert_eq!(parsed.counters.len(), snapshot.counters.len());
+}
