@@ -3,13 +3,22 @@
 //!
 //! Calls are a typed enum ([`DrmCall`]) rather than raw parcels; what
 //! matters for the study is the *process boundary*, which
-//! [`ThreadedBinder`] makes real by running the server on its own thread
-//! connected through crossbeam channels (the simulator's
-//! `mediadrmserver`). [`InProcessBinder`] offers the same interface
-//! synchronously for cheap unit tests.
+//! [`ThreadedBinder`] makes real by running the server on a pool of
+//! worker threads fed by one crossbeam MPMC channel (the simulator's
+//! `mediadrmserver` thread pool). [`InProcessBinder`] offers the same
+//! interface synchronously for cheap unit tests.
+//!
+//! Both transports isolate panics per transaction: a handler that
+//! unwinds yields [`DrmError::ServerPanic`] for that one call and the
+//! server keeps serving — a poisoned call must not take the whole DRM
+//! stack down with it.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
 
 use wideleak_bmff::types::{KeyId, Subsample};
 use wideleak_cdm::oemcrypto::SampleCrypto;
+use wideleak_telemetry::CounterHandle;
 
 use crate::{server::MediaDrmServer, DrmError};
 
@@ -139,19 +148,70 @@ impl DrmCall {
             DrmCall::GenericVerify { .. } => "generic_verify",
         }
     }
+
+    /// Index into the per-kind counter table (one slot per variant).
+    fn kind_index(&self) -> usize {
+        match self {
+            DrmCall::IsSchemeSupported { .. } => 0,
+            DrmCall::OpenSession { .. } => 1,
+            DrmCall::CloseSession { .. } => 2,
+            DrmCall::IsProvisioned => 3,
+            DrmCall::GetProvisionRequest { .. } => 4,
+            DrmCall::ProvideProvisionResponse { .. } => 5,
+            DrmCall::GetKeyRequest { .. } => 6,
+            DrmCall::ProvideKeyResponse { .. } => 7,
+            DrmCall::DecryptSample { .. } => 8,
+            DrmCall::GenericEncrypt { .. } => 9,
+            DrmCall::GenericDecrypt { .. } => 10,
+            DrmCall::GenericSign { .. } => 11,
+            DrmCall::GenericVerify { .. } => 12,
+        }
+    }
 }
 
+/// Pre-registered counter handles for the transaction hot path: the
+/// name lookup (and the `format!` it used to require) happens once per
+/// process, after which every transaction is a relaxed atomic add.
+static TRANSACT_TOTAL: CounterHandle = CounterHandle::new("binder.transact");
+static TRANSACT_BY_KIND: [CounterHandle; 13] = [
+    CounterHandle::new("binder.transact.is_scheme_supported"),
+    CounterHandle::new("binder.transact.open_session"),
+    CounterHandle::new("binder.transact.close_session"),
+    CounterHandle::new("binder.transact.is_provisioned"),
+    CounterHandle::new("binder.transact.get_provision_request"),
+    CounterHandle::new("binder.transact.provide_provision_response"),
+    CounterHandle::new("binder.transact.get_key_request"),
+    CounterHandle::new("binder.transact.provide_key_response"),
+    CounterHandle::new("binder.transact.decrypt_sample"),
+    CounterHandle::new("binder.transact.generic_encrypt"),
+    CounterHandle::new("binder.transact.generic_decrypt"),
+    CounterHandle::new("binder.transact.generic_sign"),
+    CounterHandle::new("binder.transact.generic_verify"),
+];
+static SERVER_PANICS: CounterHandle = CounterHandle::new("binder.server_panics");
+
 /// Records the telemetry shared by both transports: per-kind request
-/// counters and an error-class counter on failure.
-fn record_transaction(kind: &'static str, reply: &Result<DrmReply, DrmError>) {
+/// counters and an error-class counter on failure. The success path
+/// allocates nothing; errors are rare enough to pay a name lookup.
+fn record_transaction(kind_index: usize, reply: &Result<DrmReply, DrmError>) {
     if !wideleak_telemetry::is_enabled() {
         return;
     }
-    wideleak_telemetry::incr("binder.transact");
-    wideleak_telemetry::incr(&format!("binder.transact.{kind}"));
+    TRANSACT_TOTAL.incr();
+    TRANSACT_BY_KIND[kind_index].incr();
     if let Err(e) = reply {
         wideleak_telemetry::incr(&format!("binder.error.{}", e.class()));
     }
+}
+
+/// Runs one transaction with panic isolation: an unwinding handler is
+/// contained to this call and reported as [`DrmError::ServerPanic`]
+/// instead of poisoning the transport.
+fn dispatch(server: &MediaDrmServer, call: DrmCall) -> Result<DrmReply, DrmError> {
+    std::panic::catch_unwind(AssertUnwindSafe(|| server.handle(call))).unwrap_or_else(|_| {
+        SERVER_PANICS.incr();
+        Err(DrmError::ServerPanic)
+    })
 }
 
 /// A successful transaction reply.
@@ -243,61 +303,99 @@ impl InProcessBinder {
 
 impl Binder for InProcessBinder {
     fn transact(&self, call: DrmCall) -> Result<DrmReply, DrmError> {
-        let kind = call.kind();
-        let _span = wideleak_telemetry::span!("binder.transact.in_process", kind = kind);
-        let reply = self.server.handle(call);
-        record_transaction(kind, &reply);
+        let kind_index = call.kind_index();
+        let _span = wideleak_telemetry::span!("binder.transact.in_process", kind = call.kind());
+        let reply = dispatch(&self.server, call);
+        record_transaction(kind_index, &reply);
         reply
     }
 }
 
 type Transaction = (DrmCall, crossbeam::channel::Sender<Result<DrmReply, DrmError>>);
 
-/// A transport that runs the server on a dedicated thread, crossing a real
-/// thread boundary per transaction — the `mediadrmserver` process model.
+/// A transport that runs the server on a pool of worker threads sharing
+/// one MPMC request channel, crossing a real thread boundary per
+/// transaction — the `mediadrmserver` process model. Transactions on
+/// distinct sessions execute in parallel across the workers; the session
+/// shards inside [`CdmCore`](wideleak_cdm::oemcrypto::CdmCore) make that
+/// safe.
 pub struct ThreadedBinder {
     tx: crossbeam::channel::Sender<Transaction>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    /// Kept solely to observe queue depth; workers own their own clones.
+    rx: crossbeam::channel::Receiver<Transaction>,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ThreadedBinder {
-    /// Spawns the server thread.
+    /// Spawns the server on a pool sized to the machine (one worker per
+    /// available core, minimum one).
     pub fn spawn(server: MediaDrmServer) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::spawn_pool(server, workers)
+    }
+
+    /// Spawns the server with an explicit worker count (clamped to ≥ 1).
+    pub fn spawn_pool(server: MediaDrmServer, workers: usize) -> Self {
         let (tx, rx) = crossbeam::channel::unbounded::<Transaction>();
-        let handle = std::thread::Builder::new()
-            .name("mediadrmserver".into())
-            .spawn(move || {
-                while let Ok((call, reply_tx)) = rx.recv() {
-                    // A dropped reply receiver just means the client gave up.
-                    let _ = reply_tx.send(server.handle(call));
-                }
+        let server = Arc::new(server);
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let server = Arc::clone(&server);
+                std::thread::Builder::new()
+                    .name(format!("mediadrmserver-{i}"))
+                    .spawn(move || {
+                        while let Ok((call, reply_tx)) = rx.recv() {
+                            // A dropped reply receiver just means the
+                            // client gave up.
+                            let _ = reply_tx.send(dispatch(&server, call));
+                        }
+                    })
+                    .expect("spawning a mediadrmserver worker")
             })
-            .expect("spawning the mediadrmserver thread");
-        ThreadedBinder { tx, handle: Some(handle) }
+            .collect();
+        ThreadedBinder { tx, rx, handles }
+    }
+
+    /// How many worker threads serve this binder.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Transactions queued but not yet claimed by a worker.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.rx.len()
     }
 }
 
 impl Binder for ThreadedBinder {
     fn transact(&self, call: DrmCall) -> Result<DrmReply, DrmError> {
-        let kind = call.kind();
-        let _span = wideleak_telemetry::span!("binder.transact.threaded", kind = kind);
+        let kind_index = call.kind_index();
+        let _span = wideleak_telemetry::span!("binder.transact.threaded", kind = call.kind());
         let reply = (|| {
             let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
             self.tx.send((call, reply_tx)).map_err(|_| DrmError::BinderDied)?;
+            if wideleak_telemetry::is_enabled() {
+                let depth = self.rx.len() as u64;
+                wideleak_telemetry::set_gauge("binder.queue.depth", depth);
+                wideleak_telemetry::max_gauge("binder.queue.depth.max", depth);
+            }
             reply_rx.recv().map_err(|_| DrmError::BinderDied)?
         })();
-        record_transaction(kind, &reply);
+        record_transaction(kind_index, &reply);
         reply
     }
 }
 
 impl Drop for ThreadedBinder {
     fn drop(&mut self) {
-        // Closing the channel stops the server loop; join must not fail
+        // Closing the channel stops the worker loops; join must not fail
         // the drop (C-DTOR-FAIL).
         let (tx, _) = crossbeam::channel::unbounded::<Transaction>();
         drop(std::mem::replace(&mut self.tx, tx));
-        if let Some(handle) = self.handle.take() {
+        for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
     }
@@ -380,5 +478,179 @@ mod tests {
         let binder = ThreadedBinder::spawn(server());
         drop(binder);
         // Nothing to assert beyond "no hang / no panic".
+    }
+
+    #[test]
+    fn pool_size_is_configurable() {
+        let binder = ThreadedBinder::spawn_pool(server(), 4);
+        assert_eq!(binder.worker_count(), 4);
+        exercise(&binder);
+        // Zero workers is clamped to one so the binder still serves.
+        let binder = ThreadedBinder::spawn_pool(server(), 0);
+        assert_eq!(binder.worker_count(), 1);
+        exercise(&binder);
+    }
+
+    #[test]
+    fn default_pool_matches_available_parallelism() {
+        let binder = ThreadedBinder::spawn(server());
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(binder.worker_count(), cores);
+    }
+
+    /// An OEMCrypto backend with an internal bug: every session operation
+    /// panics. Used to prove panic isolation in the transports.
+    struct PanickingBackend;
+
+    impl wideleak_cdm::oemcrypto::OemCrypto for PanickingBackend {
+        fn security_level(&self) -> wideleak_device::catalog::SecurityLevel {
+            wideleak_device::catalog::SecurityLevel::L3
+        }
+        fn cdm_version(&self) -> wideleak_device::catalog::CdmVersion {
+            wideleak_device::catalog::CdmVersion::new(16, 0, 0)
+        }
+        fn advance_clock(&self, _: u64) -> Result<(), wideleak_cdm::CdmError> {
+            Ok(())
+        }
+        fn install_keybox(&self, _: Keybox) -> Result<(), wideleak_cdm::CdmError> {
+            Ok(())
+        }
+        fn device_id(&self) -> Result<Vec<u8>, wideleak_cdm::CdmError> {
+            panic!("backend bug")
+        }
+        fn is_provisioned(&self) -> bool {
+            false
+        }
+        fn provisioning_request(
+            &self,
+            _: [u8; 16],
+        ) -> Result<wideleak_cdm::messages::ProvisioningRequest, wideleak_cdm::CdmError> {
+            panic!("backend bug")
+        }
+        fn install_rsa_key(
+            &self,
+            _: [u8; 16],
+            _: &wideleak_cdm::messages::ProvisioningResponse,
+        ) -> Result<(), wideleak_cdm::CdmError> {
+            panic!("backend bug")
+        }
+        fn open_session(&self, _: [u8; 16]) -> Result<u32, wideleak_cdm::CdmError> {
+            panic!("backend bug")
+        }
+        fn close_session(&self, _: u32) -> Result<(), wideleak_cdm::CdmError> {
+            panic!("backend bug")
+        }
+        fn license_request(
+            &self,
+            _: u32,
+            _: &str,
+            _: &[KeyId],
+        ) -> Result<wideleak_cdm::messages::LicenseRequest, wideleak_cdm::CdmError> {
+            panic!("backend bug")
+        }
+        fn load_license(
+            &self,
+            _: u32,
+            _: &wideleak_cdm::messages::LicenseResponse,
+        ) -> Result<Vec<KeyId>, wideleak_cdm::CdmError> {
+            panic!("backend bug")
+        }
+        fn decrypt_sample(
+            &self,
+            _: u32,
+            _: &KeyId,
+            _: &SampleCrypto,
+            _: &[u8],
+            _: &[Subsample],
+        ) -> Result<Vec<u8>, wideleak_cdm::CdmError> {
+            panic!("backend bug")
+        }
+        fn generic_encrypt(
+            &self,
+            _: u32,
+            _: &KeyId,
+            _: [u8; 16],
+            _: &[u8],
+        ) -> Result<Vec<u8>, wideleak_cdm::CdmError> {
+            panic!("backend bug")
+        }
+        fn generic_decrypt(
+            &self,
+            _: u32,
+            _: &KeyId,
+            _: [u8; 16],
+            _: &[u8],
+        ) -> Result<Vec<u8>, wideleak_cdm::CdmError> {
+            panic!("backend bug")
+        }
+        fn generic_sign(
+            &self,
+            _: u32,
+            _: &KeyId,
+            _: &[u8],
+        ) -> Result<Vec<u8>, wideleak_cdm::CdmError> {
+            panic!("backend bug")
+        }
+        fn generic_verify(
+            &self,
+            _: u32,
+            _: &KeyId,
+            _: &[u8],
+            _: &[u8],
+        ) -> Result<(), wideleak_cdm::CdmError> {
+            panic!("backend bug")
+        }
+    }
+
+    fn panicking_server() -> MediaDrmServer {
+        let cdm = Cdm::with_backend(Arc::new(PanickingBackend));
+        let mut s = MediaDrmServer::new();
+        s.register_plugin(WIDEVINE_SYSTEM_ID, Arc::new(cdm));
+        s
+    }
+
+    /// Regression: a panic inside `MediaDrmServer::handle` used to kill
+    /// the server thread for good — every later transact returned
+    /// `BinderDied`. Now each panic is contained to its transaction.
+    #[test]
+    fn panic_in_handler_does_not_kill_the_pool() {
+        for binder in [
+            Box::new(InProcessBinder::new(panicking_server())) as Box<dyn Binder>,
+            Box::new(ThreadedBinder::spawn_pool(panicking_server(), 2)),
+        ] {
+            for _ in 0..4 {
+                assert_eq!(
+                    binder.transact(DrmCall::OpenSession { nonce: [1; 16] }),
+                    Err(DrmError::ServerPanic),
+                    "panic maps to ServerPanic, not BinderDied"
+                );
+            }
+            // Non-panicking calls still work afterwards.
+            assert!(binder
+                .transact(DrmCall::IsSchemeSupported { uuid: WIDEVINE_SYSTEM_ID })
+                .unwrap()
+                .into_bool()
+                .unwrap());
+        }
+    }
+
+    #[test]
+    fn queue_depth_gauge_is_exported() {
+        wideleak_telemetry::enable();
+        let binder = ThreadedBinder::spawn_pool(server(), 2);
+        for i in 0..4u8 {
+            let sid = binder
+                .transact(DrmCall::OpenSession { nonce: [i; 16] })
+                .unwrap()
+                .into_session_id()
+                .unwrap();
+            binder.transact(DrmCall::CloseSession { session_id: sid }).unwrap();
+        }
+        let snapshot = wideleak_telemetry::snapshot();
+        assert!(
+            snapshot.gauges.iter().any(|(name, _)| name == "binder.queue.depth"),
+            "gauges: {:?}",
+            snapshot.gauges
+        );
     }
 }

@@ -49,6 +49,9 @@ pub enum DrmError {
     Cdm(wideleak_cdm::CdmError),
     /// The Binder transport failed (server thread gone).
     BinderDied,
+    /// The server panicked while handling this transaction. The panic is
+    /// contained to the one call; the server keeps serving.
+    ServerPanic,
     /// The reply had an unexpected shape (framework bug guard).
     BadReply,
 }
@@ -61,6 +64,7 @@ impl DrmError {
             DrmError::UnsupportedScheme { .. } => "unsupported_scheme",
             DrmError::Cdm(_) => "cdm",
             DrmError::BinderDied => "binder_died",
+            DrmError::ServerPanic => "server_panic",
             DrmError::BadReply => "bad_reply",
         }
     }
@@ -74,6 +78,7 @@ impl fmt::Display for DrmError {
             }
             DrmError::Cdm(e) => write!(f, "CDM error: {e}"),
             DrmError::BinderDied => f.write_str("binder transaction failed: server died"),
+            DrmError::ServerPanic => f.write_str("media drm server panicked handling the call"),
             DrmError::BadReply => f.write_str("unexpected reply shape from media drm server"),
         }
     }

@@ -127,12 +127,18 @@ impl MediaDrmServer {
                 Ok(DrmReply::Bytes(out))
             }
             DrmCall::GenericVerify { session_id, kid, data, signature } => {
-                let ok = self
+                // `Bool(false)` means exactly "signature mismatch"; a
+                // closed session, unsupported scheme or missing key is a
+                // transport-visible error, not a failed verification.
+                match self
                     .active_cdm()?
                     .oemcrypto()
                     .generic_verify(session_id, &kid, &data, &signature)
-                    .is_ok();
-                Ok(DrmReply::Bool(ok))
+                {
+                    Ok(()) => Ok(DrmReply::Bool(true)),
+                    Err(wideleak_cdm::CdmError::BadSignature) => Ok(DrmReply::Bool(false)),
+                    Err(other) => Err(other.into()),
+                }
             }
         }
     }
@@ -196,6 +202,24 @@ mod tests {
             .into_bytes()
             .unwrap();
         assert!(!req.is_empty());
+    }
+
+    #[test]
+    fn generic_verify_on_closed_session_errors_not_false() {
+        let s = boot_server();
+        let id =
+            s.handle(DrmCall::OpenSession { nonce: [5; 16] }).unwrap().into_session_id().unwrap();
+        s.handle(DrmCall::CloseSession { session_id: id }).unwrap();
+        let reply = s.handle(DrmCall::GenericVerify {
+            session_id: id,
+            kid: wideleak_bmff::types::KeyId([6; 16]),
+            data: b"payload".to_vec(),
+            signature: b"whatever".to_vec(),
+        });
+        assert!(
+            matches!(reply, Err(DrmError::Cdm(_))),
+            "closed session must surface an error, got {reply:?}"
+        );
     }
 
     #[test]

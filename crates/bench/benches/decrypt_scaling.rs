@@ -1,0 +1,184 @@
+//! P5 — Multi-client `DecryptSample` throughput through the pooled
+//! binder: 1/2/4/8 client threads, each decrypting on its **own** CDM
+//! session, against one `ThreadedBinder` worker pool.
+//!
+//! This is the tentpole measurement for the concurrent DRM stack: the
+//! sharded session table in `CdmCore` lets transactions on distinct
+//! sessions execute in parallel across binder workers, so aggregate
+//! throughput should rise with client count until the machine runs out
+//! of cores (and even on one core, keeping the MPMC queue full amortises
+//! the two scheduler wake-ups a lone client pays per transaction).
+//!
+//! ```text
+//! cargo bench -p wideleak-bench --bench decrypt_scaling [-- --quick]
+//! ```
+//!
+//! `--quick` (or `WIDELEAK_BENCH_QUICK=1`) shrinks the iteration count
+//! so CI can exercise the parallel path on every PR in a few seconds.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use wideleak::android_drm::binder::{Binder, DrmCall, ThreadedBinder};
+use wideleak::android_drm::server::MediaDrmServer;
+use wideleak::bmff::types::{KeyId, WIDEVINE_SYSTEM_ID};
+use wideleak::cdm::cdm::Cdm;
+use wideleak::cdm::oemcrypto::{L3OemCrypto, OemCrypto, SampleCrypto};
+use wideleak::cdm::wire::TlvWriter;
+use wideleak::device::catalog::CdmVersion;
+use wideleak::device::hooks::HookEngine;
+use wideleak::device::memory::ProcessMemory;
+use wideleak::device::net::RemoteEndpoint;
+use wideleak::ott::ecosystem::Ecosystem;
+use wideleak_bench::bench_ecosystem;
+
+/// One encrypted audio-sized sample per transaction: small enough that
+/// the binder round-trip is a visible fraction of the cost, the regime
+/// the worker pool is for.
+const SAMPLE_BYTES: usize = 4 * 1024;
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Workers match the largest client count so the pool is never the
+/// bottleneck being measured.
+const WORKERS: usize = 8;
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var_os("WIDELEAK_BENCH_QUICK").is_some()
+}
+
+/// Boots an L3 CDM behind a Media DRM server on a worker pool.
+fn boot_binder(eco: &Ecosystem) -> ThreadedBinder {
+    let backend = L3OemCrypto::new(
+        CdmVersion::new(16, 0, 0),
+        Arc::new(HookEngine::new()),
+        Arc::new(ProcessMemory::new("mediaserver")),
+    );
+    backend.install_keybox(eco.trust().issue_keybox("bench-decrypt-scaling")).unwrap();
+    let mut server = MediaDrmServer::new();
+    server.register_plugin(WIDEVINE_SYSTEM_ID, Arc::new(Cdm::with_backend(Arc::new(backend))));
+    ThreadedBinder::spawn_pool(server, WORKERS)
+}
+
+/// Provisions the device through the binder, like first app launch does.
+fn provision(binder: &dyn Binder, eco: &Ecosystem) {
+    let req = binder
+        .transact(DrmCall::GetProvisionRequest { nonce: [7; 16] })
+        .unwrap()
+        .into_bytes()
+        .unwrap();
+    let response = eco.backend().handle("provision/ocs", &req).unwrap();
+    binder.transact(DrmCall::ProvideProvisionResponse { nonce: [7; 16], response }).unwrap();
+}
+
+/// Opens and licenses one session; returns it with a decryptable kid.
+fn license_session(binder: &dyn Binder, eco: &Ecosystem, token: &str, tag: u8) -> (u32, KeyId) {
+    let sid = binder
+        .transact(DrmCall::OpenSession { nonce: [tag; 16] })
+        .unwrap()
+        .into_session_id()
+        .unwrap();
+    let req = binder
+        .transact(DrmCall::GetKeyRequest {
+            session_id: sid,
+            content_id: "title-001".to_owned(),
+            key_ids: vec![],
+        })
+        .unwrap()
+        .into_bytes()
+        .unwrap();
+    let mut w = TlvWriter::new();
+    w.string(1, token).bytes(2, &req);
+    let response = eco.backend().handle("license/ocs/title-001", &w.finish()).unwrap();
+    let kids = binder
+        .transact(DrmCall::ProvideKeyResponse { session_id: sid, response })
+        .unwrap()
+        .into_key_ids()
+        .unwrap();
+    (sid, kids[0])
+}
+
+/// Runs `iters` decrypts per client, all clients in parallel, and
+/// returns the elapsed wall time.
+fn run_clients(
+    binder: &Arc<ThreadedBinder>,
+    sessions: &[(u32, KeyId)],
+    iters: usize,
+) -> std::time::Duration {
+    let start = Instant::now();
+    let clients: Vec<_> = sessions
+        .iter()
+        .map(|&(sid, kid)| {
+            let binder = Arc::clone(binder);
+            std::thread::spawn(move || {
+                for i in 0..iters {
+                    let out = binder
+                        .transact(DrmCall::DecryptSample {
+                            session_id: sid,
+                            kid,
+                            crypto: SampleCrypto::Cenc { iv: [1; 8] },
+                            data: vec![i as u8; SAMPLE_BYTES],
+                            subsamples: vec![],
+                        })
+                        .unwrap()
+                        .into_bytes()
+                        .unwrap();
+                    assert_eq!(out.len(), SAMPLE_BYTES);
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+    start.elapsed()
+}
+
+fn main() {
+    let iters = if quick_mode() { 16 } else { 400 };
+    wideleak::telemetry::enable();
+
+    let eco = bench_ecosystem();
+    let binder = Arc::new(boot_binder(&eco));
+    provision(binder.as_ref(), &eco);
+    let token = eco.accounts().subscribe("ocs", "bench-user");
+
+    println!(
+        "decrypt_scaling: {SAMPLE_BYTES}-byte cenc samples, {WORKERS}-worker pool, \
+         {iters} decrypts/client ({} cores)",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>9}",
+        "clients", "elapsed", "decrypts/s", "MiB/s", "speedup"
+    );
+
+    let mut baseline_rate = 0.0f64;
+    for (row, &n) in CLIENT_COUNTS.iter().enumerate() {
+        let sessions: Vec<(u32, KeyId)> = (0..n)
+            .map(|i| license_session(binder.as_ref(), &eco, &token, (row * 16 + i) as u8 + 1))
+            .collect();
+        // Warm-up: fault in threads and the per-kind counter handles.
+        run_clients(&binder, &sessions, 2);
+        let elapsed = run_clients(&binder, &sessions, iters);
+        let total = (n * iters) as f64;
+        let rate = total / elapsed.as_secs_f64();
+        if row == 0 {
+            baseline_rate = rate;
+        }
+        println!(
+            "{:>8} {:>9.3}s {:>12.0} {:>12.2} {:>8.2}x",
+            n,
+            elapsed.as_secs_f64(),
+            rate,
+            rate * SAMPLE_BYTES as f64 / (1024.0 * 1024.0),
+            rate / baseline_rate,
+        );
+        for (sid, _) in sessions {
+            binder.transact(DrmCall::CloseSession { session_id: sid }).unwrap();
+        }
+    }
+
+    let snapshot = wideleak::telemetry::snapshot();
+    if let Some((_, depth)) = snapshot.gauges.iter().find(|(n, _)| n == "binder.queue.depth.max") {
+        println!("binder.queue.depth.max = {depth}");
+    }
+}

@@ -69,6 +69,12 @@ impl Cdm {
         Ok(Cdm { backend, secure_world })
     }
 
+    /// Wraps an already-built backend. Tests use this to inject faulty or
+    /// instrumented backends behind the normal HAL surface.
+    pub fn with_backend(backend: Arc<dyn OemCrypto + Sync>) -> Self {
+        Cdm { backend, secure_world: None }
+    }
+
     /// The active OEMCrypto backend.
     pub fn oemcrypto(&self) -> &Arc<dyn OemCrypto + Sync> {
         &self.backend

@@ -72,6 +72,15 @@ pub enum CdmError {
         /// The session id requested.
         session_id: u32,
     },
+    /// The concurrent-session cap was reached (real OEMCrypto enforces
+    /// one; opens are rejected until a session closes).
+    SessionLimit {
+        /// The configured maximum number of open sessions.
+        max: u32,
+    },
+    /// The 32-bit session-id space is exhausted; ids must never wrap
+    /// into live sessions.
+    SessionIdsExhausted,
     /// No key loaded for the requested key ID.
     KeyNotLoaded,
     /// The key's license duration has lapsed (renewal required).
@@ -95,6 +104,8 @@ impl CdmError {
             CdmError::Crypto(_) => "crypto",
             CdmError::Tee(_) => "tee",
             CdmError::NoSuchSession { .. } => "no_such_session",
+            CdmError::SessionLimit { .. } => "session_limit",
+            CdmError::SessionIdsExhausted => "session_ids_exhausted",
             CdmError::KeyNotLoaded => "key_not_loaded",
             CdmError::KeyExpired => "key_expired",
             CdmError::Rejected { .. } => "rejected",
@@ -112,6 +123,10 @@ impl fmt::Display for CdmError {
             CdmError::Crypto(e) => write!(f, "crypto error: {e}"),
             CdmError::Tee(e) => write!(f, "TEE error: {e}"),
             CdmError::NoSuchSession { session_id } => write!(f, "no session {session_id}"),
+            CdmError::SessionLimit { max } => {
+                write!(f, "session limit reached ({max} open sessions)")
+            }
+            CdmError::SessionIdsExhausted => f.write_str("session id space exhausted"),
             CdmError::KeyNotLoaded => f.write_str("content key not loaded"),
             CdmError::KeyExpired => f.write_str("content key license expired"),
             CdmError::Rejected { reason } => write!(f, "request rejected: {reason}"),

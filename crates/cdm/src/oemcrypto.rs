@@ -17,7 +17,11 @@
 //!   and process memory never contains key material.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use wideleak_telemetry::CounterHandle;
 
 use wideleak_bmff::types::{KeyId, Subsample};
 use wideleak_crypto::aes::Aes128;
@@ -62,28 +66,61 @@ pub enum SampleCrypto {
     },
 }
 
-/// The pure CDM state machine shared by both security levels.
-pub struct CdmCore {
-    cdm_version: CdmVersion,
-    security_level: SecurityLevel,
+/// Number of session-table shards. Session `id` lives in shard
+/// `id % SESSION_SHARDS`, so operations on distinct sessions rarely
+/// contend while operations on one session serialize.
+pub const SESSION_SHARDS: usize = 16;
+
+/// Default cap on concurrently open sessions (real OEMCrypto enforces a
+/// per-device limit; ours is configurable via
+/// [`CdmCore::with_max_sessions`]).
+pub const DEFAULT_MAX_SESSIONS: u32 = 1024;
+
+/// Counts session opens rejected by the cap or id exhaustion.
+static SESSION_REJECTS: CounterHandle = CounterHandle::new("cdm.session.rejected");
+
+/// Device-global state: the root of trust, the provisioned RSA key and
+/// the logical clock. Mutated rarely (boot, provisioning, clock ticks);
+/// read on every session operation — hence one `RwLock` for all of it.
+struct DeviceState {
     keybox: Option<Keybox>,
     rsa_key: Option<RsaPrivateKey>,
-    sessions: HashMap<u32, Session>,
-    next_session: u32,
     /// Logical clock in seconds, driving license-duration enforcement.
     clock: u64,
 }
 
+/// The pure CDM state machine shared by both security levels.
+///
+/// Internally split for concurrency: device-global state (keybox, RSA
+/// key, clock) sits behind one `RwLock`, while sessions live in a fixed
+/// array of mutex-guarded shards selected by session id. Decrypts on
+/// distinct sessions proceed in parallel; provisioning and license
+/// install still serialize on the locks they need.
+///
+/// Lock ordering: a device lock and a shard lock are never held at the
+/// same time — device state is copied out (keys are small) before the
+/// shard is locked, which makes lock-order inversions impossible.
+pub struct CdmCore {
+    cdm_version: CdmVersion,
+    security_level: SecurityLevel,
+    device: RwLock<DeviceState>,
+    shards: [Mutex<HashMap<u32, Session>>; SESSION_SHARDS],
+    next_session: AtomicU32,
+    open_sessions: AtomicU32,
+    max_sessions: u32,
+}
+
 impl std::fmt::Debug for CdmCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let device = self.device.read();
         write!(
             f,
             "CdmCore(v{}, {}, keybox: {}, provisioned: {}, sessions: {})",
             self.cdm_version,
             self.security_level,
-            self.keybox.is_some(),
-            self.rsa_key.is_some(),
-            self.sessions.len()
+            device.keybox.is_some(),
+            device.rsa_key.is_some(),
+            self.open_sessions.load(Ordering::Relaxed)
         )
     }
 }
@@ -91,35 +128,58 @@ impl std::fmt::Debug for CdmCore {
 impl CdmCore {
     /// Creates a core for a device of the given version and level.
     pub fn new(cdm_version: CdmVersion, security_level: SecurityLevel) -> Self {
+        Self::with_max_sessions(cdm_version, security_level, DEFAULT_MAX_SESSIONS)
+    }
+
+    /// Creates a core enforcing a custom concurrent-session cap.
+    pub fn with_max_sessions(
+        cdm_version: CdmVersion,
+        security_level: SecurityLevel,
+        max_sessions: u32,
+    ) -> Self {
         CdmCore {
             cdm_version,
             security_level,
-            keybox: None,
-            rsa_key: None,
-            sessions: HashMap::new(),
-            next_session: 1,
-            clock: 0,
+            device: RwLock::new(DeviceState { keybox: None, rsa_key: None, clock: 0 }),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            next_session: AtomicU32::new(1),
+            open_sessions: AtomicU32::new(0),
+            max_sessions,
         }
+    }
+
+    fn shard(&self, session_id: u32) -> &Mutex<HashMap<u32, Session>> {
+        &self.shards[session_id as usize % SESSION_SHARDS]
+    }
+
+    /// The CDM version this core was built for.
+    pub fn cdm_version(&self) -> CdmVersion {
+        self.cdm_version
     }
 
     /// Advances the CDM's logical clock (license durations count against
     /// it).
-    pub fn advance_clock(&mut self, seconds: u64) {
-        self.clock = self.clock.saturating_add(seconds);
+    pub fn advance_clock(&self, seconds: u64) {
+        let mut device = self.device.write();
+        device.clock = device.clock.saturating_add(seconds);
     }
 
     /// The current logical time.
     pub fn now(&self) -> u64 {
-        self.clock
+        self.device.read().clock
     }
 
     /// Installs the factory keybox.
-    pub fn install_keybox(&mut self, keybox: Keybox) {
-        self.keybox = Some(keybox);
+    pub fn install_keybox(&self, keybox: Keybox) {
+        self.device.write().keybox = Some(keybox);
     }
 
-    fn keybox(&self) -> Result<&Keybox, CdmError> {
-        self.keybox.as_ref().ok_or(CdmError::BadKeybox { reason: "no keybox installed" })
+    fn keybox(&self) -> Result<Keybox, CdmError> {
+        self.device
+            .read()
+            .keybox
+            .clone()
+            .ok_or(CdmError::BadKeybox { reason: "no keybox installed" })
     }
 
     /// The keybox device id.
@@ -133,7 +193,19 @@ impl CdmCore {
 
     /// Whether a Device RSA Key is installed.
     pub fn is_provisioned(&self) -> bool {
-        self.rsa_key.is_some()
+        self.device.read().rsa_key.is_some()
+    }
+
+    /// A copy of the Device RSA Key, if provisioned (the L1 trustlet
+    /// persists it to secure storage).
+    pub fn rsa_key(&self) -> Option<RsaPrivateKey> {
+        self.device.read().rsa_key.clone()
+    }
+
+    /// Installs a Device RSA Key directly (the L1 trustlet restores a
+    /// persisted key after a restart through this).
+    pub fn set_rsa_key(&self, key: RsaPrivateKey) {
+        self.device.write().rsa_key = Some(key);
     }
 
     /// Builds a signed provisioning request.
@@ -164,14 +236,16 @@ impl CdmCore {
     /// Propagates verification and decode failures from
     /// [`unwrap_rsa_key`].
     pub fn install_rsa_key(
-        &mut self,
+        &self,
         expected_nonce: [u8; 16],
         response: &crate::messages::ProvisioningResponse,
     ) -> Result<(), CdmError> {
         let _span = wideleak_telemetry::span!("cdm.install_rsa_key");
-        let kb = self.keybox()?.clone();
+        let kb = self.keybox()?;
+        // Unwrap outside the write lock: the RSA decrypt is the expensive
+        // part and needs no device state beyond the keybox copy.
         let key = unwrap_rsa_key(kb.device_key(), kb.device_id(), Some(expected_nonce), response)?;
-        self.rsa_key = Some(key);
+        self.device.write().rsa_key = Some(key);
         // Installing the unwrapped key completes one provisioning
         // round-trip (request + response).
         wideleak_telemetry::incr("cdm.provisioning.round_trips");
@@ -179,11 +253,37 @@ impl CdmCore {
     }
 
     /// Opens a session with the given nonce, returning its id.
-    pub fn open_session(&mut self, nonce: [u8; 16]) -> u32 {
-        let id = self.next_session;
-        self.next_session += 1;
-        self.sessions.insert(id, Session::new(nonce));
-        id
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdmError::SessionLimit`] at the concurrent-session cap
+    /// and [`CdmError::SessionIdsExhausted`] once the 32-bit id space is
+    /// spent (ids are never reused, so a wrap would collide with live
+    /// sessions).
+    pub fn open_session(&self, nonce: [u8; 16]) -> Result<u32, CdmError> {
+        if self
+            .open_sessions
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.max_sessions).then_some(n + 1)
+            })
+            .is_err()
+        {
+            SESSION_REJECTS.incr();
+            return Err(CdmError::SessionLimit { max: self.max_sessions });
+        }
+        let id = match self
+            .next_session
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_add(1))
+        {
+            Ok(id) => id,
+            Err(_) => {
+                self.open_sessions.fetch_sub(1, Ordering::AcqRel);
+                SESSION_REJECTS.incr();
+                return Err(CdmError::SessionIdsExhausted);
+            }
+        };
+        self.shard(id).lock().insert(id, Session::new(nonce));
+        Ok(id)
     }
 
     /// Closes a session, dropping its keys.
@@ -191,16 +291,29 @@ impl CdmCore {
     /// # Errors
     ///
     /// Returns [`CdmError::NoSuchSession`].
-    pub fn close_session(&mut self, session_id: u32) -> Result<(), CdmError> {
-        self.sessions.remove(&session_id).map(|_| ()).ok_or(CdmError::NoSuchSession { session_id })
+    pub fn close_session(&self, session_id: u32) -> Result<(), CdmError> {
+        let removed = self.shard(session_id).lock().remove(&session_id);
+        match removed {
+            Some(_) => {
+                self.open_sessions.fetch_sub(1, Ordering::AcqRel);
+                Ok(())
+            }
+            None => Err(CdmError::NoSuchSession { session_id }),
+        }
     }
 
-    fn session(&self, session_id: u32) -> Result<&Session, CdmError> {
-        self.sessions.get(&session_id).ok_or(CdmError::NoSuchSession { session_id })
+    /// How many sessions are currently open.
+    pub fn open_session_count(&self) -> u32 {
+        self.open_sessions.load(Ordering::Acquire)
     }
 
-    fn session_mut(&mut self, session_id: u32) -> Result<&mut Session, CdmError> {
-        self.sessions.get_mut(&session_id).ok_or(CdmError::NoSuchSession { session_id })
+    /// Copies a session's content key out under the shard lock so the
+    /// actual cipher work can run without holding any lock.
+    fn content_key(&self, session_id: u32, kid: &KeyId) -> Result<[u8; 16], CdmError> {
+        let now = self.now();
+        let shard = self.shard(session_id).lock();
+        let session = shard.get(&session_id).ok_or(CdmError::NoSuchSession { session_id })?;
+        Ok(session.content_key_at(kid, now)?.key)
     }
 
     /// Builds an RSA-signed license request for a session.
@@ -216,14 +329,19 @@ impl CdmCore {
         key_ids: &[KeyId],
     ) -> Result<LicenseRequest, CdmError> {
         let _span = wideleak_telemetry::span!("cdm.license_request", session = session_id);
-        let session = self.session(session_id)?;
-        let rsa = self.rsa_key.as_ref().ok_or(CdmError::NotProvisioned)?;
-        let kb = self.keybox()?;
+        let nonce = {
+            let shard = self.shard(session_id).lock();
+            shard.get(&session_id).ok_or(CdmError::NoSuchSession { session_id })?.nonce
+        };
+        let device = self.device.read();
+        let rsa = device.rsa_key.as_ref().ok_or(CdmError::NotProvisioned)?;
+        let kb =
+            device.keybox.as_ref().ok_or(CdmError::BadKeybox { reason: "no keybox installed" })?;
         let mut req = LicenseRequest {
             device_id: kb.device_id().to_vec(),
             content_id: content_id.to_owned(),
             key_ids: key_ids.to_vec(),
-            nonce: session.nonce,
+            nonce,
             cdm_version: self.cdm_version,
             security_level: self.security_level,
             rsa_signature: Vec::new(),
@@ -238,21 +356,30 @@ impl CdmCore {
     ///
     /// Propagates session and verification failures.
     pub fn load_license(
-        &mut self,
+        &self,
         session_id: u32,
         response: &LicenseResponse,
     ) -> Result<Vec<KeyId>, CdmError> {
         let _span = wideleak_telemetry::span!("cdm.load_license", session = session_id);
-        let rsa = self.rsa_key.clone().ok_or(CdmError::NotProvisioned)?;
-        let level = self.security_level;
-        let now = self.clock;
-        let keys = self.session_mut(session_id)?.load_license(&rsa, level, now, response)?;
+        let (rsa, now) = {
+            let device = self.device.read();
+            (device.rsa_key.clone().ok_or(CdmError::NotProvisioned)?, device.clock)
+        };
+        let keys = {
+            let mut shard = self.shard(session_id).lock();
+            let session =
+                shard.get_mut(&session_id).ok_or(CdmError::NoSuchSession { session_id })?;
+            session.load_license(&rsa, self.security_level, now, response)?
+        };
         wideleak_telemetry::incr("cdm.license.loads");
         wideleak_telemetry::add("cdm.license.keys_loaded", keys.len() as u64);
         Ok(keys)
     }
 
     /// Decrypts one CENC sample with a loaded content key.
+    ///
+    /// The cipher work runs after the content key is copied out of the
+    /// session shard, so decrypts on distinct sessions parallelize.
     ///
     /// # Errors
     ///
@@ -265,7 +392,7 @@ impl CdmCore {
         data: &[u8],
         subsamples: &[Subsample],
     ) -> Result<Vec<u8>, CdmError> {
-        let key = self.session(session_id)?.content_key_at(kid, self.clock)?.key;
+        let key = self.content_key(session_id, kid)?;
         let out = decrypt_sample_with_key(&key, crypto, data, subsamples);
         if out.is_ok() && wideleak_telemetry::is_enabled() {
             // Per-session throughput: decrypted sample and byte counts.
@@ -292,7 +419,7 @@ impl CdmCore {
         iv: [u8; 16],
         data: &[u8],
     ) -> Result<Vec<u8>, CdmError> {
-        let key = self.session(session_id)?.content_key_at(kid, self.clock)?.key;
+        let key = self.content_key(session_id, kid)?;
         Ok(cbc_encrypt_padded(&Aes128::new(&key), &iv, data))
     }
 
@@ -308,7 +435,7 @@ impl CdmCore {
         iv: [u8; 16],
         data: &[u8],
     ) -> Result<Vec<u8>, CdmError> {
-        let key = self.session(session_id)?.content_key_at(kid, self.clock)?.key;
+        let key = self.content_key(session_id, kid)?;
         Ok(cbc_decrypt_padded(&Aes128::new(&key), &iv, data)?)
     }
 
@@ -323,7 +450,7 @@ impl CdmCore {
         kid: &KeyId,
         data: &[u8],
     ) -> Result<Vec<u8>, CdmError> {
-        let key = self.session(session_id)?.content_key_at(kid, self.clock)?.key;
+        let key = self.content_key(session_id, kid)?;
         let mac_key = derive_key_256(&key, crate::ladder::labels::AUTHENTICATION, b"generic");
         Ok(Hmac::<Sha256>::mac(&mac_key, data))
     }
@@ -466,8 +593,11 @@ pub trait OemCrypto: Send {
 }
 
 /// The software-only Widevine backend (`libwvdrmengine.so`).
+///
+/// No lock of its own: [`CdmCore`] is internally synchronized, so
+/// concurrent binder workers call straight through.
 pub struct L3OemCrypto {
-    core: parking_lot::Mutex<CdmCore>,
+    core: CdmCore,
     hooks: Arc<HookEngine>,
     memory: Arc<ProcessMemory>,
     data_region: usize,
@@ -489,7 +619,7 @@ impl L3OemCrypto {
     ) -> Self {
         let data_region = memory.map_region(format!("{L3_LIBRARY}:.data"), Vec::new());
         L3OemCrypto {
-            core: parking_lot::Mutex::new(CdmCore::new(cdm_version, SecurityLevel::L3)),
+            core: CdmCore::new(cdm_version, SecurityLevel::L3),
             hooks,
             memory,
             data_region,
@@ -508,7 +638,7 @@ impl L3OemCrypto {
     /// Whether this CDM version zeroizes the keybox after ladder
     /// initialization (the CVE-2021-0639 fix).
     pub fn is_keybox_storage_patched(&self) -> bool {
-        self.core.lock().cdm_version >= KEYBOX_FIX_VERSION
+        self.core.cdm_version() >= KEYBOX_FIX_VERSION
     }
 }
 
@@ -518,11 +648,11 @@ impl OemCrypto for L3OemCrypto {
     }
 
     fn cdm_version(&self) -> CdmVersion {
-        self.core.lock().cdm_version
+        self.core.cdm_version()
     }
 
     fn advance_clock(&self, seconds: u64) -> Result<(), CdmError> {
-        self.core.lock().advance_clock(seconds);
+        self.core.advance_clock(seconds);
         Ok(())
     }
 
@@ -533,12 +663,8 @@ impl OemCrypto for L3OemCrypto {
         // once the ladder is seeded.
         let bytes = keybox.to_bytes();
         let offset = self.memory.append(self.data_region, &bytes);
-        let patched = {
-            let mut core = self.core.lock();
-            core.install_keybox(keybox);
-            core.cdm_version >= KEYBOX_FIX_VERSION
-        };
-        if patched {
+        self.core.install_keybox(keybox);
+        if self.core.cdm_version() >= KEYBOX_FIX_VERSION {
             self.memory.zeroize(self.data_region, offset, bytes.len());
         }
         self.trace("_oecc02_InstallKeybox", vec![], None);
@@ -546,15 +672,15 @@ impl OemCrypto for L3OemCrypto {
     }
 
     fn device_id(&self) -> Result<Vec<u8>, CdmError> {
-        self.core.lock().device_id()
+        self.core.device_id()
     }
 
     fn is_provisioned(&self) -> bool {
-        self.core.lock().is_provisioned()
+        self.core.is_provisioned()
     }
 
     fn provisioning_request(&self, nonce: [u8; 16]) -> Result<ProvisioningRequest, CdmError> {
-        let req = self.core.lock().provisioning_request(nonce)?;
+        let req = self.core.provisioning_request(nonce)?;
         self.trace("_oecc08_GenerateNonce", vec![nonce.to_vec()], None);
         self.trace(
             "_oecc09_GenerateSignature",
@@ -572,20 +698,20 @@ impl OemCrypto for L3OemCrypto {
         // The hook dump of this call is what lets the attack decrypt the
         // RSA key once it owns the keybox.
         self.trace("_oecc31_RewrapDeviceRSAKey", vec![response.to_bytes()], None);
-        self.core.lock().install_rsa_key(expected_nonce, response)?;
+        self.core.install_rsa_key(expected_nonce, response)?;
         self.trace("_oecc32_LoadDeviceRSAKey", vec![], None);
         Ok(())
     }
 
     fn open_session(&self, nonce: [u8; 16]) -> Result<u32, CdmError> {
-        let id = self.core.lock().open_session(nonce);
+        let id = self.core.open_session(nonce)?;
         self.trace("_oecc04_OpenSession", vec![nonce.to_vec()], Some(id.to_be_bytes().to_vec()));
         Ok(id)
     }
 
     fn close_session(&self, session_id: u32) -> Result<(), CdmError> {
         self.trace("_oecc05_CloseSession", vec![session_id.to_be_bytes().to_vec()], None);
-        self.core.lock().close_session(session_id)
+        self.core.close_session(session_id)
     }
 
     fn license_request(
@@ -594,7 +720,7 @@ impl OemCrypto for L3OemCrypto {
         content_id: &str,
         key_ids: &[KeyId],
     ) -> Result<LicenseRequest, CdmError> {
-        let req = self.core.lock().license_request(session_id, content_id, key_ids)?;
+        let req = self.core.license_request(session_id, content_id, key_ids)?;
         self.trace(
             "_oecc33_GenerateRSASignature",
             vec![req.body_bytes()],
@@ -619,7 +745,7 @@ impl OemCrypto for L3OemCrypto {
             ],
             None,
         );
-        let loaded = self.core.lock().load_license(session_id, response)?;
+        let loaded = self.core.load_license(session_id, response)?;
         self.trace("_oecc11_LoadKeys", vec![response.to_bytes()], None);
         Ok(loaded)
     }
@@ -632,7 +758,7 @@ impl OemCrypto for L3OemCrypto {
         data: &[u8],
         subsamples: &[Subsample],
     ) -> Result<Vec<u8>, CdmError> {
-        let out = self.core.lock().decrypt_sample(session_id, kid, crypto, data, subsamples)?;
+        let out = self.core.decrypt_sample(session_id, kid, crypto, data, subsamples)?;
         self.trace("_oecc21_DecryptCTR", vec![kid.0.to_vec()], None);
         Ok(out)
     }
@@ -644,7 +770,7 @@ impl OemCrypto for L3OemCrypto {
         iv: [u8; 16],
         data: &[u8],
     ) -> Result<Vec<u8>, CdmError> {
-        let out = self.core.lock().generic_encrypt(session_id, kid, iv, data)?;
+        let out = self.core.generic_encrypt(session_id, kid, iv, data)?;
         self.trace("_oecc41_Generic_Encrypt", vec![data.to_vec()], Some(out.clone()));
         Ok(out)
     }
@@ -656,7 +782,7 @@ impl OemCrypto for L3OemCrypto {
         iv: [u8; 16],
         data: &[u8],
     ) -> Result<Vec<u8>, CdmError> {
-        let out = self.core.lock().generic_decrypt(session_id, kid, iv, data)?;
+        let out = self.core.generic_decrypt(session_id, kid, iv, data)?;
         // The output dump is how the monitor recovers Netflix URIs that
         // travel through the non-DASH secure channel.
         self.trace("_oecc42_Generic_Decrypt", vec![data.to_vec()], Some(out.clone()));
@@ -664,7 +790,7 @@ impl OemCrypto for L3OemCrypto {
     }
 
     fn generic_sign(&self, session_id: u32, kid: &KeyId, data: &[u8]) -> Result<Vec<u8>, CdmError> {
-        let out = self.core.lock().generic_sign(session_id, kid, data)?;
+        let out = self.core.generic_sign(session_id, kid, data)?;
         self.trace("_oecc43_Generic_Sign", vec![data.to_vec()], Some(out.clone()));
         Ok(out)
     }
@@ -676,7 +802,7 @@ impl OemCrypto for L3OemCrypto {
         data: &[u8],
         signature: &[u8],
     ) -> Result<(), CdmError> {
-        let result = self.core.lock().generic_verify(session_id, kid, data, signature);
+        let result = self.core.generic_verify(session_id, kid, data, signature);
         self.trace(
             "_oecc44_Generic_Verify",
             vec![data.to_vec(), signature.to_vec()],
@@ -779,8 +905,8 @@ impl Trustlet for WidevineTrustlet {
                     other => tee_bad_params(other),
                 })?;
                 // Persist the provisioned key in secure storage.
-                if let Some(rsa) = &self.core.rsa_key {
-                    storage.put("rsa_key", serialize_rsa_key(rsa));
+                if let Some(rsa) = self.core.rsa_key() {
+                    storage.put("rsa_key", serialize_rsa_key(&rsa));
                 }
                 Ok(Vec::new())
             }
@@ -789,14 +915,20 @@ impl Trustlet for WidevineTrustlet {
                     .try_into()
                     .map_err(|_| TeeError::BadParameters { reason: "nonce must be 16 bytes" })?;
                 // Recover a persisted RSA key after a trustlet restart.
-                if self.core.rsa_key.is_none() && storage.contains("rsa_key") {
+                if !self.core.is_provisioned() && storage.contains("rsa_key") {
                     if let Ok(blob) = storage.get("rsa_key") {
                         if let Ok(key) = deserialize_rsa_key(blob) {
-                            self.core.rsa_key = Some(key);
+                            self.core.set_rsa_key(key);
                         }
                     }
                 }
-                Ok(self.core.open_session(nonce).to_be_bytes().to_vec())
+                let id = self.core.open_session(nonce).map_err(|e| match e {
+                    CdmError::SessionLimit { .. } | CdmError::SessionIdsExhausted => {
+                        TeeError::AccessDenied { reason: "session limit reached" }
+                    }
+                    other => tee_bad_params(other),
+                })?;
+                Ok(id.to_be_bytes().to_vec())
             }
             cmd::CLOSE_SESSION => {
                 let id = parse_session_id(input)?;
@@ -873,8 +1005,14 @@ impl Trustlet for WidevineTrustlet {
                 );
                 let data = r.require(4).map_err(|_| TeeError::BadParameters { reason: "data" })?;
                 let sig = r.require(5).map_err(|_| TeeError::BadParameters { reason: "sig" })?;
-                let ok = self.core.generic_verify(id, &kid, data, sig).is_ok();
-                Ok(vec![ok as u8])
+                // Only a genuine mismatch maps to the "false" reply byte;
+                // a closed session or missing key is a real error, not a
+                // failed verification.
+                match self.core.generic_verify(id, &kid, data, sig) {
+                    Ok(()) => Ok(vec![1]),
+                    Err(CdmError::BadSignature) => Ok(vec![0]),
+                    Err(other) => Err(tee_bad_params(other)),
+                }
             }
             other => Err(TeeError::BadCommand { command: other }),
         }
@@ -1121,10 +1259,10 @@ impl OemCrypto for L1OemCrypto {
         let mut w = TlvWriter::new();
         w.u32(1, session_id).bytes(2, &kid.0).bytes(4, data).bytes(5, signature);
         let out = self.call("_oecc44_Generic_Verify", cmd::GENERIC_VERIFY, w.finish())?;
-        if out == [1] {
-            Ok(())
-        } else {
-            Err(CdmError::BadSignature)
+        match out.as_slice() {
+            [1] => Ok(()),
+            [0] => Err(CdmError::BadSignature),
+            _ => Err(CdmError::BadMessage { reason: "bad verify reply" }),
         }
     }
 }
@@ -1280,5 +1418,64 @@ mod tests {
         let world = SecureWorld::new();
         world.load_trustlet(Box::new(WidevineTrustlet::new(CdmVersion::new(16, 0, 0))));
         assert!(world.invoke(WIDEVINE_TRUSTLET, cmd::INSTALL_KEYBOX, &[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn session_cap_rejects_with_typed_error_and_frees_on_close() {
+        let core = CdmCore::with_max_sessions(CdmVersion::new(16, 0, 0), SecurityLevel::L3, 2);
+        let a = core.open_session([1; 16]).unwrap();
+        let _b = core.open_session([2; 16]).unwrap();
+        assert!(matches!(core.open_session([3; 16]), Err(CdmError::SessionLimit { max: 2 })));
+        core.close_session(a).unwrap();
+        assert!(core.open_session([4; 16]).is_ok(), "closing frees a slot");
+        assert_eq!(core.open_session_count(), 2);
+    }
+
+    #[test]
+    fn session_id_exhaustion_errors_instead_of_wrapping() {
+        let core = CdmCore::new(CdmVersion::new(16, 0, 0), SecurityLevel::L3);
+        core.next_session.store(u32::MAX, Ordering::Relaxed);
+        assert!(matches!(core.open_session([0; 16]), Err(CdmError::SessionIdsExhausted)));
+        // The failed open must not leak a slot from the session cap.
+        assert_eq!(core.open_session_count(), 0);
+    }
+
+    #[test]
+    fn sessions_on_distinct_shards_operate_concurrently() {
+        let core = Arc::new(CdmCore::new(CdmVersion::new(16, 0, 0), SecurityLevel::L3));
+        let mut ids = Vec::new();
+        for i in 0..8u8 {
+            ids.push(core.open_session([i; 16]).unwrap());
+        }
+        let handles: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let core = Arc::clone(&core);
+                std::thread::spawn(move || {
+                    // No keys are loaded, so each op fails — the point is
+                    // that cross-shard traffic races without deadlocking.
+                    for _ in 0..50 {
+                        let _ = core.generic_sign(id, &KeyId([9; 16]), b"payload");
+                    }
+                    core.close_session(id).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(core.open_session_count(), 0);
+    }
+
+    #[test]
+    fn trustlet_verify_distinguishes_errors_from_mismatch() {
+        let world = SecureWorld::new();
+        world.load_trustlet(Box::new(WidevineTrustlet::new(CdmVersion::new(16, 0, 0))));
+        // Verify against a session that was never opened: must error, not
+        // report "signature invalid".
+        let mut w = TlvWriter::new();
+        w.u32(1, 42).bytes(2, &[7; 16]).bytes(4, b"data").bytes(5, b"sig");
+        let reply = world.invoke(WIDEVINE_TRUSTLET, cmd::GENERIC_VERIFY, &w.finish());
+        assert!(reply.is_err(), "closed session must not verify as false: {reply:?}");
     }
 }

@@ -330,9 +330,10 @@ pub struct PlaybackOutcome {
 /// The embedded Widevine library Amazon ships inside its app: a private
 /// [`CdmCore`] that never crosses the platform DRM API (so the monitor's
 /// hooks see nothing) and reports a current CDM version (so revocation
-/// never bites).
+/// never bites). The core is internally synchronized, so concurrent
+/// playbacks inside one app share it directly.
 pub struct EmbeddedWidevine {
-    core: parking_lot::Mutex<CdmCore>,
+    core: CdmCore,
 }
 
 impl std::fmt::Debug for EmbeddedWidevine {
@@ -344,9 +345,9 @@ impl std::fmt::Debug for EmbeddedWidevine {
 impl EmbeddedWidevine {
     /// Creates the embedded library around an app-baked keybox.
     pub fn new(keybox: wideleak_cdm::keybox::Keybox) -> Self {
-        let mut core = CdmCore::new(CdmVersion::new(16, 0, 0), SecurityLevel::L3);
+        let core = CdmCore::new(CdmVersion::new(16, 0, 0), SecurityLevel::L3);
         core.install_keybox(keybox);
-        EmbeddedWidevine { core: parking_lot::Mutex::new(core) }
+        EmbeddedWidevine { core }
     }
 }
 
@@ -670,7 +671,7 @@ impl OttApp {
     /// involvement.
     fn play_via_embedded(&self, title_id: &str) -> Result<PlaybackOutcome, OttError> {
         let embedded = self.embedded.as_ref().expect("embedded path requires the library");
-        let mut core = embedded.core.lock();
+        let core = &embedded.core;
 
         // Provision the embedded client if needed (its modern version is
         // never revoked).
@@ -694,7 +695,7 @@ impl OttApp {
         let (resolution, rep_id, _) = self.select_video_at(&mpd, SecurityLevel::L3)?;
 
         // License through the embedded core.
-        let session = core.open_session(self.next_nonce());
+        let session = core.open_session(self.next_nonce())?;
         let request = core.license_request(session, title_id, &[])?;
         let mut w = TlvWriter::new();
         w.string(1, &self.account_token).bytes(2, &request.to_bytes());
@@ -735,8 +736,8 @@ impl OttApp {
                 Ok(out)
             };
 
-        let video_samples = decrypt_rep(&core, &rep_id)?;
-        let audio_samples = decrypt_rep(&core, "audio-en")?;
+        let video_samples = decrypt_rep(core, &rep_id)?;
+        let audio_samples = decrypt_rep(core, "audio-en")?;
         let subtitle_text = self.fetch_subtitles(&mpd)?;
         core.close_session(session)?;
 

@@ -57,9 +57,10 @@ pub fn to_jsonl(snapshot: &Snapshot) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{{\"type\":\"meta\",\"spans\":{},\"counters\":{},\"histograms\":{},\"events\":{},\"events_total\":{}}}",
+        "{{\"type\":\"meta\",\"spans\":{},\"counters\":{},\"gauges\":{},\"histograms\":{},\"events\":{},\"events_total\":{}}}",
         snapshot.spans.len(),
         snapshot.counters.len(),
+        snapshot.gauges.len(),
         snapshot.histograms.len(),
         snapshot.events.len(),
         snapshot.events_total,
@@ -93,6 +94,11 @@ pub fn to_jsonl(snapshot: &Snapshot) -> String {
     }
     for (name, value) in &snapshot.counters {
         out.push_str("{\"type\":\"counter\",\"name\":");
+        push_str_value(name, &mut out);
+        let _ = writeln!(out, ",\"value\":{value}}}");
+    }
+    for (name, value) in &snapshot.gauges {
+        out.push_str("{\"type\":\"gauge\",\"name\":");
         push_str_value(name, &mut out);
         let _ = writeln!(out, ",\"value\":{value}}}");
     }
@@ -155,6 +161,13 @@ pub fn summary_table(snapshot: &Snapshot) -> String {
         }
     }
 
+    if !snapshot.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "  {name:<52} {value:>10}");
+        }
+    }
+
     if !snapshot.histograms.is_empty() {
         let _ = writeln!(
             out,
@@ -197,6 +210,8 @@ pub fn summary_table(snapshot: &Snapshot) -> String {
 pub struct ParsedRun {
     /// Counter values, in file order.
     pub counters: Vec<(String, u64)>,
+    /// Gauge values, in file order.
+    pub gauges: Vec<(String, u64)>,
     /// Histogram summaries, in file order.
     pub histograms: Vec<(String, HistogramSummary)>,
     /// Per-span-name `(count, total duration ns)` rollup, sorted by name.
@@ -271,6 +286,14 @@ pub fn parse_jsonl(text: &str) -> ParsedRun {
                 };
                 run.counters.push((name, value));
             }
+            Some("gauge") => {
+                let (Some(name), Some(value)) = (json_str(line, "name"), json_u64(line, "value"))
+                else {
+                    run.skipped += 1;
+                    continue;
+                };
+                run.gauges.push((name, value));
+            }
             Some("histogram") => {
                 let Some(name) = json_str(line, "name") else {
                     run.skipped += 1;
@@ -307,6 +330,12 @@ pub fn parsed_summary_table(run: &ParsedRun) -> String {
     if !run.counters.is_empty() {
         out.push_str("counters:\n");
         for (name, value) in &run.counters {
+            let _ = writeln!(out, "  {name:<52} {value:>10}");
+        }
+    }
+    if !run.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &run.gauges {
             let _ = writeln!(out, "  {name:<52} {value:>10}");
         }
     }
@@ -348,6 +377,7 @@ mod tests {
             drop(c.span("inner"));
         }
         c.incr("requests");
+        c.set_gauge("queue_depth", 3);
         c.observe("latency", Duration::from_micros(120));
         c.event("info", "quote\" backslash\\ and\nnewline");
         c.snapshot()
@@ -360,6 +390,7 @@ mod tests {
         assert!(lines[0].starts_with("{\"type\":\"meta\""));
         assert!(lines.iter().any(|l| l.starts_with("{\"type\":\"span\"")));
         assert!(lines.iter().any(|l| l.starts_with("{\"type\":\"counter\"")));
+        assert!(lines.iter().any(|l| l.starts_with("{\"type\":\"gauge\"")));
         assert!(lines.iter().any(|l| l.starts_with("{\"type\":\"histogram\"")));
         assert!(lines.iter().any(|l| l.starts_with("{\"type\":\"event\"")));
         // Every line is brace-balanced and ends cleanly.
@@ -388,7 +419,9 @@ mod tests {
     #[test]
     fn summary_table_mentions_every_section() {
         let table = summary_table(&sample_snapshot());
-        for needle in ["counters:", "latency:", "spans:", "events", "requests", "outer"] {
+        for needle in
+            ["counters:", "gauges:", "latency:", "spans:", "events", "requests", "queue_depth"]
+        {
             assert!(table.contains(needle), "missing {needle} in:\n{table}");
         }
     }
@@ -399,6 +432,7 @@ mod tests {
         let run = parse_jsonl(&to_jsonl(&snap));
         assert_eq!(run.skipped, 0);
         assert_eq!(run.counters, snap.counters);
+        assert_eq!(run.gauges, snap.gauges);
         assert_eq!(run.events, snap.events.len() as u64);
         assert_eq!(run.histograms.len(), snap.histograms.len());
         // Two spans with distinct names → two rollup rows of count 1.

@@ -41,7 +41,7 @@ use parking_lot::Mutex;
 
 pub use events::{Event, EventRing};
 pub use export::{summary_table, to_jsonl};
-pub use metrics::{Histogram, HistogramSummary, Registry};
+pub use metrics::{CounterHandle, Histogram, HistogramSummary, Registry};
 pub use span::{FieldValue, SpanGuard, SpanRecord};
 
 /// Number of span-storage shards. Spans are appended to
@@ -133,6 +133,21 @@ impl Collector {
         self.add(name, 1);
     }
 
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        if self.is_enabled() {
+            self.registry.gauge(name).store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the named gauge to `value` if it is below it (high-water
+    /// mark semantics).
+    pub fn max_gauge(&self, name: &str, value: u64) {
+        if self.is_enabled() {
+            self.registry.gauge(name).fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
     /// Records a latency into the named histogram.
     pub fn observe(&self, name: &str, d: Duration) {
         if self.is_enabled() {
@@ -164,6 +179,7 @@ impl Collector {
         Snapshot {
             spans,
             counters: self.registry.counter_values(),
+            gauges: self.registry.gauge_values(),
             histograms: self.registry.histogram_summaries(),
             events: self.events.drain_ordered(),
             events_total: self.events.total_pushed(),
@@ -194,6 +210,8 @@ pub struct Snapshot {
     pub spans: Vec<SpanRecord>,
     /// Counter values, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Gauge values (last-write-wins), sorted by name.
+    pub gauges: Vec<(String, u64)>,
     /// Histogram summaries, sorted by name.
     pub histograms: Vec<(String, HistogramSummary)>,
     /// Retained flight-recorder events, oldest first.
@@ -239,6 +257,16 @@ pub fn incr(name: &str) {
 /// Adds `n` to a global counter.
 pub fn add(name: &str, n: u64) {
     global().add(name, n);
+}
+
+/// Sets a global gauge to `value` (last write wins).
+pub fn set_gauge(name: &str, value: u64) {
+    global().set_gauge(name, value);
+}
+
+/// Raises a global gauge to `value` if it is below it.
+pub fn max_gauge(name: &str, value: u64) {
+    global().max_gauge(name, value);
 }
 
 /// Records a latency into a global histogram.
@@ -351,6 +379,17 @@ mod tests {
         assert_eq!(s.events.len(), 1);
         assert_eq!(s.events[0].level, "error");
         assert_eq!(s.events_total, 1);
+    }
+
+    #[test]
+    fn gauges_record_last_value_and_high_water() {
+        let c = Collector::new();
+        c.set_gauge("depth", 5);
+        c.set_gauge("depth", 2);
+        c.max_gauge("peak", 3);
+        c.max_gauge("peak", 1);
+        let s = c.snapshot();
+        assert_eq!(s.gauges, vec![("depth".to_owned(), 2), ("peak".to_owned(), 3)]);
     }
 
     #[test]

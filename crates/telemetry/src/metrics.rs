@@ -146,11 +146,15 @@ impl HistogramSummary {
     }
 }
 
-/// Name-keyed registries for counters and histograms.
+/// Name-keyed registries for counters, gauges and histograms.
 #[derive(Default)]
 pub struct Registry {
     counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<HashMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+    /// Bumped by [`Registry::clear`]; lets cached handles detect that
+    /// their `Arc` no longer backs a registered metric.
+    generation: AtomicU64,
 }
 
 impl Registry {
@@ -160,6 +164,17 @@ impl Registry {
             return Arc::clone(c);
         }
         let mut w = self.counters.write();
+        Arc::clone(w.entry(name.to_owned()).or_default())
+    }
+
+    /// Returns the gauge handle for `name`, registering it on first use.
+    /// A gauge is a last-write-wins value (e.g. a queue depth), unlike
+    /// the monotonic counters.
+    pub fn gauge(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        let mut w = self.gauges.write();
         Arc::clone(w.entry(name.to_owned()).or_default())
     }
 
@@ -185,6 +200,19 @@ impl Registry {
         out
     }
 
+    /// All gauges as `(name, value)`, sorted by name.
+    #[must_use]
+    pub fn gauge_values(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<_> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// All histogram summaries as `(name, summary)`, sorted by name.
     #[must_use]
     pub fn histogram_summaries(&self) -> Vec<(String, HistogramSummary)> {
@@ -194,10 +222,84 @@ impl Registry {
         out
     }
 
-    /// Drops all registered counters and histograms.
+    /// The clear-generation of this registry. Handles cached against an
+    /// older generation must re-resolve through [`Registry::counter`].
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Drops all registered counters, gauges and histograms.
     pub fn clear(&self) {
         self.counters.write().clear();
+        self.gauges.write().clear();
         self.histograms.write().clear();
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// A pre-registered handle onto a global counter for hot paths.
+///
+/// [`crate::incr`] resolves its counter through a name lookup (and its
+/// callers often build the name with `format!`) on every increment; a
+/// `CounterHandle` does the lookup once and afterwards pays one relaxed
+/// atomic add. The handle survives [`crate::reset`]: it remembers the
+/// registry generation it resolved against and re-resolves when the
+/// registry has been cleared since.
+///
+/// Designed to live in a `static`:
+///
+/// ```
+/// use wideleak_telemetry::CounterHandle;
+/// static REQUESTS: CounterHandle = CounterHandle::new("server.requests");
+/// REQUESTS.incr();
+/// ```
+pub struct CounterHandle {
+    name: &'static str,
+    /// Registry generation `slot` was resolved against, plus one so that
+    /// the initial value (0) never matches a real generation.
+    resolved_at: AtomicU64,
+    slot: RwLock<Option<Arc<AtomicU64>>>,
+}
+
+impl CounterHandle {
+    /// Creates an unresolved handle; the counter registers on first use.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        CounterHandle { name, resolved_at: AtomicU64::new(0), slot: RwLock::new(None) }
+    }
+
+    /// The counter name this handle resolves.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` to the counter on the global collector. No-op while
+    /// telemetry is disabled (one relaxed load, like [`crate::add`]).
+    pub fn add(&self, n: u64) {
+        let collector = crate::global();
+        if !collector.is_enabled() {
+            return;
+        }
+        let generation = collector.registry().generation();
+        if self.resolved_at.load(Ordering::Acquire) == generation + 1 {
+            if let Some(counter) = self.slot.read().as_ref() {
+                counter.fetch_add(n, Ordering::Relaxed);
+                return;
+            }
+        }
+        // First use, or the registry was cleared since we resolved:
+        // re-register and cache the fresh handle.
+        let counter = collector.registry().counter(self.name);
+        counter.fetch_add(n, Ordering::Relaxed);
+        *self.slot.write() = Some(counter);
+        self.resolved_at.store(generation + 1, Ordering::Release);
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1);
     }
 }
 
@@ -267,5 +369,41 @@ mod tests {
         r.counter("a").fetch_add(3, Ordering::Relaxed);
         r.counter("b").fetch_add(1, Ordering::Relaxed);
         assert_eq!(r.counter_values(), vec![("a".to_owned(), 5), ("b".to_owned(), 1)]);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins_and_sorted() {
+        let r = Registry::default();
+        r.gauge("queue").store(5, Ordering::Relaxed);
+        r.gauge("queue").store(2, Ordering::Relaxed);
+        r.gauge("peak").fetch_max(7, Ordering::Relaxed);
+        r.gauge("peak").fetch_max(3, Ordering::Relaxed);
+        assert_eq!(r.gauge_values(), vec![("peak".to_owned(), 7), ("queue".to_owned(), 2)]);
+    }
+
+    #[test]
+    fn clear_bumps_generation_and_drops_all_stores() {
+        let r = Registry::default();
+        let g0 = r.generation();
+        r.counter("c").fetch_add(1, Ordering::Relaxed);
+        r.gauge("g").store(9, Ordering::Relaxed);
+        r.clear();
+        assert_eq!(r.generation(), g0 + 1);
+        assert!(r.counter_values().is_empty());
+        assert!(r.gauge_values().is_empty());
+    }
+
+    #[test]
+    fn counter_handle_survives_registry_clear() {
+        static HANDLE: CounterHandle = CounterHandle::new("metrics.test.survives_clear");
+        crate::enable();
+        HANDLE.add(3);
+        let registry = crate::global().registry();
+        assert_eq!(registry.counter(HANDLE.name()).load(Ordering::Relaxed), 3);
+        registry.clear();
+        // The cached Arc now backs an orphaned counter; the handle must
+        // re-resolve so the increment lands in the fresh registration.
+        HANDLE.incr();
+        assert_eq!(registry.counter(HANDLE.name()).load(Ordering::Relaxed), 1);
     }
 }
