@@ -6,18 +6,30 @@
 //! [`ThreadedBinder`] makes real by running the server on a pool of
 //! worker threads fed by one crossbeam MPMC channel (the simulator's
 //! `mediadrmserver` thread pool). [`InProcessBinder`] offers the same
-//! interface synchronously for cheap unit tests.
+//! interface synchronously for cheap unit tests. Both implement the one
+//! [`Transport`] trait, and both run every transaction through the same
+//! [`transact_via`] seam — telemetry, panic isolation and fault
+//! injection compose there once instead of per-transport.
 //!
 //! Both transports isolate panics per transaction: a handler that
 //! unwinds yields [`DrmError::ServerPanic`] for that one call and the
 //! server keeps serving — a poisoned call must not take the whole DRM
 //! stack down with it.
+//!
+//! When a [`FaultInjector`] is attached (via
+//! [`InProcessBinder::with_fault_injector`] or
+//! [`BinderPoolBuilder::fault_injector`]), binder-plane fault rules are
+//! consulted per transaction: dropped transactions surface as
+//! [`DrmError::BinderDied`], injected panics as
+//! [`DrmError::ServerPanic`], latency advances the shared virtual clock,
+//! and clock skew forwards the CDM's logical clock (expiring licenses).
 
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
 use wideleak_bmff::types::{KeyId, Subsample};
 use wideleak_cdm::oemcrypto::SampleCrypto;
+use wideleak_faults::{corrupt_body, FaultInjector, FaultKind, Plane};
 use wideleak_telemetry::CounterHandle;
 
 use crate::{server::MediaDrmServer, DrmError};
@@ -200,7 +212,7 @@ fn record_transaction(kind_index: usize, reply: &Result<DrmReply, DrmError>) {
     TRANSACT_TOTAL.incr();
     TRANSACT_BY_KIND[kind_index].incr();
     if let Err(e) = reply {
-        wideleak_telemetry::incr(&format!("binder.error.{}", e.class()));
+        wideleak_faults::record_error("binder.error", e);
     }
 }
 
@@ -212,6 +224,68 @@ fn dispatch(server: &MediaDrmServer, call: DrmCall) -> Result<DrmReply, DrmError
         SERVER_PANICS.incr();
         Err(DrmError::ServerPanic)
     })
+}
+
+/// The single transaction seam both transports run through: telemetry
+/// span + per-kind counters + binder-plane fault injection around the
+/// transport-specific `run` step. Having exactly one seam is what lets
+/// faults compose identically over the in-process and threaded paths.
+fn transact_via(
+    span_name: &'static str,
+    injector: Option<&FaultInjector>,
+    server: &MediaDrmServer,
+    call: DrmCall,
+    run: impl FnOnce(DrmCall) -> Result<DrmReply, DrmError>,
+) -> Result<DrmReply, DrmError> {
+    let kind_index = call.kind_index();
+    let _span = wideleak_telemetry::span!(span_name, kind = call.kind());
+    let reply = apply_binder_faults(injector, server, call, run);
+    record_transaction(kind_index, &reply);
+    reply
+}
+
+/// Evaluates binder-plane fault rules for one transaction and maps the
+/// fault kinds onto transport-visible behaviour.
+fn apply_binder_faults(
+    injector: Option<&FaultInjector>,
+    server: &MediaDrmServer,
+    call: DrmCall,
+    run: impl FnOnce(DrmCall) -> Result<DrmReply, DrmError>,
+) -> Result<DrmReply, DrmError> {
+    let Some(fault) = injector
+        .filter(|inj| inj.is_active())
+        .and_then(|inj| inj.decide(Plane::Binder, call.kind()).map(|kind| (inj, kind)))
+    else {
+        return run(call);
+    };
+    let (inj, kind) = fault;
+    match kind {
+        // The channel drops mid-transaction: no reply ever arrives.
+        FaultKind::Drop => Err(DrmError::BinderDied),
+        // The handler blows up; the transports' panic containment
+        // reports it without taking the server down.
+        FaultKind::Panic | FaultKind::ErrorCode => {
+            SERVER_PANICS.incr();
+            Err(DrmError::ServerPanic)
+        }
+        // The call completes, but only after the virtual clock moved.
+        FaultKind::Latency { ms } => {
+            inj.clock().advance_ms(ms);
+            run(call)
+        }
+        // The device clock jumps before the call lands, expiring any
+        // loaded license whose duration the skew exceeds.
+        FaultKind::ClockSkew { secs } => {
+            server.advance_clocks(secs);
+            run(call)
+        }
+        // Byte payloads come back mangled; non-byte replies are shape-
+        // checked by the framework and pass through unchanged.
+        kind @ (FaultKind::TruncateBody { .. } | FaultKind::GarbleBody) => match run(call)? {
+            DrmReply::Bytes(bytes) => Ok(DrmReply::Bytes(corrupt_body(&kind, bytes))),
+            other => Ok(other),
+        },
+    }
 }
 
 /// A successful transaction reply.
@@ -279,8 +353,9 @@ impl DrmReply {
     }
 }
 
-/// The IPC transport to the Media DRM Server.
-pub trait Binder: Send + Sync {
+/// The unified IPC transport to the Media DRM Server — the one seam the
+/// framework, apps, monitor and attack tooling all talk through.
+pub trait Transport: Send + Sync {
     /// Performs one transaction.
     ///
     /// # Errors
@@ -289,25 +364,40 @@ pub trait Binder: Send + Sync {
     fn transact(&self, call: DrmCall) -> Result<DrmReply, DrmError>;
 }
 
+/// Deprecated alias for [`Transport`], kept for one release so external
+/// callers keep compiling; new code should name `Transport`.
+pub use Transport as Binder;
+
 /// A synchronous, same-thread transport.
 pub struct InProcessBinder {
-    server: MediaDrmServer,
+    server: Arc<MediaDrmServer>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl InProcessBinder {
     /// Wraps a server.
     pub fn new(server: MediaDrmServer) -> Self {
-        InProcessBinder { server }
+        InProcessBinder { server: Arc::new(server), injector: None }
+    }
+
+    /// Attaches a fault injector whose binder-plane rules apply to every
+    /// transaction through this transport.
+    #[must_use]
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
     }
 }
 
-impl Binder for InProcessBinder {
+impl Transport for InProcessBinder {
     fn transact(&self, call: DrmCall) -> Result<DrmReply, DrmError> {
-        let kind_index = call.kind_index();
-        let _span = wideleak_telemetry::span!("binder.transact.in_process", kind = call.kind());
-        let reply = dispatch(&self.server, call);
-        record_transaction(kind_index, &reply);
-        reply
+        transact_via(
+            "binder.transact.in_process",
+            self.injector.as_deref(),
+            &self.server,
+            call,
+            |call| dispatch(&self.server, call),
+        )
     }
 }
 
@@ -324,20 +414,60 @@ pub struct ThreadedBinder {
     /// Kept solely to observe queue depth; workers own their own clones.
     rx: crossbeam::channel::Receiver<Transaction>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    /// A handle onto the served instance, so the fault seam can reach the
+    /// CDM clock (clock-skew faults) without a round trip.
+    server: Arc<MediaDrmServer>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
-impl ThreadedBinder {
-    /// Spawns the server on a pool sized to the machine (one worker per
-    /// available core, minimum one).
-    pub fn spawn(server: MediaDrmServer) -> Self {
-        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        Self::spawn_pool(server, workers)
+/// Worker-pool knobs for [`BinderPoolBuilder`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BinderPoolConfig {
+    /// Worker thread count; 0 means one per available core.
+    pub workers: usize,
+}
+
+/// Builds a [`ThreadedBinder`] — the pool size and fault plane are
+/// configured here instead of through positional constructor arguments.
+pub struct BinderPoolBuilder {
+    server: MediaDrmServer,
+    config: BinderPoolConfig,
+    injector: Option<Arc<FaultInjector>>,
+}
+
+impl BinderPoolBuilder {
+    /// Replaces the whole config struct.
+    #[must_use]
+    pub fn config(mut self, config: BinderPoolConfig) -> Self {
+        self.config = config;
+        self
     }
 
-    /// Spawns the server with an explicit worker count (clamped to ≥ 1).
-    pub fn spawn_pool(server: MediaDrmServer, workers: usize) -> Self {
+    /// Sets the worker count (0 = one per available core).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Attaches a fault injector whose binder-plane rules apply to every
+    /// transaction through the pool.
+    #[must_use]
+    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Spawns the worker pool.
+    #[must_use]
+    pub fn spawn(self) -> ThreadedBinder {
+        let workers = if self.config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.config.workers
+        };
         let (tx, rx) = crossbeam::channel::unbounded::<Transaction>();
-        let server = Arc::new(server);
+        let server = Arc::new(self.server);
         let handles = (0..workers.max(1))
             .map(|i| {
                 let rx = rx.clone();
@@ -354,7 +484,27 @@ impl ThreadedBinder {
                     .expect("spawning a mediadrmserver worker")
             })
             .collect();
-        ThreadedBinder { tx, rx, handles }
+        ThreadedBinder { tx, rx, handles, server, injector: self.injector }
+    }
+}
+
+impl ThreadedBinder {
+    /// Starts building a pool around a server.
+    #[must_use]
+    pub fn builder(server: MediaDrmServer) -> BinderPoolBuilder {
+        BinderPoolBuilder { server, config: BinderPoolConfig::default(), injector: None }
+    }
+
+    /// Spawns the server on a pool sized to the machine (one worker per
+    /// available core, minimum one).
+    pub fn spawn(server: MediaDrmServer) -> Self {
+        Self::builder(server).spawn()
+    }
+
+    /// Spawns the server with an explicit worker count (clamped to ≥ 1).
+    #[deprecated(since = "0.1.0", note = "use ThreadedBinder::builder(server).workers(n).spawn()")]
+    pub fn spawn_pool(server: MediaDrmServer, workers: usize) -> Self {
+        Self::builder(server).workers(workers.max(1)).spawn()
     }
 
     /// How many worker threads serve this binder.
@@ -370,22 +520,24 @@ impl ThreadedBinder {
     }
 }
 
-impl Binder for ThreadedBinder {
+impl Transport for ThreadedBinder {
     fn transact(&self, call: DrmCall) -> Result<DrmReply, DrmError> {
-        let kind_index = call.kind_index();
-        let _span = wideleak_telemetry::span!("binder.transact.threaded", kind = call.kind());
-        let reply = (|| {
-            let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
-            self.tx.send((call, reply_tx)).map_err(|_| DrmError::BinderDied)?;
-            if wideleak_telemetry::is_enabled() {
-                let depth = self.rx.len() as u64;
-                wideleak_telemetry::set_gauge("binder.queue.depth", depth);
-                wideleak_telemetry::max_gauge("binder.queue.depth.max", depth);
-            }
-            reply_rx.recv().map_err(|_| DrmError::BinderDied)?
-        })();
-        record_transaction(kind_index, &reply);
-        reply
+        transact_via(
+            "binder.transact.threaded",
+            self.injector.as_deref(),
+            &self.server,
+            call,
+            |call| {
+                let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+                self.tx.send((call, reply_tx)).map_err(|_| DrmError::BinderDied)?;
+                if wideleak_telemetry::is_enabled() {
+                    let depth = self.rx.len() as u64;
+                    wideleak_telemetry::set_gauge("binder.queue.depth", depth);
+                    wideleak_telemetry::max_gauge("binder.queue.depth.max", depth);
+                }
+                reply_rx.recv().map_err(|_| DrmError::BinderDied)?
+            },
+        )
     }
 }
 
@@ -413,13 +565,14 @@ mod tests {
 
     fn server() -> MediaDrmServer {
         let device = Device::new(DeviceModel::nexus_5());
-        let cdm = Cdm::boot(&device, Keybox::issue(b"binder-test", &[1; 16])).unwrap();
+        let cdm =
+            Cdm::builder().keybox(Keybox::issue(b"binder-test", &[1; 16])).boot(&device).unwrap();
         let mut s = MediaDrmServer::new();
         s.register_plugin(WIDEVINE_SYSTEM_ID, Arc::new(cdm));
         s
     }
 
-    fn exercise(binder: &dyn Binder) {
+    fn exercise(binder: &dyn Transport) {
         assert!(binder
             .transact(DrmCall::IsSchemeSupported { uuid: WIDEVINE_SYSTEM_ID })
             .unwrap()
@@ -482,10 +635,16 @@ mod tests {
 
     #[test]
     fn pool_size_is_configurable() {
-        let binder = ThreadedBinder::spawn_pool(server(), 4);
+        let binder = ThreadedBinder::builder(server()).workers(4).spawn();
         assert_eq!(binder.worker_count(), 4);
         exercise(&binder);
-        // Zero workers is clamped to one so the binder still serves.
+    }
+
+    /// The deprecated positional constructor keeps working for one
+    /// release and clamps zero workers to one.
+    #[test]
+    #[allow(deprecated)]
+    fn spawn_pool_shim_still_serves() {
         let binder = ThreadedBinder::spawn_pool(server(), 0);
         assert_eq!(binder.worker_count(), 1);
         exercise(&binder);
@@ -603,7 +762,7 @@ mod tests {
     }
 
     fn panicking_server() -> MediaDrmServer {
-        let cdm = Cdm::with_backend(Arc::new(PanickingBackend));
+        let cdm = Cdm::builder().backend(Arc::new(PanickingBackend)).build();
         let mut s = MediaDrmServer::new();
         s.register_plugin(WIDEVINE_SYSTEM_ID, Arc::new(cdm));
         s
@@ -615,8 +774,8 @@ mod tests {
     #[test]
     fn panic_in_handler_does_not_kill_the_pool() {
         for binder in [
-            Box::new(InProcessBinder::new(panicking_server())) as Box<dyn Binder>,
-            Box::new(ThreadedBinder::spawn_pool(panicking_server(), 2)),
+            Box::new(InProcessBinder::new(panicking_server())) as Box<dyn Transport>,
+            Box::new(ThreadedBinder::builder(panicking_server()).workers(2).spawn()),
         ] {
             for _ in 0..4 {
                 assert_eq!(
@@ -637,7 +796,7 @@ mod tests {
     #[test]
     fn queue_depth_gauge_is_exported() {
         wideleak_telemetry::enable();
-        let binder = ThreadedBinder::spawn_pool(server(), 2);
+        let binder = ThreadedBinder::builder(server()).workers(2).spawn();
         for i in 0..4u8 {
             let sid = binder
                 .transact(DrmCall::OpenSession { nonce: [i; 16] })
@@ -652,5 +811,75 @@ mod tests {
             "gauges: {:?}",
             snapshot.gauges
         );
+    }
+
+    use wideleak_faults::{FaultPlan, Schedule};
+
+    #[test]
+    fn dropped_transactions_surface_as_binder_died_on_both_transports() {
+        let plan = FaultPlan::builder()
+            .binder_fault("open_session", FaultKind::Drop, Schedule::Once { at: 0 })
+            .build();
+        for binder in [
+            Box::new(
+                InProcessBinder::new(server())
+                    .with_fault_injector(Arc::new(FaultInjector::new(&plan, 9))),
+            ) as Box<dyn Transport>,
+            Box::new(
+                ThreadedBinder::builder(server())
+                    .workers(2)
+                    .fault_injector(Arc::new(FaultInjector::new(&plan, 9)))
+                    .spawn(),
+            ),
+        ] {
+            assert_eq!(
+                binder.transact(DrmCall::OpenSession { nonce: [1; 16] }),
+                Err(DrmError::BinderDied)
+            );
+            // The rule fired once; the next call goes through.
+            assert!(binder.transact(DrmCall::OpenSession { nonce: [2; 16] }).is_ok());
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_contained_like_a_real_one() {
+        let plan = FaultPlan::builder()
+            .binder_fault("open_session", FaultKind::Panic, Schedule::FirstN { n: 2 })
+            .build();
+        let binder = InProcessBinder::new(server())
+            .with_fault_injector(Arc::new(FaultInjector::new(&plan, 3)));
+        for _ in 0..2 {
+            assert_eq!(
+                binder.transact(DrmCall::OpenSession { nonce: [1; 16] }),
+                Err(DrmError::ServerPanic)
+            );
+        }
+        assert!(binder.transact(DrmCall::OpenSession { nonce: [1; 16] }).is_ok());
+    }
+
+    #[test]
+    fn latency_fault_advances_the_virtual_clock_only() {
+        let plan = FaultPlan::builder()
+            .binder_fault("is_provisioned", FaultKind::Latency { ms: 750 }, Schedule::Always)
+            .build();
+        let injector = Arc::new(FaultInjector::new(&plan, 5));
+        let binder = InProcessBinder::new(server()).with_fault_injector(injector.clone());
+        assert!(binder.transact(DrmCall::IsProvisioned).is_ok(), "call still completes");
+        assert_eq!(injector.clock().now_ms(), 750);
+    }
+
+    #[test]
+    fn garbled_reply_mangles_byte_payloads() {
+        let plan = FaultPlan::builder()
+            .binder_fault("get_provision_request", FaultKind::GarbleBody, Schedule::Always)
+            .build();
+        let clean = InProcessBinder::new(server());
+        let faulty = InProcessBinder::new(server())
+            .with_fault_injector(Arc::new(FaultInjector::new(&plan, 5)));
+        let good =
+            clean.transact(DrmCall::GetProvisionRequest { nonce: [7; 16] }).unwrap().into_bytes();
+        let bad =
+            faulty.transact(DrmCall::GetProvisionRequest { nonce: [7; 16] }).unwrap().into_bytes();
+        assert_ne!(good, bad, "payload scrambled in flight");
     }
 }

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use wideleak_bmff::fragment::InitSegment;
 use wideleak_bmff::types::KeyId;
 
-use crate::binder::Binder;
+use crate::binder::Transport;
 use crate::mediacodec::{Frame, MediaCodec};
 use crate::mediacrypto::MediaCrypto;
 use crate::mediadrm::MediaDrm;
@@ -134,7 +134,7 @@ impl ExoPlayer {
     /// # Errors
     ///
     /// Returns [`ExoError::Drm`] when the scheme is unsupported.
-    pub fn new(binder: Arc<dyn Binder>, uuid: [u8; 16]) -> Result<Self, ExoError> {
+    pub fn new(binder: Arc<dyn Transport>, uuid: [u8; 16]) -> Result<Self, ExoError> {
         Ok(ExoPlayer { drm: MediaDrm::new(binder, uuid)? })
     }
 

@@ -70,6 +70,12 @@ impl DrmError {
     }
 }
 
+impl wideleak_faults::ErrorClass for DrmError {
+    fn class(&self) -> &'static str {
+        Self::class(self)
+    }
+}
+
 impl fmt::Display for DrmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

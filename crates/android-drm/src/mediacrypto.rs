@@ -10,13 +10,13 @@ use std::sync::Arc;
 
 use wideleak_bmff::types::KeyId;
 
-use crate::binder::{Binder, DrmCall};
+use crate::binder::{DrmCall, Transport};
 use crate::mediadrm::MediaDrm;
 use crate::DrmError;
 
 /// A decrypt handle bound to one session.
 pub struct MediaCrypto {
-    binder: Arc<dyn Binder>,
+    binder: Arc<dyn Transport>,
     session_id: u32,
 }
 
@@ -38,7 +38,7 @@ impl MediaCrypto {
     }
 
     /// The shared binder (used by [`crate::mediacodec::MediaCodec`]).
-    pub(crate) fn binder(&self) -> &Arc<dyn Binder> {
+    pub(crate) fn binder(&self) -> &Arc<dyn Transport> {
         &self.binder
     }
 

@@ -5,12 +5,12 @@ use std::sync::Arc;
 
 use wideleak_bmff::types::KeyId;
 
-use crate::binder::{Binder, DrmCall};
+use crate::binder::{DrmCall, Transport};
 use crate::DrmError;
 
 /// An app-side `MediaDrm` instance bound to one scheme UUID.
 pub struct MediaDrm {
-    binder: Arc<dyn Binder>,
+    binder: Arc<dyn Transport>,
     uuid: [u8; 16],
 }
 
@@ -26,7 +26,7 @@ impl MediaDrm {
     /// # Errors
     ///
     /// Returns [`DrmError::UnsupportedScheme`].
-    pub fn new(binder: Arc<dyn Binder>, uuid: [u8; 16]) -> Result<Self, DrmError> {
+    pub fn new(binder: Arc<dyn Transport>, uuid: [u8; 16]) -> Result<Self, DrmError> {
         let supported = binder.transact(DrmCall::IsSchemeSupported { uuid })?.into_bool()?;
         if !supported {
             return Err(DrmError::UnsupportedScheme { uuid });
@@ -40,7 +40,7 @@ impl MediaDrm {
     ///
     /// Propagates transport failures.
     pub fn is_crypto_scheme_supported(
-        binder: &Arc<dyn Binder>,
+        binder: &Arc<dyn Transport>,
         uuid: [u8; 16],
     ) -> Result<bool, DrmError> {
         binder.transact(DrmCall::IsSchemeSupported { uuid })?.into_bool()
@@ -52,7 +52,7 @@ impl MediaDrm {
     }
 
     /// The shared binder (used by [`crate::mediacrypto::MediaCrypto`]).
-    pub fn binder(&self) -> &Arc<dyn Binder> {
+    pub fn binder(&self) -> &Arc<dyn Transport> {
         &self.binder
     }
 
@@ -155,9 +155,10 @@ mod tests {
     use wideleak_device::catalog::DeviceModel;
     use wideleak_device::Device;
 
-    fn binder() -> Arc<dyn Binder> {
+    fn binder() -> Arc<dyn Transport> {
         let device = Device::new(DeviceModel::nexus_5());
-        let cdm = Cdm::boot(&device, Keybox::issue(b"mediadrm-test", &[3; 16])).unwrap();
+        let cdm =
+            Cdm::builder().keybox(Keybox::issue(b"mediadrm-test", &[3; 16])).boot(&device).unwrap();
         let mut server = MediaDrmServer::new();
         server.register_plugin(WIDEVINE_SYSTEM_ID, Arc::new(cdm));
         Arc::new(InProcessBinder::new(server))

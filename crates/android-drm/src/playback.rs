@@ -6,7 +6,7 @@ use std::sync::Arc;
 use wideleak_bmff::fragment::{InitSegment, MediaSegment};
 use wideleak_bmff::types::KeyId;
 
-use crate::binder::Binder;
+use crate::binder::Transport;
 use crate::mediacodec::{Frame, MediaCodec};
 use crate::mediacrypto::MediaCrypto;
 use crate::mediadrm::MediaDrm;
@@ -110,7 +110,7 @@ pub struct MediaBundle {
 /// accumulated so far is lost (a failed playback is diagnosed through the
 /// error, traces are for successful runs).
 pub fn play_protected_content(
-    binder: Arc<dyn Binder>,
+    binder: Arc<dyn Transport>,
     uuid: [u8; 16],
     content_id: &str,
     key_ids: &[KeyId],

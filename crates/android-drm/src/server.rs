@@ -54,6 +54,16 @@ impl MediaDrmServer {
         self.plugins.contains_key(uuid)
     }
 
+    /// Advances every registered plugin's CDM logical clock by `secs`.
+    /// This is the clock-skew fault's entry point: licences loaded before
+    /// the skew age past their duration and start expiring.
+    pub fn advance_clocks(&self, secs: u64) {
+        for cdm in self.plugins.values() {
+            // A plugin whose TEE session is gone simply misses the skew.
+            let _ = cdm.oemcrypto().advance_clock(secs);
+        }
+    }
+
     fn active_cdm(&self) -> Result<&Arc<Cdm>, DrmError> {
         let uuid = self.active.ok_or(DrmError::UnsupportedScheme { uuid: [0; 16] })?;
         self.plugins.get(&uuid).ok_or(DrmError::UnsupportedScheme { uuid })
@@ -154,7 +164,8 @@ mod tests {
 
     fn boot_server() -> MediaDrmServer {
         let device = Device::new(DeviceModel::pixel_6());
-        let cdm = Cdm::boot(&device, Keybox::issue(b"server-test", &[2; 16])).unwrap();
+        let cdm =
+            Cdm::builder().keybox(Keybox::issue(b"server-test", &[2; 16])).boot(&device).unwrap();
         let mut s = MediaDrmServer::new();
         s.register_plugin(WIDEVINE_SYSTEM_ID, Arc::new(cdm));
         s

@@ -82,6 +82,12 @@ impl AttackError {
     }
 }
 
+impl wideleak_faults::ErrorClass for AttackError {
+    fn class(&self) -> &'static str {
+        Self::class(self)
+    }
+}
+
 impl fmt::Display for AttackError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -44,9 +44,7 @@ impl AttackOutcome {
     }
 
     fn failed(app_name: String, keybox: bool, rsa: bool, failure: AttackError) -> Self {
-        if wideleak_telemetry::is_enabled() {
-            wideleak_telemetry::incr(&format!("attack.error.{}", failure.class()));
-        }
+        wideleak_faults::record_error("attack.error", &failure);
         AttackOutcome {
             app_name,
             keybox_recovered: keybox,

@@ -19,7 +19,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use wideleak::android_drm::binder::{Binder, DrmCall, ThreadedBinder};
+use wideleak::android_drm::binder::{DrmCall, ThreadedBinder, Transport};
 use wideleak::android_drm::server::MediaDrmServer;
 use wideleak::bmff::types::{KeyId, WIDEVINE_SYSTEM_ID};
 use wideleak::cdm::cdm::Cdm;
@@ -54,12 +54,13 @@ fn boot_binder(eco: &Ecosystem) -> ThreadedBinder {
     );
     backend.install_keybox(eco.trust().issue_keybox("bench-decrypt-scaling")).unwrap();
     let mut server = MediaDrmServer::new();
-    server.register_plugin(WIDEVINE_SYSTEM_ID, Arc::new(Cdm::with_backend(Arc::new(backend))));
-    ThreadedBinder::spawn_pool(server, WORKERS)
+    let cdm = Cdm::builder().backend(Arc::new(backend)).build();
+    server.register_plugin(WIDEVINE_SYSTEM_ID, Arc::new(cdm));
+    ThreadedBinder::builder(server).workers(WORKERS).spawn()
 }
 
 /// Provisions the device through the binder, like first app launch does.
-fn provision(binder: &dyn Binder, eco: &Ecosystem) {
+fn provision(binder: &dyn Transport, eco: &Ecosystem) {
     let req = binder
         .transact(DrmCall::GetProvisionRequest { nonce: [7; 16] })
         .unwrap()
@@ -70,7 +71,7 @@ fn provision(binder: &dyn Binder, eco: &Ecosystem) {
 }
 
 /// Opens and licenses one session; returns it with a decryptable kid.
-fn license_session(binder: &dyn Binder, eco: &Ecosystem, token: &str, tag: u8) -> (u32, KeyId) {
+fn license_session(binder: &dyn Transport, eco: &Ecosystem, token: &str, tag: u8) -> (u32, KeyId) {
     let sid = binder
         .transact(DrmCall::OpenSession { nonce: [tag; 16] })
         .unwrap()

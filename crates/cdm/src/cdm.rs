@@ -33,7 +33,44 @@ impl std::fmt::Debug for Cdm {
     }
 }
 
-impl Cdm {
+/// Configures and boots a [`Cdm`]. Obtained from [`Cdm::builder`].
+///
+/// Two terminal operations exist: [`boot`](CdmBuilder::boot) selects the
+/// backend from a device model and needs a keybox, while
+/// [`build`](CdmBuilder::build) wraps a pre-made backend (instrumented or
+/// faulty ones in tests) without touching any device.
+#[derive(Default)]
+pub struct CdmBuilder {
+    keybox: Option<Keybox>,
+    backend: Option<Arc<dyn OemCrypto + Sync>>,
+    force_l3: bool,
+}
+
+impl CdmBuilder {
+    /// The factory keybox to install at boot. Required by
+    /// [`boot`](Self::boot).
+    #[must_use]
+    pub fn keybox(mut self, keybox: Keybox) -> Self {
+        self.keybox = Some(keybox);
+        self
+    }
+
+    /// Uses an already-built backend instead of selecting one from the
+    /// device model. Terminalised by [`build`](Self::build).
+    #[must_use]
+    pub fn backend(mut self, backend: Arc<dyn OemCrypto + Sync>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Forces the software L3 engine even on L1-capable hardware — the
+    /// degraded-playback path apps fall back to when HD keeps failing.
+    #[must_use]
+    pub fn force_l3(mut self, force: bool) -> Self {
+        self.force_l3 = force;
+        self
+    }
+
     /// Boots the CDM on a device and installs its factory keybox.
     ///
     /// The backend follows the device model: L1 hardware boots a secure
@@ -43,10 +80,17 @@ impl Cdm {
     /// # Errors
     ///
     /// Propagates keybox installation failures.
-    pub fn boot(device: &Device, keybox: Keybox) -> Result<Self, CdmError> {
+    ///
+    /// # Panics
+    ///
+    /// Panics if no keybox was supplied (a configuration bug, not a
+    /// runtime condition).
+    pub fn boot(self, device: &Device) -> Result<Cdm, CdmError> {
+        let keybox = self.keybox.expect("CdmBuilder::boot requires a keybox");
         let model = device.model();
+        let level = if self.force_l3 { SecurityLevel::L3 } else { model.security_level };
         let (backend, secure_world): (Arc<dyn OemCrypto + Sync>, Option<Arc<SecureWorld>>) =
-            match model.security_level {
+            match level {
                 SecurityLevel::L1 => {
                     let world = Arc::new(SecureWorld::new());
                     let backend = L1OemCrypto::new(
@@ -69,10 +113,39 @@ impl Cdm {
         Ok(Cdm { backend, secure_world })
     }
 
-    /// Wraps an already-built backend. Tests use this to inject faulty or
-    /// instrumented backends behind the normal HAL surface.
-    pub fn with_backend(backend: Arc<dyn OemCrypto + Sync>) -> Self {
+    /// Wraps the supplied backend directly (no device, no keybox).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no backend was supplied.
+    #[must_use]
+    pub fn build(self) -> Cdm {
+        let backend = self.backend.expect("CdmBuilder::build requires a backend");
         Cdm { backend, secure_world: None }
+    }
+}
+
+impl Cdm {
+    /// Starts configuring a CDM.
+    #[must_use]
+    pub fn builder() -> CdmBuilder {
+        CdmBuilder::default()
+    }
+
+    /// Boots the CDM on a device and installs its factory keybox.
+    ///
+    /// # Errors
+    ///
+    /// Propagates keybox installation failures.
+    #[deprecated(since = "0.1.0", note = "use Cdm::builder().keybox(kb).boot(device)")]
+    pub fn boot(device: &Device, keybox: Keybox) -> Result<Self, CdmError> {
+        Cdm::builder().keybox(keybox).boot(device)
+    }
+
+    /// Wraps an already-built backend.
+    #[deprecated(since = "0.1.0", note = "use Cdm::builder().backend(b).build()")]
+    pub fn with_backend(backend: Arc<dyn OemCrypto + Sync>) -> Self {
+        Cdm::builder().backend(backend).build()
     }
 
     /// The active OEMCrypto backend.
@@ -109,7 +182,7 @@ mod tests {
     #[test]
     fn boot_l3_on_nexus_5() {
         let device = Device::new(DeviceModel::nexus_5());
-        let cdm = Cdm::boot(&device, keybox()).unwrap();
+        let cdm = Cdm::builder().keybox(keybox()).boot(&device).unwrap();
         assert_eq!(cdm.security_level(), SecurityLevel::L3);
         assert_eq!(cdm.version(), CdmVersion::new(3, 1, 0));
         assert!(cdm.secure_world().is_none());
@@ -120,7 +193,7 @@ mod tests {
     #[test]
     fn boot_l1_on_pixel_6() {
         let device = Device::new(DeviceModel::pixel_6());
-        let cdm = Cdm::boot(&device, keybox()).unwrap();
+        let cdm = Cdm::builder().keybox(keybox()).boot(&device).unwrap();
         assert_eq!(cdm.security_level(), SecurityLevel::L1);
         assert!(cdm.secure_world().is_some());
         assert!(cdm.secure_world().unwrap().has_trustlet("widevine"));
@@ -129,9 +202,25 @@ mod tests {
     }
 
     #[test]
-    fn debug_output() {
+    fn force_l3_downgrades_l1_hardware() {
+        let device = Device::new(DeviceModel::pixel_6());
+        let cdm = Cdm::builder().keybox(keybox()).force_l3(true).boot(&device).unwrap();
+        assert_eq!(cdm.security_level(), SecurityLevel::L3);
+        assert!(cdm.secure_world().is_none(), "no secure world booted for forced L3");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn boot_shim_still_boots() {
         let device = Device::new(DeviceModel::nexus_5());
         let cdm = Cdm::boot(&device, keybox()).unwrap();
+        assert_eq!(cdm.security_level(), SecurityLevel::L3);
+    }
+
+    #[test]
+    fn debug_output() {
+        let device = Device::new(DeviceModel::nexus_5());
+        let cdm = Cdm::builder().keybox(keybox()).boot(&device).unwrap();
         let s = format!("{cdm:?}");
         assert!(s.contains("3.1.0") && s.contains("L3"));
     }

@@ -113,6 +113,12 @@ impl CdmError {
     }
 }
 
+impl wideleak_faults::ErrorClass for CdmError {
+    fn class(&self) -> &'static str {
+        Self::class(self)
+    }
+}
+
 impl fmt::Display for CdmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

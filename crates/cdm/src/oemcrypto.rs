@@ -849,8 +849,16 @@ impl WidevineTrustlet {
     }
 }
 
-fn tee_bad_params(_: CdmError) -> TeeError {
-    TeeError::BadParameters { reason: "CDM operation failed" }
+/// The one CDM failure that must survive the world switch with its class
+/// intact: real OEMCrypto has a dedicated error code for expired
+/// licenses, and renewal logic in the normal world keys off it.
+const TEE_KEY_EXPIRED: &str = "content key license expired";
+
+fn tee_bad_params(e: CdmError) -> TeeError {
+    match e {
+        CdmError::KeyExpired => TeeError::AccessDenied { reason: TEE_KEY_EXPIRED },
+        _ => TeeError::BadParameters { reason: "CDM operation failed" },
+    }
 }
 
 impl Trustlet for WidevineTrustlet {
@@ -1105,7 +1113,11 @@ impl L1OemCrypto {
     }
 
     fn call(&self, function: &str, command: u32, input: Vec<u8>) -> Result<Vec<u8>, CdmError> {
-        let result = self.world.invoke(WIDEVINE_TRUSTLET, command, &input)?;
+        let result =
+            self.world.invoke(WIDEVINE_TRUSTLET, command, &input).map_err(|e| match e {
+                TeeError::AccessDenied { reason: TEE_KEY_EXPIRED } => CdmError::KeyExpired,
+                other => CdmError::Tee(other),
+            })?;
         // L1's signature in the hook log: the call crosses
         // liboemcrypto.so. Input *and* output buffers live in the normal
         // world (they are the world-switch parameters), so hooks can dump

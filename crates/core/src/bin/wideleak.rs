@@ -8,6 +8,7 @@
 //! wideleak attack hulu      # attack one app
 //! wideleak spoof            # the §V-C forged-L1 experiment
 //! wideleak play <slug>      # one instrumented playback with trace dump
+//! wideleak resilience       # the Q5 fault-schedule sweep
 //! wideleak stats <file>     # re-render a telemetry JSONL export
 //! ```
 //!
@@ -21,18 +22,20 @@ use std::process::ExitCode;
 use wideleak::attack::recover::{attack_all, attack_app};
 use wideleak::device::catalog::DeviceModel;
 use wideleak::monitor::report::{render_call_histogram, render_insights, render_table_1};
+use wideleak::monitor::resilience::{render_q5, run_resilience_study};
 use wideleak::monitor::study::{run_study, study_app};
 use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
 use wideleak::telemetry;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: wideleak [--fast] [--seed N] [--telemetry FILE.jsonl] <command>\n\
+        "usage: wideleak [--fast] [--seed N] [--quick] [--telemetry FILE.jsonl] <command>\n\
          commands:\n\
            study [slug]   regenerate Table I (or one app's findings)\n\
            attack [slug]  run the CVE-2021-0639 pipeline\n\
            spoof          run the forged-L1 HD experiment (Section V-C)\n\
            play <slug>    one instrumented playback with a Figure-1 trace\n\
+           resilience     run the Q5 fault-schedule sweep (--quick: 4 apps)\n\
            stats FILE     re-render a telemetry JSONL export as a summary"
     );
     ExitCode::FAILURE
@@ -56,11 +59,13 @@ fn export_telemetry(path: &str, print_summary: bool) {
 fn main() -> ExitCode {
     let mut config = EcosystemConfig::default();
     let mut telemetry_path: Option<String> = None;
+    let mut quick = false;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => config.rsa_bits = 768,
+            "--quick" => quick = true,
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(seed) => config.seed = seed,
                 None => return usage(),
@@ -103,6 +108,7 @@ fn main() -> ExitCode {
         telemetry::enable();
         telemetry::event("info", format!("run start: {command} {}", slug.unwrap_or("")));
     }
+    let seed = config.seed;
     let eco = Ecosystem::new(config);
 
     let code = match (command, slug) {
@@ -172,6 +178,11 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        ("resilience", _) => {
+            let report = run_resilience_study(seed, quick);
+            println!("{}", render_q5(&report));
+            ExitCode::SUCCESS
         }
         ("play", Some(slug)) => {
             let stack = eco.boot_device(DeviceModel::pixel_6(), true);

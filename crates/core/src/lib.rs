@@ -41,6 +41,7 @@
 //! | [`cdm`] | `wideleak-cdm` | the Widevine CDM: keybox, ladder, L1/L3 |
 //! | [`android_drm`] | `wideleak-android-drm` | MediaDrm/MediaCrypto/MediaCodec |
 //! | [`ott`] | `wideleak-ott` | CDN, license/provisioning servers, 10 apps |
+//! | [`faults`] | `wideleak-faults` | seeded fault injection + resilience policies |
 //! | [`monitor`] | `wideleak-monitor` | the WideLeak study tool (Table I) |
 //! | [`attack`] | `wideleak-attack` | the CVE-2021-0639 proof of concept |
 
@@ -56,6 +57,7 @@ pub use wideleak_cenc as cenc;
 pub use wideleak_crypto as crypto;
 pub use wideleak_dash as dash;
 pub use wideleak_device as device;
+pub use wideleak_faults as faults;
 pub use wideleak_monitor as monitor;
 pub use wideleak_ott as ott;
 pub use wideleak_tee as tee;

@@ -26,6 +26,22 @@ pub enum NetError {
         /// The endpoint's error message.
         message: String,
     },
+    /// The connection dropped mid-request (injected or real resets).
+    ConnectionReset,
+    /// The request exceeded the caller's per-call budget.
+    TimedOut,
+}
+
+impl NetError {
+    /// A stable lowercase label for telemetry error-class counters.
+    pub fn class(&self) -> &'static str {
+        match self {
+            NetError::PinningViolation => "pinning_violation",
+            NetError::EndpointError { .. } => "endpoint_error",
+            NetError::ConnectionReset => "connection_reset",
+            NetError::TimedOut => "timed_out",
+        }
+    }
 }
 
 impl fmt::Display for NetError {
@@ -35,11 +51,19 @@ impl fmt::Display for NetError {
                 f.write_str("TLS handshake failed: pinned certificate mismatch")
             }
             NetError::EndpointError { message } => write!(f, "endpoint error: {message}"),
+            NetError::ConnectionReset => f.write_str("connection reset by peer"),
+            NetError::TimedOut => f.write_str("request timed out"),
         }
     }
 }
 
 impl std::error::Error for NetError {}
+
+impl wideleak_faults::ErrorClass for NetError {
+    fn class(&self) -> &'static str {
+        Self::class(self)
+    }
+}
 
 /// A remote HTTP-like endpoint (implemented by the OTT backend servers).
 pub trait RemoteEndpoint: Send + Sync {

@@ -1,0 +1,68 @@
+//! The fault-injection and resilience plane.
+//!
+//! WideLeak's Q1–Q4 hinge on how apps *react to failure*: refused
+//! provisioning, rejected licenses, expired keys, broken transports. This
+//! crate makes those failures first-class and reproducible:
+//!
+//! - [`plan`] — a declarative [`FaultPlan`]: which faults fire, where
+//!   (server paths or binder transactions), and on what schedule;
+//! - [`inject`] — the seeded [`FaultInjector`] that evaluates the plan
+//!   deterministically and keeps an injection log, plus the shared
+//!   [`VirtualClock`] faults and policies advance instead of wall time;
+//! - [`policy`] — the client side: [`ResiliencePolicy`] with bounded
+//!   retries, exponential backoff with deterministic jitter, per-call
+//!   timeouts and graceful-degradation switches.
+//!
+//! Everything is keyed on seeds and per-rule counters — no wall clocks,
+//! no OS randomness — so replaying a seeded plan yields the identical
+//! injection sequence and telemetry stream every time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inject;
+pub mod plan;
+pub mod policy;
+
+pub use inject::{corrupt_body, det_hash, FaultInjector, InjectionEvent, VirtualClock};
+pub use plan::{FaultKind, FaultPlan, FaultPlanBuilder, FaultRule, Plane, Schedule};
+pub use policy::ResiliencePolicy;
+
+/// Uniform error-class labelling across the workspace's error enums.
+///
+/// Every crate's error type already exposes an inherent
+/// `class() -> &'static str`; this trait lifts those into one interface
+/// so telemetry and the fault layer can label any error without
+/// per-crate match arms.
+pub trait ErrorClass {
+    /// A stable lowercase label for telemetry error-class counters.
+    fn class(&self) -> &'static str;
+}
+
+/// Bumps the `<prefix>.<class>` telemetry counter for an error — the one
+/// shared error-recording path all layers use.
+pub fn record_error(prefix: &str, error: &dyn ErrorClass) {
+    if wideleak_telemetry::is_enabled() {
+        wideleak_telemetry::incr(&format!("{prefix}.{}", error.class()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Boom;
+    impl ErrorClass for Boom {
+        fn class(&self) -> &'static str {
+            "boom"
+        }
+    }
+
+    #[test]
+    fn record_error_labels_by_class() {
+        wideleak_telemetry::enable();
+        record_error("faults.test.error", &Boom);
+        let snapshot = wideleak_telemetry::snapshot();
+        assert!(snapshot.counters.iter().any(|(name, _)| name == "faults.test.error.boom"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Client-side resilience: bounded retries, deterministic backoff,
+//! per-call timeouts, graceful degradation.
+//!
+//! The policy is pure configuration (`Clone + PartialEq + Eq` — all
+//! integer knobs, no floats) and the backoff schedule is a pure function
+//! of `(policy, attempt, salt)`, so replays are exact.
+
+use crate::inject::det_hash;
+
+/// How an app client reacts to failures. Carried in the ecosystem config
+/// and applied by every installed [`OttApp`].
+///
+/// [`OttApp`]: https://docs.rs/wideleak-ott
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResiliencePolicy {
+    /// Bounded retry budget per logical operation (0 = fail fast).
+    pub max_retries: u32,
+    /// First backoff delay in virtual milliseconds; doubles per attempt.
+    pub backoff_base_ms: u64,
+    /// Ceiling for the exponential backoff.
+    pub backoff_cap_ms: u64,
+    /// Deterministic jitter added to each delay, drawn in
+    /// `0..jitter_ms` from the seeded hash (0 disables jitter).
+    pub jitter_ms: u64,
+    /// Per-call budget on the virtual clock; calls that consume more are
+    /// treated as timed out (and retried like transport failures).
+    pub timeout_ms: u64,
+    /// Whether an L1 device falls back to L3-class (SD) playback when HD
+    /// paths persistently fail — graceful degradation.
+    pub l3_fallback: bool,
+    /// Whether an expired license is renewed once (fresh session +
+    /// license) instead of aborting playback.
+    pub renew_on_expiry: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            max_retries: 3,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 2_000,
+            jitter_ms: 50,
+            timeout_ms: 10_000,
+            l3_fallback: true,
+            renew_on_expiry: true,
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// A fail-fast policy: no retries, no degradation. Useful as the
+    /// control arm of resilience sweeps.
+    #[must_use]
+    pub fn none() -> Self {
+        ResiliencePolicy {
+            max_retries: 0,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+            jitter_ms: 0,
+            timeout_ms: u64::MAX,
+            l3_fallback: false,
+            renew_on_expiry: false,
+        }
+    }
+
+    /// The delay before retry `attempt` (1-based): capped exponential
+    /// backoff plus deterministic jitter keyed on `salt` (callers derive
+    /// the salt from a seed and the operation identity).
+    #[must_use]
+    pub fn backoff_delay_ms(&self, attempt: u32, salt: u64) -> u64 {
+        let shift = attempt.saturating_sub(1).min(32);
+        let exp = self.backoff_base_ms.saturating_mul(1u64 << shift);
+        let base = exp.min(self.backoff_cap_ms);
+        let jitter = if self.jitter_ms == 0 {
+            0
+        } else {
+            det_hash(salt, u64::from(attempt)) % self.jitter_ms
+        };
+        base + jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_up_to_the_cap() {
+        let policy = ResiliencePolicy { jitter_ms: 0, ..ResiliencePolicy::default() };
+        assert_eq!(policy.backoff_delay_ms(1, 0), 100);
+        assert_eq!(policy.backoff_delay_ms(2, 0), 200);
+        assert_eq!(policy.backoff_delay_ms(3, 0), 400);
+        assert_eq!(policy.backoff_delay_ms(10, 0), 2_000, "capped");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let policy = ResiliencePolicy::default();
+        let a = policy.backoff_delay_ms(2, 99);
+        let b = policy.backoff_delay_ms(2, 99);
+        assert_eq!(a, b, "same salt, same delay");
+        assert!(a >= 200 && a < 200 + policy.jitter_ms);
+        // A different salt draws a different jitter for at least one of a
+        // few salts (not all — jitter space is small).
+        assert!((0..8).any(|s| policy.backoff_delay_ms(2, s) != a));
+    }
+
+    #[test]
+    fn none_policy_fails_fast() {
+        let policy = ResiliencePolicy::none();
+        assert_eq!(policy.max_retries, 0);
+        assert!(!policy.l3_fallback);
+        assert!(!policy.renew_on_expiry);
+        assert_eq!(policy.backoff_delay_ms(1, 0), 0);
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow() {
+        let policy = ResiliencePolicy::default();
+        assert_eq!(policy.backoff_delay_ms(u32::MAX, 0) - policy.backoff_delay_ms(u32::MAX, 0), 0);
+        assert!(policy.backoff_delay_ms(u32::MAX, 0) <= policy.backoff_cap_ms + policy.jitter_ms);
+    }
+}

@@ -16,7 +16,9 @@
 //!   subtitle tracks;
 //! - [`classify`] — the Q1–Q4 classifiers and their cell types;
 //! - [`study`] — the orchestrated study over all ten apps;
-//! - [`report`] — Table-I rendering.
+//! - [`report`] — Table-I rendering;
+//! - [`resilience`] — the Q5 fault-schedule sweep: which apps recover,
+//!   degrade, retry-storm or fail closed under injected faults.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@ pub mod assets;
 pub mod classify;
 pub mod netcap;
 pub mod report;
+pub mod resilience;
 pub mod study;
 pub mod trace;
 
@@ -60,6 +63,12 @@ impl MonitorError {
             MonitorError::Probe { .. } => "probe",
             MonitorError::App { .. } => "app",
         }
+    }
+}
+
+impl wideleak_faults::ErrorClass for MonitorError {
+    fn class(&self) -> &'static str {
+        Self::class(self)
     }
 }
 

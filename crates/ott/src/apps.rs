@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use wideleak_android_drm::binder::Binder;
+use wideleak_android_drm::binder::Transport;
 use wideleak_android_drm::mediacrypto::MediaCrypto;
 use wideleak_android_drm::mediadrm::MediaDrm;
 use wideleak_android_drm::playback::{play_protected_content, MediaBundle, PlaybackTrace};
@@ -27,8 +27,9 @@ use wideleak_cenc::keys::MemoryKeyStore;
 use wideleak_cenc::track::decrypt_segment;
 use wideleak_dash::mpd::{ContentType, Mpd};
 use wideleak_device::catalog::{CdmVersion, SecurityLevel};
-use wideleak_device::net::{NetworkStack, RemoteEndpoint};
+use wideleak_device::net::{NetError, NetworkStack, RemoteEndpoint};
 use wideleak_device::Device;
+use wideleak_faults::{ResiliencePolicy, VirtualClock};
 
 use crate::cdn::{CdnAppConfig, URI_CHANNEL_IV};
 use crate::content::{kid_from_label, AudioProtection, L3_MAX_HEIGHT};
@@ -292,6 +293,7 @@ pub fn encode_backend_error(e: &OttError) -> String {
         OttError::Unauthorized => "UNAUTHORIZED".to_owned(),
         OttError::DeviceRevoked { cdm_version } => format!("REVOKED:{cdm_version}"),
         OttError::NotFound { what } => format!("NOTFOUND:{what}"),
+        OttError::Net(NetError::ConnectionReset) => "NETRESET".to_owned(),
         other => format!("ERROR:{other}"),
     }
 }
@@ -300,12 +302,49 @@ pub fn encode_backend_error(e: &OttError) -> String {
 pub fn decode_backend_error(s: &str) -> OttError {
     if s == "UNAUTHORIZED" {
         OttError::Unauthorized
+    } else if s == "NETRESET" {
+        OttError::Net(NetError::ConnectionReset)
     } else if let Some(v) = s.strip_prefix("REVOKED:") {
         OttError::DeviceRevoked { cdm_version: v.to_owned() }
     } else if let Some(what) = s.strip_prefix("NOTFOUND:") {
         OttError::NotFound { what: what.to_owned() }
     } else {
         OttError::Protocol { reason: s.to_owned() }
+    }
+}
+
+/// The client's own view of its resilience behaviour, kept as atomics so
+/// concurrent playbacks inside one app aggregate safely.
+#[derive(Debug, Default)]
+pub struct RetryStats {
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    l3_fallbacks: AtomicU64,
+    renewals: AtomicU64,
+}
+
+/// A point-in-time copy of [`RetryStats`] — what the resilience study
+/// classifies outcomes from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStatsSnapshot {
+    /// Retries performed (transport and playback level combined).
+    pub retries: u64,
+    /// Calls abandoned for exceeding the per-call budget.
+    pub timeouts: u64,
+    /// Playbacks degraded from L1/HD to L3-class quality.
+    pub l3_fallbacks: u64,
+    /// Licenses renewed after an expiry.
+    pub renewals: u64,
+}
+
+impl RetryStats {
+    fn snapshot(&self) -> RetryStatsSnapshot {
+        RetryStatsSnapshot {
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            l3_fallbacks: self.l3_fallbacks.load(Ordering::Relaxed),
+            renewals: self.renewals.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -356,12 +395,15 @@ pub struct OttApp {
     profile: AppProfile,
     backend: Arc<dyn RemoteEndpoint>,
     network: Arc<NetworkStack>,
-    binder: Arc<dyn Binder>,
+    binder: Arc<dyn Transport>,
     device: Option<Arc<Device>>,
     device_level: SecurityLevel,
     account_token: String,
     nonce_counter: AtomicU64,
     embedded: Option<EmbeddedWidevine>,
+    policy: ResiliencePolicy,
+    clock: Arc<VirtualClock>,
+    stats: RetryStats,
 }
 
 impl std::fmt::Debug for OttApp {
@@ -378,7 +420,7 @@ impl OttApp {
         profile: AppProfile,
         backend: Arc<dyn RemoteEndpoint>,
         network: Arc<NetworkStack>,
-        binder: Arc<dyn Binder>,
+        binder: Arc<dyn Transport>,
         device_level: SecurityLevel,
         account_token: String,
         embedded: Option<EmbeddedWidevine>,
@@ -393,6 +435,9 @@ impl OttApp {
             account_token,
             nonce_counter: AtomicU64::new(1),
             embedded,
+            policy: ResiliencePolicy::default(),
+            clock: Arc::new(VirtualClock::new()),
+            stats: RetryStats::default(),
         }
     }
 
@@ -401,6 +446,22 @@ impl OttApp {
     pub fn with_device(mut self, device: Arc<Device>) -> Self {
         self.device = Some(device);
         self
+    }
+
+    /// Configures the app's resilience policy and binds it to the
+    /// ecosystem's virtual clock (so injected latency and client backoff
+    /// share one timeline).
+    #[must_use]
+    pub fn with_resilience(mut self, policy: ResiliencePolicy, clock: Arc<VirtualClock>) -> Self {
+        self.policy = policy;
+        self.clock = clock;
+        self
+    }
+
+    /// What the client did to survive: retries, timeouts, degradations,
+    /// renewals.
+    pub fn retry_stats(&self) -> RetryStatsSnapshot {
+        self.stats.snapshot()
     }
 
     /// The SafetyNet-style check: refuse to run when a detectable
@@ -432,13 +493,59 @@ impl OttApp {
         nonce
     }
 
-    fn send(&self, path: &str, body: &[u8]) -> Result<Vec<u8>, OttError> {
-        self.network.send(self.backend.as_ref(), path, body).map_err(|e| match e {
-            wideleak_device::net::NetError::EndpointError { message } => {
-                decode_backend_error(&message)
-            }
+    /// One request, no retries: pinned TLS to the backend, with the
+    /// per-call budget enforced on the virtual clock (injected latency
+    /// pushes a call over it).
+    fn send_once(&self, path: &str, body: &[u8]) -> Result<Vec<u8>, OttError> {
+        let started = self.clock.now_ms();
+        let result = self.network.send(self.backend.as_ref(), path, body).map_err(|e| match e {
+            NetError::EndpointError { message } => decode_backend_error(&message),
             other => OttError::Net(other),
-        })
+        });
+        if self.clock.now_ms().saturating_sub(started) > self.policy.timeout_ms {
+            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            return Err(OttError::Net(NetError::TimedOut));
+        }
+        result
+    }
+
+    /// Whether retrying can plausibly help: server 5xx-class responses
+    /// and transport failures, never auth/policy refusals.
+    fn is_transient(error: &OttError) -> bool {
+        matches!(
+            error,
+            OttError::Protocol { .. }
+                | OttError::Net(NetError::ConnectionReset | NetError::TimedOut)
+                | OttError::Drm(DrmError::BinderDied | DrmError::ServerPanic)
+        )
+    }
+
+    /// Sleeps (on the virtual clock) before retry `attempt` and records
+    /// the retry in both the app's stats and telemetry.
+    fn backoff(&self, attempt: u32, op: &str) {
+        let mut salt = 0u64;
+        for b in op.bytes() {
+            salt = salt.rotate_left(7) ^ u64::from(b);
+        }
+        self.clock.advance_ms(self.policy.backoff_delay_ms(attempt, salt));
+        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+        if wideleak_telemetry::is_enabled() {
+            wideleak_telemetry::incr("retry.attempt");
+        }
+    }
+
+    /// Sends with the policy's bounded retry-and-backoff loop.
+    fn send(&self, path: &str, body: &[u8]) -> Result<Vec<u8>, OttError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.send_once(path, body) {
+                Err(e) if attempt < self.policy.max_retries && Self::is_transient(&e) => {
+                    attempt += 1;
+                    self.backoff(attempt, path);
+                }
+                result => return result,
+            }
+        }
     }
 
     /// Whether this playback will bypass the platform Widevine.
@@ -469,12 +576,35 @@ impl OttApp {
         Ok(())
     }
 
+    /// Whether an error is the CDM telling us the license aged out — the
+    /// one failure license renewal fixes.
+    fn is_expiry(error: &OttError) -> bool {
+        matches!(
+            error,
+            OttError::Drm(DrmError::Cdm(CdmError::KeyExpired))
+                | OttError::Cdm(CdmError::KeyExpired)
+        )
+    }
+
+    /// Whether degrading from HD/L1 to L3-class playback can help: content
+    /// and protocol failures yes; binder-transport deaths hit every
+    /// security level equally, so no.
+    fn fallback_can_help(error: &OttError) -> bool {
+        matches!(error, OttError::Protocol { .. } | OttError::NotFound { .. })
+    }
+
     /// Plays a title end to end: provisions, fetches the manifest,
     /// licenses, downloads and decrypts video/audio/subtitles.
     ///
+    /// Failures run through the app's [`ResiliencePolicy`]: expired
+    /// licenses are renewed once, transient errors retried with backoff,
+    /// and persistent HD failures degraded to L3-class playback when the
+    /// policy allows.
+    ///
     /// # Errors
     ///
-    /// Propagates every backend refusal and DRM failure.
+    /// Propagates every backend refusal and DRM failure the policy could
+    /// not absorb.
     pub fn play(&self, title_id: &str) -> Result<PlaybackOutcome, OttError> {
         if !self.attestation_passes() {
             return Err(OttError::AttestationFailed);
@@ -484,8 +614,53 @@ impl OttApp {
         }
         self.ensure_provisioned()?;
 
+        let mut attempt = 0u32;
+        let mut renewed = false;
+        let mut level = self.device_level;
+        loop {
+            match self.play_platform_at(title_id, level) {
+                Err(e) if self.policy.renew_on_expiry && !renewed && Self::is_expiry(&e) => {
+                    // A fresh session and license resets the key's loaded-at
+                    // time; renewal does not consume the retry budget.
+                    renewed = true;
+                    self.stats.renewals.fetch_add(1, Ordering::Relaxed);
+                    if wideleak_telemetry::is_enabled() {
+                        wideleak_telemetry::incr("license.renewed");
+                    }
+                }
+                Err(e) if attempt < self.policy.max_retries && Self::is_transient(&e) => {
+                    attempt += 1;
+                    self.backoff(attempt, "play");
+                }
+                Err(e)
+                    if self.policy.l3_fallback
+                        && level == SecurityLevel::L1
+                        && Self::fallback_can_help(&e) =>
+                {
+                    // Graceful degradation: retry the whole pipeline at
+                    // L3-class quality, with a fresh retry budget.
+                    level = SecurityLevel::L3;
+                    attempt = 0;
+                    self.stats.l3_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    if wideleak_telemetry::is_enabled() {
+                        wideleak_telemetry::incr("degraded.l3_fallback");
+                    }
+                }
+                result => return result,
+            }
+        }
+    }
+
+    /// One pass of the platform-Widevine playback pipeline at a given
+    /// security level (the resilience loop in [`play`](Self::play) may
+    /// run this more than once).
+    fn play_platform_at(
+        &self,
+        title_id: &str,
+        level: SecurityLevel,
+    ) -> Result<PlaybackOutcome, OttError> {
         let mpd = self.fetch_mpd(title_id)?;
-        let (resolution, video_rep_id, key_ids) = self.select_video(&mpd)?;
+        let (resolution, video_rep_id, key_ids) = self.select_video_at(&mpd, level)?;
 
         // Video through the full Figure-1 driver.
         let bundle = self.fetch_bundle(&mpd, &video_rep_id)?;
@@ -523,8 +698,24 @@ impl OttApp {
         })
     }
 
-    /// Fetches and (for Netflix) unwraps the manifest.
+    /// Fetches the manifest, retrying the whole fetch-and-parse when a
+    /// truncated or garbled body slips past the transport (the bytes
+    /// arrive fine; the parse is what fails).
     fn fetch_mpd(&self, title_id: &str) -> Result<Mpd, OttError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.fetch_mpd_once(title_id) {
+                Err(e) if attempt < self.policy.max_retries && Self::is_transient(&e) => {
+                    attempt += 1;
+                    self.backoff(attempt, "fetch_mpd");
+                }
+                result => return result,
+            }
+        }
+    }
+
+    /// One manifest fetch and (for Netflix) secure-channel unwrap.
+    fn fetch_mpd_once(&self, title_id: &str) -> Result<Mpd, OttError> {
         let path = format!("manifest/{}/{title_id}", self.profile.slug);
         let blob = self.send(&path, self.account_token.as_bytes())?;
         let xml = if self.profile.uri_protection {
@@ -549,12 +740,6 @@ impl OttApp {
         let text = String::from_utf8(xml)
             .map_err(|_| OttError::Protocol { reason: "manifest is not UTF-8".into() })?;
         Mpd::parse(&text).map_err(|e| OttError::Protocol { reason: format!("bad MPD: {e}") })
-    }
-
-    /// Picks the best video representation the device's level permits.
-    #[allow(clippy::type_complexity)]
-    fn select_video(&self, mpd: &Mpd) -> Result<((u32, u32), String, Vec<KeyId>), OttError> {
-        self.select_video_at(mpd, self.device_level)
     }
 
     /// Picks the best representation a given security level permits (the

@@ -5,15 +5,16 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use wideleak_android_drm::binder::{Binder, InProcessBinder, ThreadedBinder};
+use wideleak_android_drm::binder::{InProcessBinder, ThreadedBinder, Transport};
 use wideleak_android_drm::server::MediaDrmServer;
 use wideleak_bmff::types::WIDEVINE_SYSTEM_ID;
 use wideleak_cdm::cdm::Cdm;
 use wideleak_cdm::messages::ProvisioningRequest;
 use wideleak_cdm::wire::TlvReader;
 use wideleak_device::catalog::DeviceModel;
-use wideleak_device::net::RemoteEndpoint;
+use wideleak_device::net::{NetError, RemoteEndpoint};
 use wideleak_device::Device;
+use wideleak_faults::{corrupt_body, FaultInjector, FaultKind, FaultPlan, Plane, ResiliencePolicy};
 
 use crate::accounts::AccountRegistry;
 use crate::apps::{encode_backend_error, evaluated_apps, AppProfile, EmbeddedWidevine, OttApp};
@@ -25,7 +26,7 @@ use crate::trust::TrustAuthority;
 use crate::OttError;
 
 /// Ecosystem construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EcosystemConfig {
     /// Master seed for every deterministic derivation.
     pub seed: u64,
@@ -39,6 +40,11 @@ pub struct EcosystemConfig {
     /// deployment; `false` models the web-browser deployments the
     /// netflix-1080p exploit abused (paper §V-C).
     pub verify_attested_level: bool,
+    /// Faults injected into server and binder traffic. Empty by default:
+    /// the study's Table-I results are produced with no plan at all.
+    pub fault_plan: FaultPlan,
+    /// How installed app clients react to failures.
+    pub resilience: ResiliencePolicy,
 }
 
 impl Default for EcosystemConfig {
@@ -48,6 +54,8 @@ impl Default for EcosystemConfig {
             rsa_bits: 2048,
             revocation: RevocationPolicy::default(),
             verify_attested_level: true,
+            fault_plan: FaultPlan::empty(),
+            resilience: ResiliencePolicy::default(),
         }
     }
 }
@@ -56,6 +64,12 @@ impl EcosystemConfig {
     /// A fast configuration for unit/integration tests (small RSA keys).
     pub fn fast_for_tests() -> Self {
         EcosystemConfig { rsa_bits: 768, ..Default::default() }
+    }
+
+    /// The fast test configuration with a fault plan attached — the
+    /// resilience study's starting point.
+    pub fn fast_with_faults(fault_plan: FaultPlan) -> Self {
+        EcosystemConfig { fault_plan, ..Self::fast_for_tests() }
     }
 }
 
@@ -67,6 +81,7 @@ pub struct BackendRouter {
     license: Arc<LicenseServer>,
     cdn: Arc<CdnServer>,
     profiles: HashMap<String, AppProfile>,
+    injector: Arc<FaultInjector>,
 }
 
 impl std::fmt::Debug for BackendRouter {
@@ -86,14 +101,51 @@ impl BackendRouter {
             _ => "unknown",
         };
         let _span = wideleak_telemetry::span!("ott.server.request", endpoint = endpoint);
-        let result = self.dispatch(parts.as_slice(), path, body);
+        let result = self.faulted_dispatch(parts.as_slice(), path, body);
         if wideleak_telemetry::is_enabled() {
             wideleak_telemetry::incr(&format!("ott.server.requests.{endpoint}"));
             if let Err(e) = &result {
-                wideleak_telemetry::incr(&format!("ott.server.error.{}", e.class()));
+                wideleak_faults::record_error("ott.server.error", e);
             }
         }
         result
+    }
+
+    /// Consults the fault plan before (and, for body corruption, after)
+    /// the real dispatch — the single seam where every server-plane fault
+    /// composes.
+    fn faulted_dispatch(
+        &self,
+        parts: &[&str],
+        path: &str,
+        body: &[u8],
+    ) -> Result<Vec<u8>, OttError> {
+        let Some(kind) =
+            self.injector.is_active().then(|| self.injector.decide(Plane::Server, path)).flatten()
+        else {
+            return self.dispatch(parts, path, body);
+        };
+        match kind {
+            FaultKind::ErrorCode => {
+                Err(OttError::Protocol { reason: "injected: internal server error".into() })
+            }
+            FaultKind::Panic => {
+                Err(OttError::Protocol { reason: "injected: server worker panicked".into() })
+            }
+            FaultKind::Drop => Err(OttError::Net(NetError::ConnectionReset)),
+            FaultKind::Latency { ms } => {
+                self.injector.clock().advance_ms(ms);
+                self.dispatch(parts, path, body)
+            }
+            FaultKind::ClockSkew { secs } => {
+                // Server-plane skew jumps the shared timeline itself.
+                self.injector.clock().advance_ms(secs.saturating_mul(1000));
+                self.dispatch(parts, path, body)
+            }
+            kind @ (FaultKind::TruncateBody { .. } | FaultKind::GarbleBody) => {
+                self.dispatch(parts, path, body).map(|response| corrupt_body(&kind, response))
+            }
+        }
     }
 
     fn dispatch(&self, parts: &[&str], path: &str, body: &[u8]) -> Result<Vec<u8>, OttError> {
@@ -153,7 +205,7 @@ pub struct DeviceStack {
     /// The Widevine HAL plugin.
     pub cdm: Arc<Cdm>,
     /// The IPC transport apps use.
-    pub binder: Arc<dyn Binder>,
+    pub binder: Arc<dyn Transport>,
     /// Unique instance name (keybox device id prefix).
     pub instance_name: String,
 }
@@ -170,6 +222,7 @@ pub struct Ecosystem {
     trust: Arc<TrustAuthority>,
     accounts: Arc<AccountRegistry>,
     backend: Arc<BackendRouter>,
+    injector: Arc<FaultInjector>,
     profiles: Vec<AppProfile>,
     titles: Vec<Title>,
     device_counter: AtomicU64,
@@ -204,22 +257,21 @@ impl Ecosystem {
     ) -> Self {
         let trust = Arc::new(TrustAuthority::new(config.seed));
         let accounts = Arc::new(AccountRegistry::new());
-        let provisioning = Arc::new(ProvisioningServer::new(
-            trust.clone(),
-            config.revocation,
-            config.rsa_bits,
-            config.seed ^ 0x1111,
-        ));
-        let mut license_server = LicenseServer::new(
-            trust.clone(),
-            accounts.clone(),
-            config.revocation,
-            config.seed ^ 0x2222,
+        let injector = Arc::new(FaultInjector::new(&config.fault_plan, config.seed ^ 0xFA17));
+        let provisioning = Arc::new(
+            ProvisioningServer::builder(trust.clone())
+                .policy(config.revocation)
+                .rsa_bits(config.rsa_bits)
+                .seed(config.seed ^ 0x1111)
+                .build(),
         );
-        if !config.verify_attested_level {
-            license_server = license_server.without_attestation_check();
-        }
-        let license = Arc::new(license_server);
+        let license = Arc::new(
+            LicenseServer::builder(trust.clone(), accounts.clone())
+                .revocation(config.revocation)
+                .verify_attested_level(config.verify_attested_level)
+                .seed(config.seed ^ 0x2222)
+                .build(),
+        );
         let cdn = Arc::new(CdnServer::new(
             accounts.clone(),
             profiles.iter().map(AppProfile::cdn_config).collect(),
@@ -230,16 +282,24 @@ impl Ecosystem {
             license,
             cdn,
             profiles: profiles.iter().map(|p| (p.slug.to_owned(), p.clone())).collect(),
+            injector: injector.clone(),
         });
         Ecosystem {
             config,
             trust,
             accounts,
             backend,
+            injector,
             profiles,
             titles,
             device_counter: AtomicU64::new(0),
         }
+    }
+
+    /// The ecosystem's fault injector: its log is the determinism
+    /// witness, its clock the shared timeline.
+    pub fn fault_injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
     }
 
     /// The evaluated app profiles (Table-I ground truth).
@@ -294,13 +354,15 @@ impl Ecosystem {
         let instance_name = format!("{}#{n}", model.name.to_lowercase().replace(' ', "-"));
         let device = Arc::new(if rooted { Device::rooted(model) } else { Device::new(model) });
         let keybox = self.trust.issue_keybox(&instance_name);
-        let cdm = Arc::new(Cdm::boot(&device, keybox).expect("keybox installation succeeds"));
+        let cdm = Arc::new(
+            Cdm::builder().keybox(keybox).boot(&device).expect("keybox installation succeeds"),
+        );
         let mut server = MediaDrmServer::new();
         server.register_plugin(WIDEVINE_SYSTEM_ID, cdm.clone());
-        let binder: Arc<dyn Binder> = if threaded {
-            Arc::new(ThreadedBinder::spawn(server))
+        let binder: Arc<dyn Transport> = if threaded {
+            Arc::new(ThreadedBinder::builder(server).fault_injector(self.injector.clone()).spawn())
         } else {
-            Arc::new(InProcessBinder::new(server))
+            Arc::new(InProcessBinder::new(server).with_fault_injector(self.injector.clone()))
         };
         DeviceStack { device, cdm, binder, instance_name }
     }
@@ -332,6 +394,7 @@ impl Ecosystem {
             embedded,
         )
         .with_device(stack.device.clone())
+        .with_resilience(self.config.resilience.clone(), self.injector.clock().clone())
     }
 }
 

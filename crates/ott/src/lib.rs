@@ -74,6 +74,12 @@ impl OttError {
     }
 }
 
+impl wideleak_faults::ErrorClass for OttError {
+    fn class(&self) -> &'static str {
+        Self::class(self)
+    }
+}
+
 impl fmt::Display for OttError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -66,15 +66,102 @@ impl std::fmt::Debug for LicenseServer {
     }
 }
 
+/// Tunable license-server knobs; [`Default`] matches production Android
+/// deployments (attestation checked, default revocation floor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LicenseServerConfig {
+    /// Revocation floor applied to apps that opt into enforcement.
+    pub revocation: RevocationPolicy,
+    /// Whether claimed security levels are clamped to the attested one.
+    pub verify_attested_level: bool,
+    /// Seed for session-key and IV generation.
+    pub seed: u64,
+}
+
+impl Default for LicenseServerConfig {
+    fn default() -> Self {
+        LicenseServerConfig {
+            revocation: RevocationPolicy::default(),
+            verify_attested_level: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Builds a [`LicenseServer`]. Obtained from [`LicenseServer::builder`].
+pub struct LicenseServerBuilder {
+    trust: Arc<TrustAuthority>,
+    accounts: Arc<AccountRegistry>,
+    config: LicenseServerConfig,
+}
+
+impl LicenseServerBuilder {
+    /// Replaces the whole configuration at once.
+    #[must_use]
+    pub fn config(mut self, config: LicenseServerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The revocation floor.
+    #[must_use]
+    pub fn revocation(mut self, revocation: RevocationPolicy) -> Self {
+        self.config.revocation = revocation;
+        self
+    }
+
+    /// Whether to clamp claimed levels to the provisioning-time
+    /// attestation (the web-browser-like deployments of §V-C turn this
+    /// off).
+    #[must_use]
+    pub fn verify_attested_level(mut self, verify: bool) -> Self {
+        self.config.verify_attested_level = verify;
+        self
+    }
+
+    /// The keying seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Builds the server.
+    #[must_use]
+    pub fn build(self) -> LicenseServer {
+        LicenseServer {
+            trust: self.trust,
+            accounts: self.accounts,
+            revocation: self.config.revocation,
+            verify_attested_level: self.config.verify_attested_level,
+            seed: self.config.seed,
+        }
+    }
+}
+
 impl LicenseServer {
+    /// Starts configuring a license server for a trust authority and an
+    /// account registry (the two collaborators every deployment needs).
+    #[must_use]
+    pub fn builder(
+        trust: Arc<TrustAuthority>,
+        accounts: Arc<AccountRegistry>,
+    ) -> LicenseServerBuilder {
+        LicenseServerBuilder { trust, accounts, config: LicenseServerConfig::default() }
+    }
+
     /// Creates a license server.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use LicenseServer::builder(trust, accounts).revocation(r).seed(s).build()"
+    )]
     pub fn new(
         trust: Arc<TrustAuthority>,
         accounts: Arc<AccountRegistry>,
         revocation: RevocationPolicy,
         seed: u64,
     ) -> Self {
-        LicenseServer { trust, accounts, revocation, verify_attested_level: true, seed }
+        LicenseServer::builder(trust, accounts).revocation(revocation).seed(seed).build()
     }
 
     /// Disables attested-level verification — the web-browser-like
@@ -251,7 +338,7 @@ mod tests {
     fn fixture() -> Fixture {
         let trust = Arc::new(TrustAuthority::new(42));
         let accounts = Arc::new(AccountRegistry::new());
-        let prov = ProvisioningServer::new(trust.clone(), RevocationPolicy::default(), 768, 1000);
+        let prov = ProvisioningServer::builder(trust.clone()).rsa_bits(768).seed(1000).build();
         // Provision a device so the license server knows its RSA key.
         let kb = trust.issue_keybox("test-device");
         let mut preq = ProvisioningRequest {
@@ -266,7 +353,7 @@ mod tests {
         preq.signature = aes_cmac_with_key(kb.device_key(), &preq.body_bytes());
         let presp = prov.provision(&preq, false).unwrap();
         let rsa = unwrap_rsa_key(kb.device_key(), kb.device_id(), None, &presp).unwrap();
-        let license = LicenseServer::new(trust, accounts.clone(), RevocationPolicy::default(), 7);
+        let license = LicenseServer::builder(trust, accounts.clone()).seed(7).build();
         Fixture { license, accounts, rsa, device_id: kb.device_id().to_vec() }
     }
 

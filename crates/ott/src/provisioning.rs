@@ -65,16 +65,92 @@ impl std::fmt::Debug for ProvisioningServer {
     }
 }
 
+/// Tunable provisioning-server knobs; [`Default`] is the production
+/// shape (2048-bit RSA, default revocation floor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvisioningServerConfig {
+    /// Revocation floor applied to apps that opt into enforcement.
+    pub policy: RevocationPolicy,
+    /// Size of issued Device RSA Keys (tests shrink this for speed).
+    pub rsa_bits: usize,
+    /// Seed for key generation and response IVs.
+    pub seed: u64,
+}
+
+impl Default for ProvisioningServerConfig {
+    fn default() -> Self {
+        ProvisioningServerConfig { policy: RevocationPolicy::default(), rsa_bits: 2048, seed: 0 }
+    }
+}
+
+/// Builds a [`ProvisioningServer`]. Obtained from
+/// [`ProvisioningServer::builder`].
+pub struct ProvisioningServerBuilder {
+    trust: Arc<TrustAuthority>,
+    config: ProvisioningServerConfig,
+}
+
+impl ProvisioningServerBuilder {
+    /// Replaces the whole configuration at once.
+    #[must_use]
+    pub fn config(mut self, config: ProvisioningServerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The revocation floor.
+    #[must_use]
+    pub fn policy(mut self, policy: RevocationPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// The issued RSA key size.
+    #[must_use]
+    pub fn rsa_bits(mut self, rsa_bits: usize) -> Self {
+        self.config.rsa_bits = rsa_bits;
+        self
+    }
+
+    /// The keying seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Builds the server.
+    #[must_use]
+    pub fn build(self) -> ProvisioningServer {
+        ProvisioningServer {
+            trust: self.trust,
+            policy: self.config.policy,
+            rsa_bits: self.config.rsa_bits,
+            seed: self.config.seed,
+            issued: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
 impl ProvisioningServer {
-    /// Creates a server issuing RSA keys of `rsa_bits` (2048 in
-    /// production; tests use smaller for speed).
+    /// Starts configuring a provisioning server for a trust authority.
+    #[must_use]
+    pub fn builder(trust: Arc<TrustAuthority>) -> ProvisioningServerBuilder {
+        ProvisioningServerBuilder { trust, config: ProvisioningServerConfig::default() }
+    }
+
+    /// Creates a server issuing RSA keys of `rsa_bits`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ProvisioningServer::builder(trust).policy(p).rsa_bits(n).seed(s).build()"
+    )]
     pub fn new(
         trust: Arc<TrustAuthority>,
         policy: RevocationPolicy,
         rsa_bits: usize,
         seed: u64,
     ) -> Self {
-        ProvisioningServer { trust, policy, rsa_bits, seed, issued: Mutex::new(HashMap::new()) }
+        ProvisioningServer::builder(trust).policy(policy).rsa_bits(rsa_bits).seed(seed).build()
     }
 
     /// The active revocation policy.
@@ -138,7 +214,7 @@ mod tests {
 
     fn setup() -> (Arc<TrustAuthority>, ProvisioningServer) {
         let trust = Arc::new(TrustAuthority::new(11));
-        let server = ProvisioningServer::new(trust.clone(), RevocationPolicy::default(), 512, 900);
+        let server = ProvisioningServer::builder(trust.clone()).rsa_bits(512).seed(900).build();
         (trust, server)
     }
 
@@ -202,6 +278,14 @@ mod tests {
         let k1 = unwrap_rsa_key(kb.device_key(), kb.device_id(), None, &r1).unwrap();
         let k2 = unwrap_rsa_key(kb.device_key(), kb.device_id(), None, &r2).unwrap();
         assert_eq!(k1.public_key(), k2.public_key());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn new_shim_matches_builder() {
+        let trust = Arc::new(TrustAuthority::new(11));
+        let shim = ProvisioningServer::new(trust.clone(), RevocationPolicy::default(), 512, 900);
+        assert_eq!(shim.policy(), ProvisioningServer::builder(trust).build().policy());
     }
 
     #[test]

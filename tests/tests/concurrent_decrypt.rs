@@ -6,7 +6,7 @@
 
 use std::sync::{Arc, Barrier};
 
-use wideleak::android_drm::binder::{Binder, DrmCall, InProcessBinder, ThreadedBinder};
+use wideleak::android_drm::binder::{DrmCall, InProcessBinder, ThreadedBinder, Transport};
 use wideleak::android_drm::server::MediaDrmServer;
 use wideleak::bmff::types::{KeyId, Subsample, WIDEVINE_SYSTEM_ID};
 use wideleak::cdm::cdm::Cdm;
@@ -36,11 +36,14 @@ fn boot_server(eco: &Ecosystem) -> MediaDrmServer {
     );
     backend.install_keybox(eco.trust().issue_keybox("concurrent-decrypt")).unwrap();
     let mut server = MediaDrmServer::new();
-    server.register_plugin(WIDEVINE_SYSTEM_ID, Arc::new(Cdm::with_backend(Arc::new(backend))));
+    server.register_plugin(
+        WIDEVINE_SYSTEM_ID,
+        Arc::new(Cdm::builder().backend(Arc::new(backend)).build()),
+    );
     server
 }
 
-fn provision(binder: &dyn Binder, eco: &Ecosystem) {
+fn provision(binder: &dyn Transport, eco: &Ecosystem) {
     let req = binder
         .transact(DrmCall::GetProvisionRequest { nonce: [9; 16] })
         .unwrap()
@@ -50,7 +53,7 @@ fn provision(binder: &dyn Binder, eco: &Ecosystem) {
     binder.transact(DrmCall::ProvideProvisionResponse { nonce: [9; 16], response }).unwrap();
 }
 
-fn license_session(binder: &dyn Binder, eco: &Ecosystem, token: &str, tag: u8) -> (u32, KeyId) {
+fn license_session(binder: &dyn Transport, eco: &Ecosystem, token: &str, tag: u8) -> (u32, KeyId) {
     let sid = binder
         .transact(DrmCall::OpenSession { nonce: [tag; 16] })
         .unwrap()
@@ -84,7 +87,7 @@ fn sample(client: usize, index: usize) -> (SampleCrypto, Vec<u8>) {
     (SampleCrypto::Cenc { iv }, data)
 }
 
-fn decrypt(binder: &dyn Binder, sid: u32, kid: KeyId, client: usize, index: usize) -> Vec<u8> {
+fn decrypt(binder: &dyn Transport, sid: u32, kid: KeyId, client: usize, index: usize) -> Vec<u8> {
     let (crypto, data) = sample(client, index);
     binder
         .transact(DrmCall::DecryptSample { session_id: sid, kid, crypto, data, subsamples: vec![] })
@@ -117,7 +120,7 @@ fn pooled_decrypt_matches_single_threaded_byte_for_byte() {
     }
 
     // Parallel run: one pooled binder, one thread per client.
-    let pooled = Arc::new(ThreadedBinder::spawn_pool(boot_server(&eco), CLIENTS));
+    let pooled = Arc::new(ThreadedBinder::builder(boot_server(&eco)).workers(CLIENTS).spawn());
     provision(pooled.as_ref(), &eco);
     let clients: Vec<_> = (0..CLIENTS)
         .map(|client| {
@@ -238,8 +241,11 @@ fn distinct_session_decrypts_overlap_in_the_server() {
         next_session: std::sync::atomic::AtomicU32::new(1),
     };
     let mut server = MediaDrmServer::new();
-    server.register_plugin(WIDEVINE_SYSTEM_ID, Arc::new(Cdm::with_backend(Arc::new(backend))));
-    let binder = Arc::new(ThreadedBinder::spawn_pool(server, CLIENTS));
+    server.register_plugin(
+        WIDEVINE_SYSTEM_ID,
+        Arc::new(Cdm::builder().backend(Arc::new(backend)).build()),
+    );
+    let binder = Arc::new(ThreadedBinder::builder(server).workers(CLIENTS).spawn());
 
     let (done_tx, done_rx) = std::sync::mpsc::channel();
     for c in 0..CLIENTS {

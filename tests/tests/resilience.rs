@@ -1,0 +1,132 @@
+//! The fault-injection & resilience layer, end to end: an empty
+//! [`FaultPlan`] must leave Table I byte-identical, a seeded plan must
+//! replay to an identical injection-event stream, and the Q5 quick sweep
+//! must be deterministic across runs while showing at least one app
+//! recovering and one degrading.
+
+use proptest::prelude::*;
+use wideleak::faults::{FaultInjector, FaultKind, FaultPlan, Plane, Schedule};
+use wideleak::monitor::report::render_table_1;
+use wideleak::monitor::resilience::{run_resilience_study, scenarios, Outcome};
+use wideleak::monitor::study::run_study;
+use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
+use wideleak::telemetry;
+
+/// Table I as the seed build renders it (`--fast study`). The fault
+/// plane is compiled into every request path, so this regression pins
+/// the zero-fault behaviour to the byte.
+#[rustfmt::skip]
+const GOLDEN_TABLE_1: &str = concat!(
+    "OTT                 Widevine (Q1)  Video (Q2)  Audio (Q2)  Subtitles (Q2)  Key Usage (Q3)  L3 discontinued playback (Q4)  \n",
+    "--------------------------------------------------------------------------------------------------------------------------\n",
+    "Netflix             WV             Encrypted   Clear       Clear           Minimum         plays                          \n",
+    "Disney+             WV             Encrypted   Encrypted   Clear           Minimum         fails (provisioning)           \n",
+    "Amazon Prime Video  WV (dagger)    Encrypted   Encrypted   Clear           Recommended     plays (custom DRM)             \n",
+    "Hulu                WV             Encrypted   Encrypted   -               -               plays                          \n",
+    "HBO Max             WV             Encrypted   Encrypted   Clear           -               fails (provisioning)           \n",
+    "Starz               WV             Encrypted   Encrypted   -               Minimum         fails (provisioning)           \n",
+    "myCANAL             WV             Encrypted   Clear       Clear           Minimum         plays                          \n",
+    "Showtime            WV             Encrypted   Encrypted   Clear           Minimum         plays                          \n",
+    "OCS                 WV             Encrypted   Encrypted   Clear           Minimum         plays                          \n",
+    "Salto               WV             Encrypted   Clear       Clear           Minimum         plays                          \n",
+);
+
+#[test]
+fn empty_fault_plan_reproduces_table_1_byte_identically() {
+    let config = EcosystemConfig::fast_for_tests();
+    assert!(config.fault_plan.is_empty(), "default config carries no faults");
+    let eco = Ecosystem::new(config);
+    let report = run_study(&eco).expect("study runs");
+    assert_eq!(render_table_1(&report), GOLDEN_TABLE_1);
+    assert_eq!(eco.fault_injector().injected_count(), 0, "nothing may fire");
+}
+
+fn storm_plan() -> FaultPlan {
+    FaultPlan::builder()
+        .server_fault("license/", FaultKind::ErrorCode, Schedule::PerMille { p: 400 })
+        .server_fault("manifest/", FaultKind::Latency { ms: 250 }, Schedule::EveryNth { n: 3 })
+        .binder_fault("decrypt_sample", FaultKind::Drop, Schedule::PerMille { p: 200 })
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same plan + same seed = the same injection decisions, event for
+    /// event, however probabilistic the schedules look.
+    #[test]
+    fn seeded_plan_replays_identically(seed in any::<u64>()) {
+        let plan = storm_plan();
+        let ops = [
+            (Plane::Server, "license/netflix/title-001"),
+            (Plane::Server, "manifest/netflix/title-001"),
+            (Plane::Binder, "decrypt_sample"),
+            (Plane::Server, "asset/netflix/title-001/video-1080p/init"),
+        ];
+        let runs: Vec<_> = (0..2)
+            .map(|_| {
+                let inj = FaultInjector::new(&plan, seed);
+                for _ in 0..50 {
+                    for (plane, op) in &ops {
+                        let _ = inj.decide(*plane, op);
+                    }
+                }
+                inj.injection_log()
+            })
+            .collect();
+        prop_assert_eq!(&runs[0], &runs[1]);
+    }
+}
+
+/// The same seed drives the same playback through the same faults: the
+/// full client/server/binder pipeline is replay-deterministic.
+#[test]
+fn faulted_playback_is_deterministic_end_to_end() {
+    let run = || {
+        let mut config = EcosystemConfig::fast_with_faults(storm_plan());
+        config.seed = 99;
+        let eco = Ecosystem::new(config);
+        let stack = eco.boot_device(wideleak::device::catalog::DeviceModel::pixel_6(), false);
+        let app = eco.install_app(&stack, "hulu", "replay-probe");
+        let played = app.play("title-001").is_ok();
+        (played, app.retry_stats(), eco.fault_injector().injection_log())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn q5_quick_sweep_is_deterministic_and_differential() {
+    telemetry::enable();
+    let first = run_resilience_study(7, true);
+    let second = run_resilience_study(7, true);
+    assert_eq!(first, second, "two sweeps from one seed must agree");
+
+    assert_eq!(first.cells.len(), scenarios().len() * 4);
+    assert!(
+        !first.recovered_apps().is_empty(),
+        "at least one app must recover via retry/backoff or renewal"
+    );
+    assert!(
+        !first.degraded_apps().is_empty(),
+        "at least one app must degrade from L1/HD to L3-class playback"
+    );
+    assert!(!first.storming_apps().is_empty(), "the binder storm must exhaust a budget");
+
+    // Every non-Played cell is backed by real injections.
+    for cell in &first.cells {
+        if !matches!(cell.outcome, Outcome::Played) {
+            assert!(cell.faults_injected > 0, "{}/{} took faults", cell.scenario, cell.app_name);
+        }
+    }
+
+    // The resilience machinery is observable through telemetry.
+    let counters = telemetry::snapshot().counters;
+    let has = |name: &str| counters.iter().any(|(n, v)| n == name && *v > 0);
+    assert!(has("retry.attempt"), "retries must be counted");
+    assert!(has("degraded.l3_fallback"), "degradations must be counted");
+    assert!(has("license.renewed"), "renewals must be counted");
+    assert!(
+        counters.iter().any(|(n, v)| n.starts_with("fault.injected.") && *v > 0),
+        "injected faults must be counted by kind"
+    );
+}
