@@ -128,33 +128,49 @@ pub fn play_protected_content(
     let session_id = drm.open_session(nonce)?;
     trace.push(PlaybackStep::OpenSessionCdm);
 
-    trace.push(PlaybackStep::GetKeyRequestApp);
-    let request = drm.get_key_request(session_id, content_id, key_ids)?;
-    trace.push(PlaybackStep::GetKeyRequestCdm);
+    // From here the session is live in the CDM: any failure must still
+    // close it, or sustained faulted playbacks leak session-table slots
+    // until the `SessionLimit` cap starves healthy traffic.
+    let result = (|| {
+        trace.push(PlaybackStep::GetKeyRequestApp);
+        let request = drm.get_key_request(session_id, content_id, key_ids)?;
+        trace.push(PlaybackStep::GetKeyRequestCdm);
 
-    trace.push(PlaybackStep::GetLicense);
-    let response = fetch_license(&request)?;
-    trace.push(PlaybackStep::License);
+        trace.push(PlaybackStep::GetLicense);
+        let response = fetch_license(&request)?;
+        trace.push(PlaybackStep::License);
 
-    trace.push(PlaybackStep::ProvideKeyResponseApp);
-    drm.provide_key_response(session_id, response)?;
-    trace.push(PlaybackStep::ProvideKeyResponseCdm);
+        trace.push(PlaybackStep::ProvideKeyResponseApp);
+        drm.provide_key_response(session_id, response)?;
+        trace.push(PlaybackStep::ProvideKeyResponseCdm);
 
-    trace.push(PlaybackStep::GetMedia);
-    let media = fetch_media()?;
-    trace.push(PlaybackStep::Media);
+        trace.push(PlaybackStep::GetMedia);
+        let media = fetch_media()?;
+        trace.push(PlaybackStep::Media);
 
-    let crypto = MediaCrypto::new(&drm, session_id);
-    let codec = MediaCodec::configure(&crypto);
-    let mut frames = Vec::new();
-    trace.push(PlaybackStep::QueueSecureInputBuffer);
-    for segment in &media.segments {
-        frames.extend(codec.queue_secure_segment(&media.init, segment)?);
+        let crypto = MediaCrypto::new(&drm, session_id);
+        let codec = MediaCodec::configure(&crypto);
+        let mut frames = Vec::new();
+        trace.push(PlaybackStep::QueueSecureInputBuffer);
+        for segment in &media.segments {
+            frames.extend(codec.queue_secure_segment(&media.init, segment)?);
+        }
+        trace.push(PlaybackStep::Decrypt);
+        Ok(frames)
+    })();
+
+    match result {
+        Ok(frames) => {
+            drm.close_session(session_id)?;
+            Ok((frames, trace))
+        }
+        Err(e) => {
+            // Best-effort close on the error path: the playback error is
+            // the one worth reporting, not a secondary close failure.
+            let _ = drm.close_session(session_id);
+            Err(e)
+        }
     }
-    trace.push(PlaybackStep::Decrypt);
-
-    drm.close_session(session_id)?;
-    Ok((frames, trace))
 }
 
 #[cfg(test)]

@@ -71,21 +71,81 @@ fn xcrypt_sample(
     subsamples: &[Subsample],
     dir: Dir,
 ) -> Result<Vec<u8>, CencError> {
-    validate_subsamples(subsamples, sample.len())?;
     let cipher = Aes128::new(&key.0);
     let mut out = sample.to_vec();
+    xcrypt_sample_in_place(&cipher, constant_iv, pattern, &mut out, subsamples, dir)?;
+    Ok(out)
+}
+
+fn xcrypt_sample_in_place(
+    cipher: &Aes128,
+    constant_iv: [u8; BLOCK_LEN],
+    pattern: CryptPattern,
+    sample: &mut [u8],
+    subsamples: &[Subsample],
+    dir: Dir,
+) -> Result<(), CencError> {
+    validate_subsamples(subsamples, sample.len())?;
     if subsamples.is_empty() {
-        xcrypt_region(&cipher, &constant_iv, pattern, &mut out, dir);
-        return Ok(out);
+        xcrypt_region(cipher, &constant_iv, pattern, sample, dir);
+        return Ok(());
     }
     let mut offset = 0usize;
     for sub in subsamples {
         offset += sub.clear_bytes as usize;
         let end = offset + sub.encrypted_bytes as usize;
-        xcrypt_region(&cipher, &constant_iv, pattern, &mut out[offset..end], dir);
+        xcrypt_region(cipher, &constant_iv, pattern, &mut sample[offset..end], dir);
         offset = end;
     }
-    Ok(out)
+    Ok(())
+}
+
+/// Encrypts one sample in place under the `cbcs` scheme.
+///
+/// # Errors
+///
+/// Returns [`CencError::SubsampleMismatch`] for an inconsistent map.
+pub fn encrypt_sample_in_place(
+    key: &ContentKey,
+    constant_iv: [u8; BLOCK_LEN],
+    pattern: CryptPattern,
+    sample: &mut [u8],
+    subsamples: &[Subsample],
+) -> Result<(), CencError> {
+    let cipher = Aes128::new(&key.0);
+    xcrypt_sample_in_place(&cipher, constant_iv, pattern, sample, subsamples, Dir::Encrypt)
+}
+
+/// Decrypts one sample in place under the `cbcs` scheme.
+///
+/// # Errors
+///
+/// Returns [`CencError::SubsampleMismatch`] for an inconsistent map.
+pub fn decrypt_sample_in_place(
+    key: &ContentKey,
+    constant_iv: [u8; BLOCK_LEN],
+    pattern: CryptPattern,
+    sample: &mut [u8],
+    subsamples: &[Subsample],
+) -> Result<(), CencError> {
+    let cipher = Aes128::new(&key.0);
+    xcrypt_sample_in_place(&cipher, constant_iv, pattern, sample, subsamples, Dir::Decrypt)
+}
+
+/// Decrypts one sample in place using a caller-supplied AES key schedule,
+/// so the schedule can be derived once per session and reused per sample.
+///
+/// # Errors
+///
+/// Returns [`CencError::SubsampleMismatch`] for an inconsistent map.
+pub fn decrypt_sample_in_place_with_cipher(
+    cipher: &Aes128,
+    constant_iv: [u8; BLOCK_LEN],
+    pattern: CryptPattern,
+    sample: &mut [u8],
+    subsamples: &[Subsample],
+) -> Result<(), CencError> {
+    xcrypt_sample_in_place(cipher, constant_iv, pattern, sample, subsamples, Dir::Decrypt)
 }
 
 /// Encrypts one sample under the `cbcs` scheme.
@@ -214,6 +274,28 @@ mod tests {
     fn mismatched_map_rejected() {
         let subs = [Subsample { clear_bytes: 1, encrypted_bytes: 1 }];
         assert!(encrypt_sample(&key(), [0; 16], full_pattern(), &[0u8; 5], &subs).is_err());
+    }
+
+    #[test]
+    fn in_place_matches_allocating_variant() {
+        let pt: Vec<u8> = (0..500).map(|i| (i * 11 % 256) as u8).collect();
+        let subs = [
+            Subsample { clear_bytes: 20, encrypted_bytes: 230 },
+            Subsample { clear_bytes: 0, encrypted_bytes: 250 },
+        ];
+        for pattern in [video_pattern(), full_pattern()] {
+            let expected = encrypt_sample(&key(), [6; 16], pattern, &pt, &subs).unwrap();
+            let mut buf = pt.clone();
+            encrypt_sample_in_place(&key(), [6; 16], pattern, &mut buf, &subs).unwrap();
+            assert_eq!(buf, expected);
+            decrypt_sample_in_place(&key(), [6; 16], pattern, &mut buf, &subs).unwrap();
+            assert_eq!(buf, pt);
+            let cipher = Aes128::new(&key().0);
+            let mut buf2 = expected.clone();
+            decrypt_sample_in_place_with_cipher(&cipher, [6; 16], pattern, &mut buf2, &subs)
+                .unwrap();
+            assert_eq!(buf2, pt);
+        }
     }
 
     #[test]

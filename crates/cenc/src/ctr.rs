@@ -12,8 +12,8 @@ use crate::keys::ContentKey;
 use crate::{validate_subsamples, CencError};
 
 /// A CTR keystream generator with byte-level positioning.
-struct CtrStream {
-    cipher: Aes128,
+struct CtrStream<'a> {
+    cipher: &'a Aes128,
     counter: [u8; BLOCK_LEN],
     buffer: [u8; BLOCK_LEN],
     /// Offset into `buffer` of the next unused keystream byte; BLOCK_LEN
@@ -21,16 +21,11 @@ struct CtrStream {
     used: usize,
 }
 
-impl CtrStream {
-    fn new(key: &ContentKey, iv: [u8; 8]) -> Self {
+impl<'a> CtrStream<'a> {
+    fn new(cipher: &'a Aes128, iv: [u8; 8]) -> Self {
         let mut counter = [0u8; BLOCK_LEN];
         counter[..8].copy_from_slice(&iv);
-        CtrStream {
-            cipher: Aes128::new(&key.0),
-            counter,
-            buffer: [0u8; BLOCK_LEN],
-            used: BLOCK_LEN,
-        }
+        CtrStream { cipher, counter, buffer: [0u8; BLOCK_LEN], used: BLOCK_LEN }
     }
 
     fn xor_into(&mut self, data: &mut [u8]) {
@@ -62,21 +57,73 @@ fn xcrypt_sample(
     sample: &[u8],
     subsamples: &[Subsample],
 ) -> Result<Vec<u8>, CencError> {
-    validate_subsamples(subsamples, sample.len())?;
     let mut out = sample.to_vec();
-    let mut stream = CtrStream::new(key, iv);
+    let cipher = Aes128::new(&key.0);
+    xcrypt_sample_in_place_with_cipher(&cipher, iv, &mut out, subsamples)?;
+    Ok(out)
+}
+
+/// In-place `cenc` transform using a caller-supplied AES key schedule.
+///
+/// This is the zero-allocation hot path: the sample buffer is transformed
+/// where it sits and the (expensive to derive) key schedule can be reused
+/// across samples of the same session.
+///
+/// # Errors
+///
+/// Returns [`CencError::SubsampleMismatch`] when the map does not cover
+/// the sample exactly; the buffer is untouched in that case.
+pub fn xcrypt_sample_in_place_with_cipher(
+    cipher: &Aes128,
+    iv: [u8; 8],
+    sample: &mut [u8],
+    subsamples: &[Subsample],
+) -> Result<(), CencError> {
+    validate_subsamples(subsamples, sample.len())?;
+    let mut stream = CtrStream::new(cipher, iv);
     if subsamples.is_empty() {
-        stream.xor_into(&mut out);
-        return Ok(out);
+        stream.xor_into(sample);
+        return Ok(());
     }
     let mut offset = 0usize;
     for sub in subsamples {
         offset += sub.clear_bytes as usize;
         let end = offset + sub.encrypted_bytes as usize;
-        stream.xor_into(&mut out[offset..end]);
+        stream.xor_into(&mut sample[offset..end]);
         offset = end;
     }
-    Ok(out)
+    Ok(())
+}
+
+/// Encrypts one sample in place under the `cenc` scheme.
+///
+/// # Errors
+///
+/// Returns [`CencError::SubsampleMismatch`] for an inconsistent map.
+pub fn encrypt_sample_in_place(
+    key: &ContentKey,
+    iv: [u8; 8],
+    sample: &mut [u8],
+    subsamples: &[Subsample],
+) -> Result<(), CencError> {
+    let cipher = Aes128::new(&key.0);
+    xcrypt_sample_in_place_with_cipher(&cipher, iv, sample, subsamples)
+}
+
+/// Decrypts one sample in place under the `cenc` scheme (same XOR as
+/// encryption).
+///
+/// # Errors
+///
+/// Returns [`CencError::SubsampleMismatch`] for an inconsistent map.
+pub fn decrypt_sample_in_place(
+    key: &ContentKey,
+    iv: [u8; 8],
+    sample: &mut [u8],
+    subsamples: &[Subsample],
+) -> Result<(), CencError> {
+    let cipher = Aes128::new(&key.0);
+    xcrypt_sample_in_place_with_cipher(&cipher, iv, sample, subsamples)
 }
 
 /// Encrypts one sample under the `cenc` scheme.
@@ -182,6 +229,47 @@ mod tests {
     #[test]
     fn empty_sample() {
         assert_eq!(encrypt_sample(&key(), [0; 8], &[], &[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn in_place_matches_allocating_variant() {
+        let pt = b"HEADER....payload-payload-payload tail";
+        let layouts: &[&[Subsample]] = &[
+            &[],
+            &[Subsample { clear_bytes: 10, encrypted_bytes: 28 }],
+            &[
+                Subsample { clear_bytes: 0, encrypted_bytes: 16 },
+                Subsample { clear_bytes: 6, encrypted_bytes: 16 },
+            ],
+        ];
+        for subs in layouts {
+            let expected = encrypt_sample(&key(), [9; 8], pt, subs).unwrap();
+            let mut buf = pt.to_vec();
+            encrypt_sample_in_place(&key(), [9; 8], &mut buf, subs).unwrap();
+            assert_eq!(buf, expected);
+            decrypt_sample_in_place(&key(), [9; 8], &mut buf, subs).unwrap();
+            assert_eq!(&buf[..], &pt[..]);
+        }
+    }
+
+    #[test]
+    fn in_place_with_reused_cipher_matches_fresh_schedule() {
+        let cipher = Aes128::new(&key().0);
+        let pt: Vec<u8> = (0..200).map(|i| (i * 3) as u8).collect();
+        for iv in 0u8..4 {
+            let expected = decrypt_sample(&key(), [iv; 8], &pt, &[]).unwrap();
+            let mut buf = pt.clone();
+            xcrypt_sample_in_place_with_cipher(&cipher, [iv; 8], &mut buf, &[]).unwrap();
+            assert_eq!(buf, expected, "iv={iv}");
+        }
+    }
+
+    #[test]
+    fn in_place_rejects_mismatched_map_without_touching_buffer() {
+        let subs = [Subsample { clear_bytes: 4, encrypted_bytes: 4 }];
+        let mut buf = vec![0xAAu8; 9];
+        assert!(encrypt_sample_in_place(&key(), [0; 8], &mut buf, &subs).is_err());
+        assert_eq!(buf, vec![0xAAu8; 9]);
     }
 
     #[test]

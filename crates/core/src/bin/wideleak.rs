@@ -9,6 +9,7 @@
 //! wideleak spoof            # the §V-C forged-L1 experiment
 //! wideleak play <slug>      # one instrumented playback with trace dump
 //! wideleak resilience       # the Q5 fault-schedule sweep
+//! wideleak load             # the fleet load generator (--quick: CI size)
 //! wideleak stats <file>     # re-render a telemetry JSONL export
 //! ```
 //!
@@ -21,6 +22,7 @@ use std::process::ExitCode;
 
 use wideleak::attack::recover::{attack_all, attack_app};
 use wideleak::device::catalog::DeviceModel;
+use wideleak::load::{run_load, LoadConfig};
 use wideleak::monitor::report::{render_call_histogram, render_insights, render_table_1};
 use wideleak::monitor::resilience::{render_q5, run_resilience_study};
 use wideleak::monitor::study::{run_study, study_app};
@@ -36,6 +38,7 @@ fn usage() -> ExitCode {
            spoof          run the forged-L1 HD experiment (Section V-C)\n\
            play <slug>    one instrumented playback with a Figure-1 trace\n\
            resilience     run the Q5 fault-schedule sweep (--quick: 4 apps)\n\
+           load           drive the fleet load generator (--quick: CI size)\n\
            stats FILE     re-render a telemetry JSONL export as a summary"
     );
     ExitCode::FAILURE
@@ -182,6 +185,15 @@ fn main() -> ExitCode {
         ("resilience", _) => {
             let report = run_resilience_study(seed, quick);
             println!("{}", render_q5(&report));
+            ExitCode::SUCCESS
+        }
+        ("load", _) => {
+            let load_config = LoadConfig {
+                seed,
+                ..if quick { LoadConfig::quick() } else { LoadConfig::default() }
+            };
+            let report = run_load(&load_config);
+            print!("{}", report.render());
             ExitCode::SUCCESS
         }
         ("play", Some(slug)) => {

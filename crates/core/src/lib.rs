@@ -58,6 +58,7 @@ pub use wideleak_crypto as crypto;
 pub use wideleak_dash as dash;
 pub use wideleak_device as device;
 pub use wideleak_faults as faults;
+pub use wideleak_load as load;
 pub use wideleak_monitor as monitor;
 pub use wideleak_ott as ott;
 pub use wideleak_tee as tee;

@@ -124,17 +124,23 @@ pub fn cbc_decrypt_padded(
 /// low 8 bytes, matching the CENC `cenc` scheme's IV layout (8-byte IV ||
 /// 8-byte block counter).
 pub fn ctr_xcrypt(cipher: &Aes128, counter_block: &[u8; BLOCK_LEN], data: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len());
+    let mut out = data.to_vec();
+    ctr_xcrypt_in_place(cipher, counter_block, &mut out);
+    out
+}
+
+/// In-place CTR-mode keystream transform: the hot-path variant of
+/// [`ctr_xcrypt`] that XORs the keystream into `data` without allocating.
+pub fn ctr_xcrypt_in_place(cipher: &Aes128, counter_block: &[u8; BLOCK_LEN], data: &mut [u8]) {
     let mut counter = *counter_block;
-    for chunk in data.chunks(BLOCK_LEN) {
+    for chunk in data.chunks_mut(BLOCK_LEN) {
         let mut keystream = counter;
         cipher.encrypt_block(&mut keystream);
-        for (i, &b) in chunk.iter().enumerate() {
-            out.push(b ^ keystream[i]);
+        for (i, b) in chunk.iter_mut().enumerate() {
+            *b ^= keystream[i];
         }
         increment_counter(&mut counter);
     }
-    out
 }
 
 /// Increments the low 64 bits of a CENC counter block (big-endian),
@@ -267,6 +273,21 @@ mod tests {
     #[test]
     fn ctr_empty_input() {
         assert!(ctr_xcrypt(&nist_cipher(), &[0u8; 16], &[]).is_empty());
+    }
+
+    #[test]
+    fn ctr_in_place_matches_allocating_variant() {
+        let cipher = nist_cipher();
+        let counter: [u8; 16] = hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 64, 100] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 13) as u8).collect();
+            let expected = ctr_xcrypt(&cipher, &counter, &data);
+            let mut buf = data.clone();
+            ctr_xcrypt_in_place(&cipher, &counter, &mut buf);
+            assert_eq!(buf, expected, "len={len}");
+            ctr_xcrypt_in_place(&cipher, &counter, &mut buf);
+            assert_eq!(buf, data, "len={len} round-trip");
+        }
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl ResiliencePolicy {
         } else {
             det_hash(salt, u64::from(attempt)) % self.jitter_ms
         };
-        base + jitter
+        base.saturating_add(jitter)
     }
 }
 
@@ -112,6 +112,22 @@ mod tests {
         assert!(!policy.l3_fallback);
         assert!(!policy.renew_on_expiry);
         assert_eq!(policy.backoff_delay_ms(1, 0), 0);
+    }
+
+    #[test]
+    fn max_cap_does_not_overflow_when_jitter_is_added() {
+        // Regression: with the cap at u64::MAX the capped exponential term
+        // saturates to u64::MAX and any non-zero jitter used to overflow
+        // the final `base + jitter` add (panic in debug, wrap in release).
+        let policy = ResiliencePolicy {
+            backoff_base_ms: u64::MAX,
+            backoff_cap_ms: u64::MAX,
+            jitter_ms: 50,
+            ..ResiliencePolicy::default()
+        };
+        for attempt in [1, 2, 7, 64, u32::MAX] {
+            assert_eq!(policy.backoff_delay_ms(attempt, 0xDEAD), u64::MAX);
+        }
     }
 
     #[test]

@@ -1,0 +1,515 @@
+//! Closed-loop fleet load generator for the WideLeak ecosystem.
+//!
+//! Drives N virtual devices × M concurrent playback workers through the
+//! `ThreadedBinder` transport on the shared virtual clock. Every run is
+//! deterministic for
+//! a given [`LoadConfig`]: service times are modeled from the seed (not
+//! wall time), percentiles are computed exactly from the full sample
+//! set, and the warm-up phase absorbs every cold cache miss on the main
+//! thread before the concurrent workers start — so cache hit/miss
+//! counters come out identical run to run regardless of interleaving.
+//!
+//! The generator exercises the three hot-path caches end to end:
+//! repeated plays hit the license-response cache, periodic device
+//! check-ins ([`OttApp::reprovision`]) hit the provisioning-certificate
+//! cache, and repeated sample decrypts hit the per-session derived-key
+//! cache in the CDM. With [`CacheConfig::none`] the same traffic runs
+//! the full cold paths, which is what `benches/license_path.rs` and the
+//! caches-off byte-identity tests compare against.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use wideleak_device::catalog::DeviceModel;
+use wideleak_faults::{det_hash, VirtualClock};
+use wideleak_ott::apps::OttApp;
+use wideleak_ott::cache::{CacheConfig, CacheStats};
+use wideleak_ott::ecosystem::{DeviceStack, Ecosystem, EcosystemConfig};
+
+pub use wideleak_cdm::oemcrypto::DecryptCacheStats;
+
+/// Apps that stream on a discontinued L3 device (no revocation
+/// enforcement), cycled across the fleet's devices.
+const FLEET_APPS: &[&str] = &["netflix", "hulu", "mycanal", "showtime", "ocs", "salto"];
+
+/// The two demo titles workers alternate between.
+const FLEET_TITLES: &[&str] = &["title-001", "title-002"];
+
+/// Modeled service time of a play that runs the full cold path (ms).
+const COLD_BASE_MS: u64 = 42;
+/// Modeled service time of a play served from warm caches (ms).
+const WARM_BASE_MS: u64 = 11;
+/// Seeded jitter added on top of either base (exclusive upper bound, ms).
+const JITTER_MS: u64 = 9;
+/// Worker-index sentinel for warm-up plays in the latency salt.
+const WARMUP_WORKER: usize = 0xFFFF;
+
+/// Arrival discipline of the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Each worker issues its next play as soon as the previous one
+    /// finishes.
+    Closed,
+    /// Each worker waits a fixed virtual interarrival gap before every
+    /// play.
+    Open {
+        /// Virtual milliseconds between a worker's consecutive plays.
+        interarrival_ms: u64,
+    },
+}
+
+impl LoadMode {
+    fn label(self) -> String {
+        match self {
+            LoadMode::Closed => "closed-loop".to_owned(),
+            LoadMode::Open { interarrival_ms } => format!("open-loop({interarrival_ms}ms)"),
+        }
+    }
+}
+
+/// Parameters of one load-generator run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadConfig {
+    /// Virtual devices to boot (each with its own threaded media DRM
+    /// server).
+    pub devices: usize,
+    /// Concurrent playback workers sharing each device's app.
+    pub workers_per_device: usize,
+    /// Plays each worker issues.
+    pub plays_per_worker: usize,
+    /// Master seed: ecosystem derivations and modeled latencies.
+    pub seed: u64,
+    /// Arrival discipline.
+    pub mode: LoadMode,
+    /// Which hot-path caches run.
+    pub caches: CacheConfig,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            devices: 4,
+            workers_per_device: 3,
+            plays_per_worker: 6,
+            seed: 2022,
+            mode: LoadMode::Closed,
+            caches: CacheConfig::all(),
+        }
+    }
+}
+
+impl LoadConfig {
+    /// The CI-sized preset behind `wideleak load --quick`.
+    #[must_use]
+    pub fn quick() -> Self {
+        LoadConfig { devices: 2, workers_per_device: 2, plays_per_worker: 3, ..Self::default() }
+    }
+}
+
+/// Exact latency percentiles over one sample population (milliseconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min_ms: u64,
+    /// Integer mean.
+    pub mean_ms: u64,
+    /// Median (nearest-rank).
+    pub p50_ms: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95_ms: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99_ms: u64,
+    /// Largest sample.
+    pub max_ms: u64,
+}
+
+impl LatencySummary {
+    fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let q = |num: usize, den: usize| samples[(n - 1) * num / den];
+        LatencySummary {
+            count: n as u64,
+            min_ms: samples[0],
+            mean_ms: samples.iter().sum::<u64>() / n as u64,
+            p50_ms: q(50, 100),
+            p95_ms: q(95, 100),
+            p99_ms: q(99, 100),
+            max_ms: samples[n - 1],
+        }
+    }
+}
+
+/// Everything one load run produced, renderable as a deterministic
+/// report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// The configuration that produced this report.
+    pub config: LoadConfig,
+    /// Plays issued by the single-threaded warm-up phase.
+    pub warmup_plays: u64,
+    /// Plays issued by the concurrent workers.
+    pub steady_plays: u64,
+    /// Plays that returned an error (expected 0 without a fault plan).
+    pub failed_plays: u64,
+    /// Periodic `reprovision` check-ins issued by workers.
+    pub checkins: u64,
+    /// Warm-up (cold-path) latency distribution.
+    pub warmup_latency: LatencySummary,
+    /// Steady-state latency distribution.
+    pub steady_latency: LatencySummary,
+    /// Virtual wall-clock span of the run: warm-up time plus the
+    /// longest worker chain.
+    pub makespan_ms: u64,
+    /// Plays per virtual second, in hundredths (integer — no float
+    /// formatting differences between runs).
+    pub throughput_centi_per_sec: u64,
+    /// Provisioning-certificate cache counters, when that cache ran.
+    pub provisioning_cache: Option<CacheStats>,
+    /// License-response cache counters, when that cache ran.
+    pub license_cache: Option<CacheStats>,
+    /// Decrypt-cache counters summed across the fleet, when enabled.
+    pub decrypt_cache: Option<DecryptCacheStats>,
+}
+
+impl LoadReport {
+    /// Renders the deterministic ASCII report `wideleak load` prints.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let c = &self.config;
+        let mut out = String::new();
+        let _ = writeln!(out, "== wideleak load report ==");
+        let _ = writeln!(
+            out,
+            "fleet:      {} devices x {} workers x {} plays  (seed {}, {})",
+            c.devices,
+            c.workers_per_device,
+            c.plays_per_worker,
+            c.seed,
+            c.mode.label(),
+        );
+        let _ = writeln!(out, "caches:     {}", cache_label(c.caches));
+        let _ = writeln!(
+            out,
+            "plays:      {} total ({} warm-up + {} steady), {} failed, {} check-ins",
+            self.warmup_plays + self.steady_plays,
+            self.warmup_plays,
+            self.steady_plays,
+            self.failed_plays,
+            self.checkins,
+        );
+        let _ = writeln!(
+            out,
+            "makespan:   {} virtual ms   throughput: {}.{:02} plays/s",
+            self.makespan_ms,
+            self.throughput_centi_per_sec / 100,
+            self.throughput_centi_per_sec % 100,
+        );
+        let _ = writeln!(out, "latency (virtual ms):");
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "phase", "count", "min", "mean", "p50", "p95", "p99", "max"
+        );
+        for (phase, l) in [("warm-up", &self.warmup_latency), ("steady", &self.steady_latency)] {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+                phase, l.count, l.min_ms, l.mean_ms, l.p50_ms, l.p95_ms, l.p99_ms, l.max_ms
+            );
+        }
+        out.push_str("cache hit rates:\n");
+        match &self.provisioning_cache {
+            Some(s) => {
+                let _ = writeln!(out, "  provisioning certs: {}", cache_stats_line(s));
+            }
+            None => out.push_str("  provisioning certs: disabled\n"),
+        }
+        match &self.license_cache {
+            Some(s) => {
+                let _ = writeln!(out, "  license responses:  {}", cache_stats_line(s));
+            }
+            None => out.push_str("  license responses:  disabled\n"),
+        }
+        match &self.decrypt_cache {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "  decrypt keys:       key {}/{} hits, keystream {}/{} hits",
+                    s.key_hits,
+                    s.key_hits + s.key_misses,
+                    s.keystream_hits,
+                    s.keystream_hits + s.keystream_misses,
+                );
+            }
+            None => out.push_str("  decrypt keys:       disabled\n"),
+        }
+        out
+    }
+}
+
+fn cache_label(caches: CacheConfig) -> String {
+    if !caches.any() {
+        return "disabled".to_owned();
+    }
+    let mut parts = Vec::new();
+    if caches.provisioning_cert {
+        parts.push("provisioning");
+    }
+    if caches.license_response {
+        parts.push("license");
+    }
+    if caches.decrypt_keys {
+        parts.push("decrypt");
+    }
+    parts.join("+")
+}
+
+fn cache_stats_line(s: &CacheStats) -> String {
+    format!("{}/{} hits ({} permille)", s.hits, s.lookups(), s.hit_permille())
+}
+
+/// Modeled service time of one play: a base picked by cache warmth plus
+/// seeded jitter. A pure function of the indices, so the latency
+/// population is independent of thread interleaving.
+fn modeled_latency_ms(seed: u64, device: usize, worker: usize, iter: usize, warm: bool) -> u64 {
+    let salt = ((device as u64) << 40) | ((worker as u64) << 20) | iter as u64;
+    let base = if warm { WARM_BASE_MS } else { COLD_BASE_MS };
+    base + det_hash(seed, salt) % JITTER_MS
+}
+
+/// One booted fleet member: its stack and installed app.
+struct FleetDevice {
+    stack: DeviceStack,
+    app: OttApp,
+}
+
+/// Runs one load-generator pass and returns its report.
+///
+/// The run is deterministic: two calls with the same config produce
+/// byte-identical [`LoadReport::render`] output.
+///
+/// # Panics
+///
+/// Panics when the config asks for zero devices.
+#[must_use]
+pub fn run_load(config: &LoadConfig) -> LoadReport {
+    assert!(config.devices > 0, "load run needs at least one device");
+    let eco = Ecosystem::new(EcosystemConfig {
+        seed: config.seed,
+        caches: config.caches,
+        ..EcosystemConfig::fast_for_tests()
+    });
+    let clock = eco.fault_injector().clock().clone();
+
+    // Boot the fleet: discontinued L3 devices running apps that do not
+    // enforce revocation (paper Table I), each media DRM server on its
+    // own binder thread.
+    let fleet: Vec<FleetDevice> = (0..config.devices)
+        .map(|d| {
+            let stack = eco.boot_device_threaded(DeviceModel::nexus_5(), false);
+            let app = eco.install_app(
+                &stack,
+                FLEET_APPS[d % FLEET_APPS.len()],
+                &format!("load-user-{d}"),
+            );
+            FleetDevice { stack, app }
+        })
+        .collect();
+
+    // Warm-up: play every title once per device on the main thread.
+    // All cold cache misses (provisioning keygen, license plan
+    // resolution) happen here, sequentially and deterministically, so
+    // the concurrent phase below only ever produces cache hits and the
+    // counters are interleaving-independent.
+    let mut warmup_samples = Vec::new();
+    let mut warmup_failed = 0u64;
+    for (d, member) in fleet.iter().enumerate() {
+        for (i, title) in FLEET_TITLES.iter().enumerate() {
+            let lat = modeled_latency_ms(config.seed, d, WARMUP_WORKER, i, false);
+            if member.app.play(title).is_err() {
+                warmup_failed += 1;
+            }
+            clock.advance_ms(lat);
+            observe_play(lat);
+            warmup_samples.push(lat);
+        }
+    }
+    let warmup_span_ms: u64 = warmup_samples.iter().sum();
+
+    // Steady state: M workers per device share the device's app and
+    // hammer the warmed paths concurrently.
+    let failed = AtomicU64::new(warmup_failed);
+    let checkins = AtomicU64::new(0);
+    let mut worker_results: Vec<(Vec<u64>, u64)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (d, member) in fleet.iter().enumerate() {
+            for w in 0..config.workers_per_device {
+                let clock = &clock;
+                let failed = &failed;
+                let checkins = &checkins;
+                handles.push(
+                    scope.spawn(move || {
+                        run_worker(config, &member.app, clock, failed, checkins, d, w)
+                    }),
+                );
+            }
+        }
+        for handle in handles {
+            worker_results.push(handle.join().expect("load worker panicked"));
+        }
+    });
+
+    let mut steady_samples: Vec<u64> =
+        worker_results.iter().flat_map(|(samples, _)| samples.iter().copied()).collect();
+    let longest_chain_ms = worker_results.iter().map(|&(_, span)| span).max().unwrap_or(0);
+    let makespan_ms = (warmup_span_ms + longest_chain_ms).max(1);
+    let total_plays = warmup_samples.len() as u64 + steady_samples.len() as u64;
+    let decrypt_cache = config.caches.decrypt_keys.then(|| sum_decrypt_stats(&fleet)).flatten();
+    LoadReport {
+        config: *config,
+        warmup_plays: warmup_samples.len() as u64,
+        steady_plays: steady_samples.len() as u64,
+        failed_plays: failed.load(Ordering::Relaxed),
+        checkins: checkins.load(Ordering::Relaxed),
+        warmup_latency: LatencySummary::from_samples(&mut warmup_samples),
+        steady_latency: LatencySummary::from_samples(&mut steady_samples),
+        makespan_ms,
+        throughput_centi_per_sec: total_plays * 100_000 / makespan_ms,
+        provisioning_cache: eco.provisioning_cache_stats(),
+        license_cache: eco.license_cache_stats(),
+        decrypt_cache,
+    }
+}
+
+/// One worker's closed/open loop: returns its latency samples and the
+/// virtual span of its sequential chain (busy time plus interarrival
+/// gaps).
+fn run_worker(
+    config: &LoadConfig,
+    app: &OttApp,
+    clock: &VirtualClock,
+    failed: &AtomicU64,
+    checkins: &AtomicU64,
+    device: usize,
+    worker: usize,
+) -> (Vec<u64>, u64) {
+    let warm = config.caches.any();
+    let mut samples = Vec::with_capacity(config.plays_per_worker);
+    let mut span_ms = 0u64;
+    for iter in 0..config.plays_per_worker {
+        if let LoadMode::Open { interarrival_ms } = config.mode {
+            clock.advance_ms(interarrival_ms);
+            span_ms += interarrival_ms;
+        }
+        let title = FLEET_TITLES[iter % FLEET_TITLES.len()];
+        let lat = modeled_latency_ms(config.seed, device, worker, iter, warm);
+        if app.play(title).is_err() {
+            failed.fetch_add(1, Ordering::Relaxed);
+        }
+        clock.advance_ms(lat);
+        observe_play(lat);
+        samples.push(lat);
+        span_ms += lat;
+        // Periodic device check-in: re-runs the provisioning exchange,
+        // which the certificate cache serves without RSA keygen.
+        if iter % 3 == 2 {
+            if app.reprovision().is_err() {
+                failed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                checkins.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    (samples, span_ms)
+}
+
+fn observe_play(lat_ms: u64) {
+    if wideleak_telemetry::is_enabled() {
+        wideleak_telemetry::observe("load.play.latency", Duration::from_millis(lat_ms));
+        wideleak_telemetry::incr("load.plays");
+    }
+}
+
+/// Sums decrypt-cache counters across the fleet. `None` when the cache
+/// is disabled (every backend reports `None`).
+fn sum_decrypt_stats(fleet: &[FleetDevice]) -> Option<DecryptCacheStats> {
+    let mut total: Option<DecryptCacheStats> = None;
+    for member in fleet {
+        if let Some(s) = member.stack.cdm.oemcrypto().decrypt_cache_stats() {
+            let t = total.get_or_insert_with(DecryptCacheStats::default);
+            t.key_hits += s.key_hits;
+            t.key_misses += s.key_misses;
+            t.keystream_hits += s.keystream_hits;
+            t.keystream_misses += s.keystream_misses;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_is_deterministic() {
+        let config = LoadConfig::quick();
+        let a = run_load(&config);
+        let b = run_load(&config);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn cached_run_registers_hits_on_every_tier() {
+        let report = run_load(&LoadConfig::quick());
+        assert_eq!(report.failed_plays, 0);
+        assert!(report.checkins > 0);
+        let prov = report.provisioning_cache.expect("cert cache enabled");
+        assert!(prov.hits > 0, "check-ins hit the cert cache: {prov:?}");
+        let lic = report.license_cache.expect("license cache enabled");
+        assert!(lic.hits > 0, "steady plays hit the license cache: {lic:?}");
+        let dec = report.decrypt_cache.expect("decrypt cache enabled");
+        assert!(dec.key_hits > 0, "repeat samples reuse key schedules: {dec:?}");
+        assert!(
+            report.steady_latency.p50_ms < report.warmup_latency.p50_ms,
+            "warm plays are modeled faster than cold plays"
+        );
+    }
+
+    #[test]
+    fn uncached_run_reports_disabled_caches() {
+        let config = LoadConfig { caches: CacheConfig::none(), ..LoadConfig::quick() };
+        let report = run_load(&config);
+        assert_eq!(report.failed_plays, 0);
+        assert!(report.provisioning_cache.is_none());
+        assert!(report.license_cache.is_none());
+        assert!(report.decrypt_cache.is_none());
+        assert!(report.render().contains("disabled"));
+    }
+
+    #[test]
+    fn open_loop_interarrival_stretches_the_makespan() {
+        let closed = run_load(&LoadConfig::quick());
+        let open = run_load(&LoadConfig {
+            mode: LoadMode::Open { interarrival_ms: 50 },
+            ..LoadConfig::quick()
+        });
+        assert!(open.makespan_ms > closed.makespan_ms);
+        assert!(open.throughput_centi_per_sec < closed.throughput_centi_per_sec);
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let mut samples: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_samples(&mut samples);
+        assert_eq!((s.min_ms, s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms), (1, 50, 95, 99, 100));
+        assert_eq!(s.mean_ms, 50);
+    }
+}

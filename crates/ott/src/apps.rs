@@ -576,6 +576,23 @@ impl OttApp {
         Ok(())
     }
 
+    /// Runs the provisioning exchange unconditionally, even when the CDM
+    /// already holds a Device RSA Key — the fleet "check-in" after a
+    /// keybox rotation or data wipe. Idempotent: the backend returns the
+    /// same RSA key for this device identity.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ensure_provisioned`](Self::ensure_provisioned).
+    pub fn reprovision(&self) -> Result<(), OttError> {
+        let drm = MediaDrm::new(self.binder.clone(), WIDEVINE_SYSTEM_ID)?;
+        let nonce = self.next_nonce();
+        let request = drm.get_provision_request(nonce)?;
+        let response = self.send(&format!("provision/{}", self.profile.slug), &request)?;
+        drm.provide_provision_response(nonce, response)?;
+        Ok(())
+    }
+
     /// Whether an error is the CDM telling us the license aged out — the
     /// one failure license renewal fixes.
     fn is_expiry(error: &OttError) -> bool {
@@ -621,12 +638,11 @@ impl OttApp {
             match self.play_platform_at(title_id, level) {
                 Err(e) if self.policy.renew_on_expiry && !renewed && Self::is_expiry(&e) => {
                     // A fresh session and license resets the key's loaded-at
-                    // time; renewal does not consume the retry budget.
+                    // time; renewal does not consume the retry budget. The
+                    // renewal is only *counted* once the retried playback
+                    // succeeds — an attempt that dies with `KeyExpired`
+                    // again is a failed renewal, not a renewal.
                     renewed = true;
-                    self.stats.renewals.fetch_add(1, Ordering::Relaxed);
-                    if wideleak_telemetry::is_enabled() {
-                        wideleak_telemetry::incr("license.renewed");
-                    }
                 }
                 Err(e) if attempt < self.policy.max_retries && Self::is_transient(&e) => {
                     attempt += 1;
@@ -646,7 +662,15 @@ impl OttApp {
                         wideleak_telemetry::incr("degraded.l3_fallback");
                     }
                 }
-                result => return result,
+                result => {
+                    if renewed && result.is_ok() {
+                        self.stats.renewals.fetch_add(1, Ordering::Relaxed);
+                        if wideleak_telemetry::is_enabled() {
+                            wideleak_telemetry::incr("license.renewed");
+                        }
+                    }
+                    return result;
+                }
             }
         }
     }
@@ -724,16 +748,28 @@ impl OttApp {
             let uri_kid = kid_from_label(&uri_channel_label(self.profile.slug, title_id));
             let drm = MediaDrm::new(self.binder.clone(), WIDEVINE_SYSTEM_ID)?;
             let session = drm.open_session(self.next_nonce())?;
-            let request = drm.get_key_request(session, title_id, &[uri_kid])?;
-            let mut w = TlvWriter::new();
-            w.string(1, &self.account_token).bytes(2, &request);
-            let response =
-                self.send(&format!("license/{}/{title_id}", self.profile.slug), &w.finish())?;
-            drm.provide_key_response(session, response)?;
-            let crypto = MediaCrypto::new(&drm, session);
-            let xml = crypto.generic_decrypt(uri_kid, URI_CHANNEL_IV, &blob)?;
-            drm.close_session(session)?;
-            xml
+            // Any failure past this point must still close the session, or
+            // retried manifest fetches leak session-table slots.
+            let result: Result<Vec<u8>, OttError> = (|| {
+                let request = drm.get_key_request(session, title_id, &[uri_kid])?;
+                let mut w = TlvWriter::new();
+                w.string(1, &self.account_token).bytes(2, &request);
+                let response =
+                    self.send(&format!("license/{}/{title_id}", self.profile.slug), &w.finish())?;
+                drm.provide_key_response(session, response)?;
+                let crypto = MediaCrypto::new(&drm, session);
+                Ok(crypto.generic_decrypt(uri_kid, URI_CHANNEL_IV, &blob)?)
+            })();
+            match result {
+                Ok(xml) => {
+                    drm.close_session(session)?;
+                    xml
+                }
+                Err(e) => {
+                    let _ = drm.close_session(session);
+                    return Err(e);
+                }
+            }
         } else {
             blob
         };
@@ -879,18 +915,22 @@ impl OttApp {
         // the handset's TEE.
         let (resolution, rep_id, _) = self.select_video_at(&mpd, SecurityLevel::L3)?;
 
-        // License through the embedded core.
+        // License through the embedded core. From here every failure must
+        // still close the embedded session, or faulted playbacks leak
+        // session slots until the core's cap starves later plays.
         let session = core.open_session(self.next_nonce())?;
-        let request = core.license_request(session, title_id, &[])?;
-        let mut w = TlvWriter::new();
-        w.string(1, &self.account_token).bytes(2, &request.to_bytes());
-        let raw = self.send(&format!("license/{}/{title_id}", self.profile.slug), &w.finish())?;
-        let response = LicenseResponse::parse(&raw)?;
-        core.load_license(session, &response)?;
+        #[allow(clippy::type_complexity)]
+        let result: Result<(Vec<Vec<u8>>, Vec<Vec<u8>>, Option<String>), OttError> = (|| {
+            let request = core.license_request(session, title_id, &[])?;
+            let mut w = TlvWriter::new();
+            w.string(1, &self.account_token).bytes(2, &request.to_bytes());
+            let raw =
+                self.send(&format!("license/{}/{title_id}", self.profile.slug), &w.finish())?;
+            let response = LicenseResponse::parse(&raw)?;
+            core.load_license(session, &response)?;
 
-        // Decrypt video and audio with the embedded core's loaded keys.
-        let decrypt_rep =
-            |core: &CdmCore, rep_id: &str| -> Result<Vec<Vec<u8>>, OttError> {
+            // Decrypt video and audio with the embedded core's loaded keys.
+            let decrypt_rep = |core: &CdmCore, rep_id: &str| -> Result<Vec<Vec<u8>>, OttError> {
                 let bundle = self.fetch_bundle(&mpd, rep_id)?;
                 let mut out = Vec::new();
                 for seg in &bundle.segments {
@@ -921,10 +961,22 @@ impl OttApp {
                 Ok(out)
             };
 
-        let video_samples = decrypt_rep(core, &rep_id)?;
-        let audio_samples = decrypt_rep(core, "audio-en")?;
-        let subtitle_text = self.fetch_subtitles(&mpd)?;
-        core.close_session(session)?;
+            let video_samples = decrypt_rep(core, &rep_id)?;
+            let audio_samples = decrypt_rep(core, "audio-en")?;
+            let subtitle_text = self.fetch_subtitles(&mpd)?;
+            Ok((video_samples, audio_samples, subtitle_text))
+        })();
+
+        let (video_samples, audio_samples, subtitle_text) = match result {
+            Ok(parts) => {
+                core.close_session(session)?;
+                parts
+            }
+            Err(e) => {
+                let _ = core.close_session(session);
+                return Err(e);
+            }
+        };
 
         Ok(PlaybackOutcome {
             used_platform_widevine: false,

@@ -17,6 +17,7 @@
 
 pub mod accounts;
 pub mod apps;
+pub mod cache;
 pub mod cdn;
 pub mod content;
 pub mod ecosystem;

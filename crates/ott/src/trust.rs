@@ -20,6 +20,11 @@ pub struct TrustAuthority {
     device_keys: RwLock<HashMap<Vec<u8>, [u8; 16]>>,
     rsa_keys: RwLock<HashMap<Vec<u8>, RsaPublicKey>>,
     attested_levels: RwLock<HashMap<Vec<u8>, SecurityLevel>>,
+    /// Keybox generation per device name: bumped by
+    /// [`rotate_keybox`](Self::rotate_keybox), folded into key
+    /// derivation so a rotated device gets a fresh device key under the
+    /// same identity.
+    generations: RwLock<HashMap<String, u64>>,
     seed: u64,
 }
 
@@ -41,16 +46,38 @@ impl TrustAuthority {
             device_keys: RwLock::new(HashMap::new()),
             rsa_keys: RwLock::new(HashMap::new()),
             attested_levels: RwLock::new(HashMap::new()),
+            generations: RwLock::new(HashMap::new()),
             seed,
         }
     }
 
-    /// Issues (or re-issues, idempotently) a keybox for a device.
+    /// Issues (or re-issues, idempotently within a keybox generation) a
+    /// keybox for a device.
     pub fn issue_keybox(&self, device_name: &str) -> Keybox {
+        let generation = self.generations.read().get(device_name).copied().unwrap_or(0);
+        self.issue_keybox_at(device_name, generation)
+    }
+
+    /// Rotates a device's keybox: the device identity stays, the device
+    /// key changes. Existing provisioning records remain (the Device RSA
+    /// Key is independent of the keybox); any cache keyed on the old
+    /// keybox material must be invalidated by the caller.
+    pub fn rotate_keybox(&self, device_name: &str) -> Keybox {
+        let generation = {
+            let mut generations = self.generations.write();
+            let g = generations.entry(device_name.to_owned()).or_insert(0);
+            *g += 1;
+            *g
+        };
+        self.issue_keybox_at(device_name, generation)
+    }
+
+    fn issue_keybox_at(&self, device_name: &str, generation: u64) -> Keybox {
         let mut id_seed = self.seed;
         for b in device_name.bytes() {
             id_seed = id_seed.rotate_left(9) ^ b as u64;
         }
+        id_seed ^= generation.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let device_key: [u8; 16] = random_array(&mut seeded_rng(id_seed));
         let keybox = Keybox::issue(device_name.as_bytes(), &device_key);
         self.device_keys.write().insert(keybox.device_id().to_vec(), device_key);
@@ -105,6 +132,19 @@ mod tests {
         let kb_a = TrustAuthority::new(1).issue_keybox("device");
         let kb_b = TrustAuthority::new(2).issue_keybox("device");
         assert_ne!(kb_a.device_key(), kb_b.device_key());
+    }
+
+    #[test]
+    fn rotation_changes_the_key_but_not_the_identity() {
+        let a = TrustAuthority::new(1);
+        let kb1 = a.issue_keybox("phone");
+        let kb2 = a.rotate_keybox("phone");
+        assert_eq!(kb1.device_id(), kb2.device_id());
+        assert_ne!(kb1.device_key(), kb2.device_key());
+        // Lookups now resolve to the rotated key, and re-issue is
+        // idempotent within the new generation.
+        assert_eq!(a.device_key(kb2.device_id()), Some(*kb2.device_key()));
+        assert_eq!(a.issue_keybox("phone").to_bytes(), kb2.to_bytes());
     }
 
     #[test]

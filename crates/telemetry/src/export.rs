@@ -107,8 +107,8 @@ pub fn to_jsonl(snapshot: &Snapshot) -> String {
         push_str_value(name, &mut out);
         let _ = writeln!(
             out,
-            ",\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
-            h.count, h.sum_ns, h.min_ns, h.p50_ns, h.p90_ns, h.p99_ns, h.max_ns,
+            ",\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            h.count, h.sum_ns, h.min_ns, h.p50_ns, h.p90_ns, h.p95_ns, h.p99_ns, h.max_ns,
         );
     }
     for e in &snapshot.events {
@@ -137,11 +137,12 @@ fn humanize_ns(ns: u64) -> String {
 fn histogram_row(name: &str, h: &HistogramSummary, out: &mut String) {
     let _ = writeln!(
         out,
-        "  {:<44} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "  {:<44} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
         name,
         h.count,
         humanize_ns(h.p50_ns),
         humanize_ns(h.p90_ns),
+        humanize_ns(h.p95_ns),
         humanize_ns(h.p99_ns),
         humanize_ns(h.max_ns),
     );
@@ -171,8 +172,8 @@ pub fn summary_table(snapshot: &Snapshot) -> String {
     if !snapshot.histograms.is_empty() {
         let _ = writeln!(
             out,
-            "latency:\n  {:<44} {:>8} {:>9} {:>9} {:>9} {:>9}",
-            "histogram", "count", "p50", "p90", "p99", "max"
+            "latency:\n  {:<44} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "histogram", "count", "p50", "p90", "p95", "p99", "max"
         );
         for (name, h) in &snapshot.histograms {
             histogram_row(name, h, &mut out);
@@ -309,6 +310,7 @@ pub fn parse_jsonl(text: &str) -> ParsedRun {
                         max_ns: g("max_ns"),
                         p50_ns: g("p50_ns"),
                         p90_ns: g("p90_ns"),
+                        p95_ns: g("p95_ns"),
                         p99_ns: g("p99_ns"),
                     },
                 ));
@@ -342,8 +344,8 @@ pub fn parsed_summary_table(run: &ParsedRun) -> String {
     if !run.histograms.is_empty() {
         let _ = writeln!(
             out,
-            "latency:\n  {:<44} {:>8} {:>9} {:>9} {:>9} {:>9}",
-            "histogram", "count", "p50", "p90", "p99", "max"
+            "latency:\n  {:<44} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "histogram", "count", "p50", "p90", "p95", "p99", "max"
         );
         for (name, h) in &run.histograms {
             histogram_row(name, h, &mut out);

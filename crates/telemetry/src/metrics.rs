@@ -114,6 +114,7 @@ impl Histogram {
             max_ns: self.max_ns.load(Ordering::Relaxed),
             p50_ns: self.quantile_ns(0.50),
             p90_ns: self.quantile_ns(0.90),
+            p95_ns: self.quantile_ns(0.95),
             p99_ns: self.quantile_ns(0.99),
         }
     }
@@ -134,6 +135,8 @@ pub struct HistogramSummary {
     pub p50_ns: u64,
     /// Estimated 90th percentile.
     pub p90_ns: u64,
+    /// Estimated 95th percentile.
+    pub p95_ns: u64,
     /// Estimated 99th percentile.
     pub p99_ns: u64,
 }
@@ -357,9 +360,10 @@ mod tests {
         let s = h.summary();
         // p50 must fall inside the 1us bucket [1024, 2047].
         assert!(s.p50_ns < 2_048, "p50={}", s.p50_ns);
-        // p99 must land in the slow bucket, clamped to max.
+        // p95 and p99 must land in the slow bucket, clamped to max.
+        assert_eq!(s.p95_ns, 1_000_000);
         assert_eq!(s.p99_ns, 1_000_000);
-        assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns);
+        assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
     }
 
     #[test]
