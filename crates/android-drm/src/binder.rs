@@ -219,27 +219,50 @@ fn record_transaction(kind_index: usize, reply: &Result<DrmReply, DrmError>) {
 /// Runs one transaction with panic isolation: an unwinding handler is
 /// contained to this call and reported as [`DrmError::ServerPanic`]
 /// instead of poisoning the transport.
-fn dispatch(server: &MediaDrmServer, call: DrmCall) -> Result<DrmReply, DrmError> {
+pub(crate) fn dispatch(server: &MediaDrmServer, call: DrmCall) -> Result<DrmReply, DrmError> {
     std::panic::catch_unwind(AssertUnwindSafe(|| server.handle(call))).unwrap_or_else(|_| {
         SERVER_PANICS.incr();
         Err(DrmError::ServerPanic)
     })
 }
 
-/// The single transaction seam both transports run through: telemetry
+/// How a transport realises corruption and drop faults.
+///
+/// In-memory transports have no frames, so corruption mangles the typed
+/// byte payload centrally ([`FaultStyle::Payload`]); the TCP transport
+/// has real frames on a real socket, so those fault kinds are handed to
+/// the transport's `run` step, which damages the received frame bytes
+/// (surfacing as CRC/decode errors) or severs a pooled connection
+/// ([`FaultStyle::Frame`]). Either way the injector's `decide` runs
+/// exactly once per transaction, so injection schedules line up across
+/// transports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultStyle {
+    /// Corruption mutates the decoded reply payload; drops never reach
+    /// the transport.
+    Payload,
+    /// Corruption and drops are realised on the wire by the transport.
+    Frame,
+}
+
+/// The single transaction seam all transports run through: telemetry
 /// span + per-kind counters + binder-plane fault injection around the
 /// transport-specific `run` step. Having exactly one seam is what lets
-/// faults compose identically over the in-process and threaded paths.
-fn transact_via(
+/// faults compose identically over the in-process, threaded and TCP
+/// paths. `run` receives the fault kind (if any) that the transport
+/// itself must realise; it is always `None` under
+/// [`FaultStyle::Payload`].
+pub(crate) fn transact_via(
     span_name: &'static str,
     injector: Option<&FaultInjector>,
-    server: &MediaDrmServer,
+    server: Option<&MediaDrmServer>,
+    style: FaultStyle,
     call: DrmCall,
-    run: impl FnOnce(DrmCall) -> Result<DrmReply, DrmError>,
+    run: impl FnOnce(DrmCall, Option<&FaultKind>) -> Result<DrmReply, DrmError>,
 ) -> Result<DrmReply, DrmError> {
     let kind_index = call.kind_index();
     let _span = wideleak_telemetry::span!(span_name, kind = call.kind());
-    let reply = apply_binder_faults(injector, server, call, run);
+    let reply = apply_binder_faults(injector, server, style, call, run);
     record_transaction(kind_index, &reply);
     reply
 }
@@ -248,20 +271,19 @@ fn transact_via(
 /// fault kinds onto transport-visible behaviour.
 fn apply_binder_faults(
     injector: Option<&FaultInjector>,
-    server: &MediaDrmServer,
+    server: Option<&MediaDrmServer>,
+    style: FaultStyle,
     call: DrmCall,
-    run: impl FnOnce(DrmCall) -> Result<DrmReply, DrmError>,
+    run: impl FnOnce(DrmCall, Option<&FaultKind>) -> Result<DrmReply, DrmError>,
 ) -> Result<DrmReply, DrmError> {
     let Some(fault) = injector
         .filter(|inj| inj.is_active())
         .and_then(|inj| inj.decide(Plane::Binder, call.kind()).map(|kind| (inj, kind)))
     else {
-        return run(call);
+        return run(call, None);
     };
     let (inj, kind) = fault;
     match kind {
-        // The channel drops mid-transaction: no reply ever arrives.
-        FaultKind::Drop => Err(DrmError::BinderDied),
         // The handler blows up; the transports' panic containment
         // reports it without taking the server down.
         FaultKind::Panic | FaultKind::ErrorCode => {
@@ -271,19 +293,33 @@ fn apply_binder_faults(
         // The call completes, but only after the virtual clock moved.
         FaultKind::Latency { ms } => {
             inj.clock().advance_ms(ms);
-            run(call)
+            run(call, None)
         }
         // The device clock jumps before the call lands, expiring any
-        // loaded license whose duration the skew exceeds.
+        // loaded license whose duration the skew exceeds. A transport
+        // with no handle onto its server (remote TCP) cannot realise
+        // skew; the call proceeds unfaulted.
         FaultKind::ClockSkew { secs } => {
-            server.advance_clocks(secs);
-            run(call)
+            if let Some(server) = server {
+                server.advance_clocks(secs);
+            }
+            run(call, None)
         }
-        // Byte payloads come back mangled; non-byte replies are shape-
-        // checked by the framework and pass through unchanged.
-        kind @ (FaultKind::TruncateBody { .. } | FaultKind::GarbleBody) => match run(call)? {
-            DrmReply::Bytes(bytes) => Ok(DrmReply::Bytes(corrupt_body(&kind, bytes))),
-            other => Ok(other),
+        // The channel drops mid-transaction: no reply ever arrives. The
+        // frame style lets the transport sever a real connection first.
+        FaultKind::Drop => match style {
+            FaultStyle::Payload => Err(DrmError::BinderDied),
+            FaultStyle::Frame => run(call, Some(&FaultKind::Drop)),
+        },
+        // Corruption: payload style mangles decoded byte replies here;
+        // frame style hands the kind to the transport, which damages the
+        // received frame bytes so the codec's CRC/decode checks trip.
+        kind @ (FaultKind::TruncateBody { .. } | FaultKind::GarbleBody) => match style {
+            FaultStyle::Payload => match run(call, None)? {
+                DrmReply::Bytes(bytes) => Ok(DrmReply::Bytes(corrupt_body(&kind, bytes))),
+                other => Ok(other),
+            },
+            FaultStyle::Frame => run(call, Some(&kind)),
         },
     }
 }
@@ -364,9 +400,60 @@ pub trait Transport: Send + Sync {
     fn transact(&self, call: DrmCall) -> Result<DrmReply, DrmError>;
 }
 
-/// Deprecated alias for [`Transport`], kept for one release so external
-/// callers keep compiling; new code should name `Transport`.
-pub use Transport as Binder;
+/// Which [`Transport`] implementation a component should boot with.
+///
+/// The three transports are behaviourally interchangeable — the
+/// differential battery in `tests/tests/transport_differential.rs` pins
+/// byte-identical study output across them — so this is purely a
+/// performance/realism knob: [`InProcess`](TransportKind::InProcess) for
+/// cheap unit tests, [`Threaded`](TransportKind::Threaded) for real
+/// thread boundaries, [`Tcp`](TransportKind::Tcp) for real frames on a
+/// loopback socket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TransportKind {
+    /// Synchronous same-thread dispatch ([`InProcessBinder`]).
+    #[default]
+    InProcess,
+    /// Worker pool over crossbeam channels ([`ThreadedBinder`]).
+    Threaded,
+    /// Wire-framed loopback TCP ([`TcpBinder`](crate::netserver::TcpBinder)).
+    Tcp,
+}
+
+impl TransportKind {
+    /// A stable lowercase label for CLI flags and report lines.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportKind::InProcess => "inprocess",
+            TransportKind::Threaded => "threaded",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+
+    /// All kinds, in boot-cost order — handy for differential sweeps.
+    pub const ALL: [TransportKind; 3] =
+        [TransportKind::InProcess, TransportKind::Threaded, TransportKind::Tcp];
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "inprocess" | "in-process" => Ok(TransportKind::InProcess),
+            "threaded" => Ok(TransportKind::Threaded),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!("unknown transport {other:?} (expected inprocess|threaded|tcp)")),
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// A synchronous, same-thread transport.
 pub struct InProcessBinder {
@@ -394,9 +481,10 @@ impl Transport for InProcessBinder {
         transact_via(
             "binder.transact.in_process",
             self.injector.as_deref(),
-            &self.server,
+            Some(&self.server),
+            FaultStyle::Payload,
             call,
-            |call| dispatch(&self.server, call),
+            |call, _| dispatch(&self.server, call),
         )
     }
 }
@@ -501,12 +589,6 @@ impl ThreadedBinder {
         Self::builder(server).spawn()
     }
 
-    /// Spawns the server with an explicit worker count (clamped to ≥ 1).
-    #[deprecated(since = "0.1.0", note = "use ThreadedBinder::builder(server).workers(n).spawn()")]
-    pub fn spawn_pool(server: MediaDrmServer, workers: usize) -> Self {
-        Self::builder(server).workers(workers.max(1)).spawn()
-    }
-
     /// How many worker threads serve this binder.
     #[must_use]
     pub fn worker_count(&self) -> usize {
@@ -525,9 +607,10 @@ impl Transport for ThreadedBinder {
         transact_via(
             "binder.transact.threaded",
             self.injector.as_deref(),
-            &self.server,
+            Some(&self.server),
+            FaultStyle::Payload,
             call,
-            |call| {
+            |call, _| {
                 let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
                 self.tx.send((call, reply_tx)).map_err(|_| DrmError::BinderDied)?;
                 if wideleak_telemetry::is_enabled() {
@@ -640,14 +723,13 @@ mod tests {
         exercise(&binder);
     }
 
-    /// The deprecated positional constructor keeps working for one
-    /// release and clamps zero workers to one.
     #[test]
-    #[allow(deprecated)]
-    fn spawn_pool_shim_still_serves() {
-        let binder = ThreadedBinder::spawn_pool(server(), 0);
-        assert_eq!(binder.worker_count(), 1);
-        exercise(&binder);
+    fn transport_kind_parses_labels() {
+        for kind in TransportKind::ALL {
+            assert_eq!(kind.label().parse::<TransportKind>(), Ok(kind));
+        }
+        assert_eq!("in-process".parse::<TransportKind>(), Ok(TransportKind::InProcess));
+        assert!("quic".parse::<TransportKind>().is_err());
     }
 
     #[test]

@@ -32,8 +32,10 @@ pub mod exoplayer;
 pub mod mediacodec;
 pub mod mediacrypto;
 pub mod mediadrm;
+pub mod netserver;
 pub mod playback;
 pub mod server;
+pub mod wire;
 
 use std::fmt;
 
@@ -54,6 +56,10 @@ pub enum DrmError {
     ServerPanic,
     /// The reply had an unexpected shape (framework bug guard).
     BadReply,
+    /// A TCP frame failed to decode (corruption, truncation, protocol
+    /// mismatch). Transient from the app's point of view: the connection
+    /// is torn down and the retry policy gets a fresh one.
+    Wire(wire::WireError),
 }
 
 impl DrmError {
@@ -66,6 +72,7 @@ impl DrmError {
             DrmError::BinderDied => "binder_died",
             DrmError::ServerPanic => "server_panic",
             DrmError::BadReply => "bad_reply",
+            DrmError::Wire(_) => "wire",
         }
     }
 }
@@ -86,6 +93,7 @@ impl fmt::Display for DrmError {
             DrmError::BinderDied => f.write_str("binder transaction failed: server died"),
             DrmError::ServerPanic => f.write_str("media drm server panicked handling the call"),
             DrmError::BadReply => f.write_str("unexpected reply shape from media drm server"),
+            DrmError::Wire(e) => write!(f, "wire frame error: {e}"),
         }
     }
 }
@@ -94,8 +102,15 @@ impl std::error::Error for DrmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DrmError::Cdm(e) => Some(e),
+            DrmError::Wire(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<wire::WireError> for DrmError {
+    fn from(e: wire::WireError) -> Self {
+        DrmError::Wire(e)
     }
 }
 

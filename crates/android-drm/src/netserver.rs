@@ -1,0 +1,678 @@
+//! The TCP transport: a thread-per-connection Media DRM server and a
+//! pooled client, speaking the [`wire`](crate::wire) frame format over
+//! real sockets.
+//!
+//! [`TcpDrmServer`] is the `mediadrmserver` process model taken one step
+//! further than [`ThreadedBinder`](crate::binder::ThreadedBinder): the
+//! boundary is a loopback TCP connection, so every transaction is
+//! serialized, framed, CRC-protected and parsed back — the paper's
+//! interposition point made into an actual network seam. [`TcpBinder`]
+//! is the client half: a bounded pool of connections with health-checked
+//! reconnect, routed through the same
+//! [`transact_via`](crate::binder) seam as the in-memory transports so
+//! telemetry and fault injection compose identically.
+//!
+//! Fault realisation differs by design: in-memory transports corrupt
+//! the typed reply payload, but here corruption faults damage the
+//! *received frame bytes* before decoding, so they surface as typed
+//! [`WireError`]s through [`DrmError::Wire`], and drop faults sever a
+//! live pooled connection, so the reconnect machinery is what recovers.
+//! The differential battery pins that all three transports still
+//! produce byte-identical study reports.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use wideleak_faults::{corrupt_body, FaultInjector, FaultKind};
+use wideleak_telemetry::CounterHandle;
+
+use crate::binder::{dispatch, transact_via, DrmCall, DrmReply, FaultStyle, Transport};
+use crate::server::MediaDrmServer;
+use crate::wire::{decode_frame, encode_frame, frame_len, FrameBody, HEADER_LEN};
+use crate::DrmError;
+
+static FRAMES_SENT: CounterHandle = CounterHandle::new("binder.tcp.frames.sent");
+static FRAMES_RECEIVED: CounterHandle = CounterHandle::new("binder.tcp.frames.received");
+static BYTES_SENT: CounterHandle = CounterHandle::new("binder.tcp.bytes.sent");
+static BYTES_RECEIVED: CounterHandle = CounterHandle::new("binder.tcp.bytes.received");
+static RECONNECTS: CounterHandle = CounterHandle::new("binder.tcp.reconnects");
+static SERVER_CONNECTIONS: CounterHandle = CounterHandle::new("netserver.connections");
+static SERVER_FRAMES: CounterHandle = CounterHandle::new("netserver.frames");
+
+/// How often blocked server reads wake up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Reads exactly `buf.len()` bytes, waking every [`POLL_INTERVAL`] to
+/// check `shutdown`. Returns `Ok(false)` on a clean EOF *before any
+/// byte arrived* (the peer closed between frames); EOF mid-frame is an
+/// error. Partial reads across timeouts are tracked, so a slow peer
+/// does not desync the stream.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::Acquire) {
+            return Err(std::io::Error::new(std::io::ErrorKind::Interrupted, "server shutdown"));
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one whole frame (header + payload + trailer) into a buffer.
+/// Returns `Ok(None)` on clean EOF at a frame boundary.
+fn read_frame(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> std::io::Result<Option<Result<Vec<u8>, crate::wire::WireError>>> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_full(stream, &mut header, shutdown)? {
+        return Ok(None);
+    }
+    let total = match frame_len(&header) {
+        Ok(total) => total,
+        // A bad header means the frame boundary is unknowable; the
+        // caller must sever, but gets the typed error first.
+        Err(e) => return Ok(Some(Err(e))),
+    };
+    let mut frame = vec![0u8; total];
+    frame[..HEADER_LEN].copy_from_slice(&header);
+    if !read_full(stream, &mut frame[HEADER_LEN..], shutdown)? {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "peer closed mid-frame",
+        ));
+    }
+    Ok(Some(Ok(frame)))
+}
+
+/// A Media DRM server listening on a TCP socket, one handler thread per
+/// connection. Binds on construction, serves until dropped.
+pub struct TcpDrmServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    server: Arc<MediaDrmServer>,
+}
+
+impl TcpDrmServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback
+    /// port) and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn bind(addr: &str, server: MediaDrmServer) -> std::io::Result<Self> {
+        Self::bind_shared(addr, Arc::new(server))
+    }
+
+    /// Like [`Self::bind`], but sharing an already-`Arc`ed server — the
+    /// loopback [`TcpBinder`] uses this to keep a handle for the
+    /// clock-skew fault plane.
+    pub fn bind_shared(addr: &str, server: Arc<MediaDrmServer>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let server = Arc::clone(&server);
+            std::thread::Builder::new()
+                .name("netdrmserver-accept".into())
+                .spawn(move || accept_loop(&listener, &server, &shutdown))
+                .expect("spawning the accept thread")
+        };
+        Ok(TcpDrmServer { addr, shutdown, accept_handle: Some(accept_handle), server })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served instance.
+    #[must_use]
+    pub fn server(&self) -> &Arc<MediaDrmServer> {
+        &self.server
+    }
+}
+
+impl Drop for TcpDrmServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection; if that
+        // fails the listener is already gone, which is fine too.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, server: &Arc<MediaDrmServer>, shutdown: &Arc<AtomicBool>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        SERVER_CONNECTIONS.incr();
+        let server = Arc::clone(server);
+        let shutdown = Arc::clone(shutdown);
+        let handle = std::thread::Builder::new()
+            .name("netdrmserver-conn".into())
+            .spawn(move || serve_connection(stream, &server, &shutdown))
+            .expect("spawning a connection handler");
+        handlers.push(handle);
+        // Reap finished handlers so a long-lived server with churning
+        // clients does not accumulate joinable threads.
+        handlers.retain(|h| !h.is_finished());
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// One connection's serve loop: read a call frame, dispatch with panic
+/// containment, write the reply frame. A malformed inbound frame gets a
+/// typed error reply and then the connection closes, because a bad
+/// header or CRC means the stream can no longer be trusted to be
+/// frame-aligned.
+fn serve_connection(mut stream: TcpStream, server: &Arc<MediaDrmServer>, shutdown: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match read_frame(&mut stream, shutdown) {
+            Ok(Some(Ok(frame))) => frame,
+            Ok(Some(Err(wire_err))) => {
+                let reply = encode_frame(&FrameBody::Reply(Err(DrmError::Wire(wire_err))));
+                let _ = stream.write_all(&reply);
+                return;
+            }
+            // Clean EOF, IO error, or shutdown: the connection is done.
+            Ok(None) | Err(_) => return,
+        };
+        SERVER_FRAMES.incr();
+        let reply = match decode_frame(&frame) {
+            Ok((FrameBody::Call(call), _)) => dispatch(server, call),
+            // A reply frame arriving at the server is a protocol
+            // violation; answer with the decode taxonomy's close cousin.
+            Ok((FrameBody::Reply(_), _)) => Err(DrmError::BadReply),
+            Err(wire_err) => {
+                let reply = encode_frame(&FrameBody::Reply(Err(DrmError::Wire(wire_err))));
+                let _ = stream.write_all(&reply);
+                return;
+            }
+        };
+        let encoded = encode_frame(&FrameBody::Reply(reply));
+        if stream.write_all(&encoded).is_err() {
+            return;
+        }
+    }
+}
+
+/// A pooled connection slot: `Some` holds a live socket, `None` marks a
+/// slot whose connection died (or was never opened) — checking out a
+/// `None` slot triggers a reconnect, which is the health check.
+type ConnSlot = Option<TcpStream>;
+
+/// Builds a [`TcpBinder`] — pool size, fault plane and target are
+/// configured here.
+pub struct TcpBinderBuilder {
+    target: Target,
+    pool_size: usize,
+    injector: Option<Arc<FaultInjector>>,
+}
+
+enum Target {
+    /// Connect to an external [`TcpDrmServer`] (or `wideleak serve`).
+    Addr(SocketAddr),
+    /// Own a loopback server for this binder's lifetime.
+    Loopback(MediaDrmServer),
+}
+
+impl TcpBinderBuilder {
+    /// Sets the connection-pool size (clamped to ≥ 1; default 4).
+    #[must_use]
+    pub fn pool_size(mut self, pool_size: usize) -> Self {
+        self.pool_size = pool_size.max(1);
+        self
+    }
+
+    /// Attaches a fault injector whose binder-plane rules apply to every
+    /// transaction; corruption and drops are realised on real frames.
+    #[must_use]
+    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Connects (lazily — sockets open on first use per pool slot).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when a loopback target cannot listen.
+    pub fn build(self) -> std::io::Result<TcpBinder> {
+        let (addr, server, local) = match self.target {
+            Target::Addr(addr) => (addr, None, None),
+            Target::Loopback(server) => {
+                let server = Arc::new(server);
+                let local = TcpDrmServer::bind_shared("127.0.0.1:0", Arc::clone(&server))?;
+                (local.local_addr(), Some(server), Some(local))
+            }
+        };
+        let (slot_tx, slot_rx) = crossbeam::channel::bounded::<ConnSlot>(self.pool_size);
+        for _ in 0..self.pool_size {
+            slot_tx.send(None).expect("pre-filling the connection pool");
+        }
+        Ok(TcpBinder {
+            addr,
+            pool_size: self.pool_size,
+            slot_tx,
+            slot_rx,
+            injector: self.injector,
+            server,
+            _local: local,
+        })
+    }
+}
+
+/// The client half of the TCP transport: a bounded pool of loopback
+/// connections multiplexing transactions to a [`TcpDrmServer`].
+///
+/// Pool behaviour: a transaction checks a slot out of a bounded channel
+/// (blocking when all are in flight, which bounds concurrent sockets),
+/// reconnects if the slot is dead, and returns the slot — live on
+/// success, dead after any IO or frame error, because a failed stream
+/// cannot be trusted to be frame-aligned. Reconnects are counted on
+/// `binder.tcp.reconnects`.
+pub struct TcpBinder {
+    addr: SocketAddr,
+    pool_size: usize,
+    // Declared before `_local` so pooled client sockets close before
+    // the owned server shuts down.
+    slot_tx: crossbeam::channel::Sender<ConnSlot>,
+    slot_rx: crossbeam::channel::Receiver<ConnSlot>,
+    injector: Option<Arc<FaultInjector>>,
+    /// Loopback handle onto the served instance so clock-skew faults can
+    /// reach the CDM clock; `None` when connected to a remote server.
+    server: Option<Arc<MediaDrmServer>>,
+    _local: Option<TcpDrmServer>,
+}
+
+impl TcpBinder {
+    /// Starts building a binder that owns its own loopback server.
+    #[must_use]
+    pub fn loopback(server: MediaDrmServer) -> TcpBinderBuilder {
+        TcpBinderBuilder { target: Target::Loopback(server), pool_size: 4, injector: None }
+    }
+
+    /// Starts building a binder against an already-running server.
+    #[must_use]
+    pub fn connect(addr: SocketAddr) -> TcpBinderBuilder {
+        TcpBinderBuilder { target: Target::Addr(addr), pool_size: 4, injector: None }
+    }
+
+    /// The server address transactions go to.
+    #[must_use]
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Pool capacity (concurrent connections ceiling).
+    #[must_use]
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Checks a slot out of the pool, reconnecting if it is dead.
+    fn checkout(&self) -> Result<TcpStream, DrmError> {
+        let slot = self.slot_rx.recv().map_err(|_| DrmError::BinderDied)?;
+        match slot {
+            Some(stream) => Ok(stream),
+            None => {
+                RECONNECTS.incr();
+                match TcpStream::connect(self.addr) {
+                    Ok(stream) => {
+                        let _ = stream.set_nodelay(true);
+                        Ok(stream)
+                    }
+                    Err(_) => {
+                        // Return the dead slot so the pool keeps its
+                        // capacity; the next checkout retries.
+                        self.checkin(None);
+                        Err(DrmError::BinderDied)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns a slot to the pool (dead slots keep the capacity).
+    fn checkin(&self, slot: ConnSlot) {
+        let _ = self.slot_tx.send(slot);
+    }
+
+    /// One framed round trip, with the transport's share of fault
+    /// realisation: `Drop` severs the checked-out connection, and
+    /// corruption kinds damage the received reply frame before decode.
+    fn run_over_socket(
+        &self,
+        call: DrmCall,
+        fault: Option<&FaultKind>,
+    ) -> Result<DrmReply, DrmError> {
+        let mut stream = self.checkout()?;
+        if matches!(fault, Some(FaultKind::Drop)) {
+            // Sever: the socket closes, the slot is marked dead, and the
+            // *next* transaction pays the reconnect.
+            self.checkin(None);
+            return Err(DrmError::BinderDied);
+        }
+        let request = encode_frame(&FrameBody::Call(call));
+        let started = std::time::Instant::now();
+        if stream.write_all(&request).is_err() {
+            // Health check: the pooled socket went stale (server
+            // restarted, peer closed). One reconnect, one retry.
+            RECONNECTS.incr();
+            stream = match TcpStream::connect(self.addr) {
+                Ok(fresh) => {
+                    let _ = fresh.set_nodelay(true);
+                    fresh
+                }
+                Err(_) => {
+                    self.checkin(None);
+                    return Err(DrmError::BinderDied);
+                }
+            };
+            if stream.write_all(&request).is_err() {
+                self.checkin(None);
+                return Err(DrmError::BinderDied);
+            }
+        }
+        FRAMES_SENT.incr();
+        BYTES_SENT.add(request.len() as u64);
+        let shutdown = AtomicBool::new(false);
+        let mut frame = match read_frame(&mut stream, &shutdown) {
+            Ok(Some(Ok(frame))) => frame,
+            Ok(Some(Err(wire_err))) => {
+                self.checkin(None);
+                return Err(DrmError::Wire(wire_err));
+            }
+            Ok(None) | Err(_) => {
+                self.checkin(None);
+                return Err(DrmError::BinderDied);
+            }
+        };
+        FRAMES_RECEIVED.incr();
+        BYTES_RECEIVED.add(frame.len() as u64);
+        wideleak_telemetry::observe("binder.tcp.rtt", started.elapsed());
+        if let Some(kind) = fault {
+            // Frame-level corruption: the damage lands on real received
+            // bytes, and the codec's own checks turn it into a typed
+            // error — nothing is faked downstream of the socket.
+            frame = corrupt_body(kind, frame);
+        }
+        match decode_frame(&frame) {
+            Ok((FrameBody::Reply(reply), _)) => {
+                self.checkin(Some(stream));
+                reply
+            }
+            Ok((FrameBody::Call(_), _)) => {
+                self.checkin(None);
+                Err(DrmError::BadReply)
+            }
+            Err(wire_err) => {
+                // The stream may be desynced; sever and let the retry
+                // policy pay one reconnect.
+                self.checkin(None);
+                Err(DrmError::Wire(wire_err))
+            }
+        }
+    }
+}
+
+impl Transport for TcpBinder {
+    fn transact(&self, call: DrmCall) -> Result<DrmReply, DrmError> {
+        transact_via(
+            "binder.transact.tcp",
+            self.injector.as_deref(),
+            self.server.as_deref(),
+            FaultStyle::Frame,
+            call,
+            |call, fault| self.run_over_socket(call, fault),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wideleak_bmff::types::WIDEVINE_SYSTEM_ID;
+    use wideleak_cdm::cdm::Cdm;
+    use wideleak_cdm::keybox::Keybox;
+    use wideleak_device::catalog::DeviceModel;
+    use wideleak_device::Device;
+    use wideleak_faults::{FaultPlan, Schedule};
+
+    fn server() -> MediaDrmServer {
+        let device = Device::new(DeviceModel::nexus_5());
+        let cdm =
+            Cdm::builder().keybox(Keybox::issue(b"net-test", &[1; 16])).boot(&device).unwrap();
+        let mut s = MediaDrmServer::new();
+        s.register_plugin(WIDEVINE_SYSTEM_ID, Arc::new(cdm));
+        s
+    }
+
+    #[test]
+    fn loopback_round_trip() {
+        let binder = TcpBinder::loopback(server()).build().unwrap();
+        assert!(binder
+            .transact(DrmCall::IsSchemeSupported { uuid: WIDEVINE_SYSTEM_ID })
+            .unwrap()
+            .into_bool()
+            .unwrap());
+        let sid = binder
+            .transact(DrmCall::OpenSession { nonce: [1; 16] })
+            .unwrap()
+            .into_session_id()
+            .unwrap();
+        assert!(binder.transact(DrmCall::CloseSession { session_id: sid }).is_ok());
+        assert!(binder.transact(DrmCall::CloseSession { session_id: sid }).is_err());
+    }
+
+    #[test]
+    fn connect_reaches_a_standalone_server() {
+        let srv = TcpDrmServer::bind("127.0.0.1:0", server()).unwrap();
+        let binder = TcpBinder::connect(srv.local_addr()).pool_size(2).build().unwrap();
+        assert!(binder
+            .transact(DrmCall::IsSchemeSupported { uuid: WIDEVINE_SYSTEM_ID })
+            .unwrap()
+            .into_bool()
+            .unwrap());
+        assert_eq!(binder.pool_size(), 2);
+    }
+
+    #[test]
+    fn concurrent_clients_share_the_pool() {
+        let binder = Arc::new(TcpBinder::loopback(server()).pool_size(2).build().unwrap());
+        let handles: Vec<_> = (0u8..8)
+            .map(|i| {
+                let b = Arc::clone(&binder);
+                std::thread::spawn(move || {
+                    b.transact(DrmCall::OpenSession { nonce: [i; 16] })
+                        .unwrap()
+                        .into_session_id()
+                        .unwrap()
+                })
+            })
+            .collect();
+        let mut ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "every client got a distinct session");
+    }
+
+    #[test]
+    fn server_errors_round_trip_typed() {
+        let binder = TcpBinder::loopback(server()).build().unwrap();
+        let reply = binder.transact(DrmCall::CloseSession { session_id: 9999 });
+        assert!(
+            matches!(reply, Err(DrmError::Cdm(wideleak_cdm::CdmError::NoSuchSession { .. }))),
+            "got {reply:?}"
+        );
+    }
+
+    #[test]
+    fn server_survives_client_churn() {
+        let srv = TcpDrmServer::bind("127.0.0.1:0", server()).unwrap();
+        for _ in 0..3 {
+            let binder = TcpBinder::connect(srv.local_addr()).pool_size(1).build().unwrap();
+            assert!(binder
+                .transact(DrmCall::IsSchemeSupported { uuid: WIDEVINE_SYSTEM_ID })
+                .is_ok());
+            drop(binder);
+        }
+    }
+
+    #[test]
+    fn drop_fault_severs_and_the_pool_reconnects() {
+        let plan = FaultPlan::builder()
+            .binder_fault("open_session", FaultKind::Drop, Schedule::Once { at: 0 })
+            .build();
+        let binder = TcpBinder::loopback(server())
+            .pool_size(1)
+            .fault_injector(Arc::new(FaultInjector::new(&plan, 9)))
+            .build()
+            .unwrap();
+        // Prime the pool so the drop severs a *live* connection.
+        assert!(binder.transact(DrmCall::IsProvisioned).is_ok());
+        assert_eq!(
+            binder.transact(DrmCall::OpenSession { nonce: [1; 16] }),
+            Err(DrmError::BinderDied)
+        );
+        // The rule fired once; the next call reconnects and succeeds.
+        assert!(binder.transact(DrmCall::OpenSession { nonce: [2; 16] }).is_ok());
+    }
+
+    #[test]
+    fn garble_fault_surfaces_as_a_typed_wire_error() {
+        let plan = FaultPlan::builder()
+            .binder_fault("get_provision_request", FaultKind::GarbleBody, Schedule::Once { at: 0 })
+            .build();
+        let binder = TcpBinder::loopback(server())
+            .fault_injector(Arc::new(FaultInjector::new(&plan, 5)))
+            .build()
+            .unwrap();
+        let reply = binder.transact(DrmCall::GetProvisionRequest { nonce: [7; 16] });
+        assert!(matches!(reply, Err(DrmError::Wire(_))), "got {reply:?}");
+        // Recovery: the schedule is exhausted, the severed slot
+        // reconnects, and the same call succeeds.
+        assert!(binder.transact(DrmCall::GetProvisionRequest { nonce: [7; 16] }).is_ok());
+    }
+
+    #[test]
+    fn truncate_fault_maps_to_truncated_frames() {
+        let plan = FaultPlan::builder()
+            .binder_fault(
+                "get_provision_request",
+                FaultKind::TruncateBody { keep: 6 },
+                Schedule::Once { at: 0 },
+            )
+            .build();
+        let binder = TcpBinder::loopback(server())
+            .fault_injector(Arc::new(FaultInjector::new(&plan, 5)))
+            .build()
+            .unwrap();
+        let reply = binder.transact(DrmCall::GetProvisionRequest { nonce: [7; 16] });
+        assert!(
+            matches!(reply, Err(DrmError::Wire(crate::wire::WireError::Truncated { .. }))),
+            "got {reply:?}"
+        );
+    }
+
+    #[test]
+    fn stale_pool_slot_heals_after_server_restart() {
+        let first = TcpDrmServer::bind("127.0.0.1:0", server()).unwrap();
+        let addr = first.local_addr();
+        let binder = TcpBinder::connect(addr).pool_size(1).build().unwrap();
+        assert!(binder.transact(DrmCall::IsProvisioned).is_ok());
+        drop(first);
+        // The pooled socket is now stale. Depending on timing the first
+        // call may fail (reconnect has no listener yet) — but once a new
+        // server listens on the same port, the pool must heal.
+        let listener = TcpListener::bind(addr);
+        let Ok(listener) = listener else {
+            // The OS withheld the port; nothing left to assert.
+            return;
+        };
+        drop(listener);
+        let second_server = server();
+        let Ok(_second) = TcpDrmServer::bind(&addr.to_string(), second_server) else {
+            return;
+        };
+        let mut healed = false;
+        for _ in 0..4 {
+            if binder.transact(DrmCall::IsProvisioned).is_ok() {
+                healed = true;
+                break;
+            }
+        }
+        assert!(healed, "pool reconnected to the restarted server");
+    }
+
+    #[test]
+    fn error_on_one_call_does_not_kill_the_connection() {
+        // A server with no plugins: IsSchemeSupported answers false,
+        // a scheme-less OpenSession errors, and the connection keeps
+        // serving afterwards.
+        let binder = TcpBinder::loopback(MediaDrmServer::new()).build().unwrap();
+        assert!(!binder
+            .transact(DrmCall::IsSchemeSupported { uuid: [0; 16] })
+            .unwrap()
+            .into_bool()
+            .unwrap());
+        assert!(binder.transact(DrmCall::OpenSession { nonce: [1; 16] }).is_err());
+        // The connection still serves after the error.
+        assert!(binder.transact(DrmCall::IsSchemeSupported { uuid: [0; 16] }).is_ok());
+    }
+
+    #[test]
+    fn tcp_telemetry_counts_frames_and_bytes() {
+        wideleak_telemetry::enable();
+        let binder = TcpBinder::loopback(server()).build().unwrap();
+        binder.transact(DrmCall::IsProvisioned).unwrap().into_bool().unwrap();
+        let snapshot = wideleak_telemetry::snapshot();
+        for name in
+            ["binder.tcp.frames.sent", "binder.tcp.frames.received", "binder.tcp.bytes.sent"]
+        {
+            assert!(
+                snapshot.counters.iter().any(|(n, v)| n == name && *v > 0),
+                "expected counter {name} in {:?}",
+                snapshot.counters
+            );
+        }
+        assert!(
+            snapshot.histograms.iter().any(|(name, _)| name == "binder.tcp.rtt"),
+            "rtt histogram exported"
+        );
+    }
+}

@@ -148,22 +148,6 @@ impl Cdm {
         CdmBuilder::default()
     }
 
-    /// Boots the CDM on a device and installs its factory keybox.
-    ///
-    /// # Errors
-    ///
-    /// Propagates keybox installation failures.
-    #[deprecated(since = "0.1.0", note = "use Cdm::builder().keybox(kb).boot(device)")]
-    pub fn boot(device: &Device, keybox: Keybox) -> Result<Self, CdmError> {
-        Cdm::builder().keybox(keybox).boot(device)
-    }
-
-    /// Wraps an already-built backend.
-    #[deprecated(since = "0.1.0", note = "use Cdm::builder().backend(b).build()")]
-    pub fn with_backend(backend: Arc<dyn OemCrypto + Sync>) -> Self {
-        Cdm::builder().backend(backend).build()
-    }
-
     /// The active OEMCrypto backend.
     pub fn oemcrypto(&self) -> &Arc<dyn OemCrypto + Sync> {
         &self.backend
@@ -223,14 +207,6 @@ mod tests {
         let cdm = Cdm::builder().keybox(keybox()).force_l3(true).boot(&device).unwrap();
         assert_eq!(cdm.security_level(), SecurityLevel::L3);
         assert!(cdm.secure_world().is_none(), "no secure world booted for forced L3");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn boot_shim_still_boots() {
-        let device = Device::new(DeviceModel::nexus_5());
-        let cdm = Cdm::boot(&device, keybox()).unwrap();
-        assert_eq!(cdm.security_level(), SecurityLevel::L3);
     }
 
     #[test]

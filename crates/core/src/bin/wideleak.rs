@@ -10,28 +10,34 @@
 //! wideleak play <slug>      # one instrumented playback with trace dump
 //! wideleak resilience       # the Q5 fault-schedule sweep
 //! wideleak load             # the fleet load generator (--quick: CI size)
+//! wideleak serve [ADDR]     # stand up a wire-framed TCP media DRM server
 //! wideleak stats <file>     # re-render a telemetry JSONL export
 //! ```
 //!
 //! Flags: `--fast` shrinks RSA keys for quick runs; `--seed N` reseeds the
-//! deterministic ecosystem; `--telemetry <path.jsonl>` records structured
-//! spans/counters/histograms across the whole run, exports them to the
-//! given file and prints a stats summary after `study`/`attack`.
+//! deterministic ecosystem; `--transport tcp|threaded|inprocess` picks the
+//! binder transport devices boot with; `--telemetry <path.jsonl>` records
+//! structured spans/counters/histograms across the whole run, exports
+//! them to the given file and prints a stats summary after
+//! `study`/`attack`.
 
 use std::process::ExitCode;
 
+use wideleak::android_drm::binder::TransportKind;
+use wideleak::android_drm::netserver::TcpDrmServer;
 use wideleak::attack::recover::{attack_all, attack_app};
 use wideleak::device::catalog::DeviceModel;
 use wideleak::load::{run_load, LoadConfig};
 use wideleak::monitor::report::{render_call_histogram, render_insights, render_table_1};
-use wideleak::monitor::resilience::{render_q5, run_resilience_study};
+use wideleak::monitor::resilience::{render_q5, run_resilience_study_on};
 use wideleak::monitor::study::{run_study, study_app};
 use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
 use wideleak::telemetry;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: wideleak [--fast] [--seed N] [--quick] [--telemetry FILE.jsonl] <command>\n\
+        "usage: wideleak [--fast] [--seed N] [--quick] [--transport KIND] \
+         [--telemetry FILE.jsonl] <command>\n\
          commands:\n\
            study [slug]   regenerate Table I (or one app's findings)\n\
            attack [slug]  run the CVE-2021-0639 pipeline\n\
@@ -39,7 +45,9 @@ fn usage() -> ExitCode {
            play <slug>    one instrumented playback with a Figure-1 trace\n\
            resilience     run the Q5 fault-schedule sweep (--quick: 4 apps)\n\
            load           drive the fleet load generator (--quick: CI size)\n\
-           stats FILE     re-render a telemetry JSONL export as a summary"
+           serve [ADDR]   run a wire-framed TCP media DRM server (default 127.0.0.1:7564)\n\
+           stats FILE     re-render a telemetry JSONL export as a summary\n\
+         --transport picks the binder: inprocess (default), threaded, or tcp"
     );
     ExitCode::FAILURE
 }
@@ -62,6 +70,7 @@ fn export_telemetry(path: &str, print_summary: bool) {
 fn main() -> ExitCode {
     let mut config = EcosystemConfig::default();
     let mut telemetry_path: Option<String> = None;
+    let mut transport_flag: Option<TransportKind> = None;
     let mut quick = false;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -75,6 +84,13 @@ fn main() -> ExitCode {
             },
             "--telemetry" => match args.next() {
                 Some(path) => telemetry_path = Some(path),
+                None => return usage(),
+            },
+            "--transport" => match args.next().and_then(|v| v.parse::<TransportKind>().ok()) {
+                Some(kind) => {
+                    config.transport = kind;
+                    transport_flag = Some(kind);
+                }
                 None => return usage(),
             },
             "--help" | "-h" => {
@@ -112,6 +128,31 @@ fn main() -> ExitCode {
         telemetry::event("info", format!("run start: {command} {}", slug.unwrap_or("")));
     }
     let seed = config.seed;
+    let transport = config.transport;
+
+    // `serve` exports a standalone media DRM server; it never installs
+    // apps or boots a device stack.
+    if command == "serve" {
+        let addr = slug.unwrap_or("127.0.0.1:7564");
+        let eco = Ecosystem::new(config);
+        let drm = eco.media_drm_server(DeviceModel::pixel_6());
+        return match TcpDrmServer::bind(addr, drm) {
+            Ok(server) => {
+                println!(
+                    "wideleak: media DRM server listening on {} (wire v1; ctrl-c to stop)",
+                    server.local_addr()
+                );
+                loop {
+                    std::thread::park();
+                }
+            }
+            Err(e) => {
+                eprintln!("serve: cannot bind {addr}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let eco = Ecosystem::new(config);
 
     let code = match (command, slug) {
@@ -183,14 +224,18 @@ fn main() -> ExitCode {
             }
         }
         ("resilience", _) => {
-            let report = run_resilience_study(seed, quick);
+            let report = run_resilience_study_on(seed, quick, transport);
             println!("{}", render_q5(&report));
             ExitCode::SUCCESS
         }
         ("load", _) => {
+            let base = if quick { LoadConfig::quick() } else { LoadConfig::default() };
             let load_config = LoadConfig {
                 seed,
-                ..if quick { LoadConfig::quick() } else { LoadConfig::default() }
+                // The fleet defaults to the threaded binder; only a
+                // `--transport` flag overrides it.
+                transport: transport_flag.unwrap_or(base.transport),
+                ..base
             };
             let report = run_load(&load_config);
             print!("{}", report.render());

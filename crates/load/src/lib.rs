@@ -26,6 +26,7 @@ use wideleak_ott::apps::OttApp;
 use wideleak_ott::cache::{CacheConfig, CacheStats};
 use wideleak_ott::ecosystem::{DeviceStack, Ecosystem, EcosystemConfig};
 
+pub use wideleak_android_drm::binder::TransportKind;
 pub use wideleak_cdm::oemcrypto::DecryptCacheStats;
 
 /// Apps that stream on a discontinued L3 device (no revocation
@@ -83,6 +84,8 @@ pub struct LoadConfig {
     pub mode: LoadMode,
     /// Which hot-path caches run.
     pub caches: CacheConfig,
+    /// Which binder transport the fleet's devices boot with.
+    pub transport: TransportKind,
 }
 
 impl Default for LoadConfig {
@@ -94,6 +97,7 @@ impl Default for LoadConfig {
             seed: 2022,
             mode: LoadMode::Closed,
             caches: CacheConfig::all(),
+            transport: TransportKind::Threaded,
         }
     }
 }
@@ -187,12 +191,13 @@ impl LoadReport {
         let _ = writeln!(out, "== wideleak load report ==");
         let _ = writeln!(
             out,
-            "fleet:      {} devices x {} workers x {} plays  (seed {}, {})",
+            "fleet:      {} devices x {} workers x {} plays  (seed {}, {}, {} binder)",
             c.devices,
             c.workers_per_device,
             c.plays_per_worker,
             c.seed,
             c.mode.label(),
+            c.transport.label(),
         );
         let _ = writeln!(out, "caches:     {}", cache_label(c.caches));
         let _ = writeln!(
@@ -304,16 +309,18 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
     let eco = Ecosystem::new(EcosystemConfig {
         seed: config.seed,
         caches: config.caches,
+        transport: config.transport,
         ..EcosystemConfig::fast_for_tests()
     });
     let clock = eco.fault_injector().clock().clone();
 
     // Boot the fleet: discontinued L3 devices running apps that do not
-    // enforce revocation (paper Table I), each media DRM server on its
-    // own binder thread.
+    // enforce revocation (paper Table I), each media DRM server behind
+    // the configured transport (worker pool by default, loopback TCP
+    // under `--transport tcp`).
     let fleet: Vec<FleetDevice> = (0..config.devices)
         .map(|d| {
-            let stack = eco.boot_device_threaded(DeviceModel::nexus_5(), false);
+            let stack = eco.boot_device_with(DeviceModel::nexus_5(), false, config.transport);
             let app = eco.install_app(
                 &stack,
                 FLEET_APPS[d % FLEET_APPS.len()],
@@ -503,6 +510,16 @@ mod tests {
         });
         assert!(open.makespan_ms > closed.makespan_ms);
         assert!(open.throughput_centi_per_sec < closed.throughput_centi_per_sec);
+    }
+
+    #[test]
+    fn tcp_fleet_matches_threaded_fleet_except_the_label() {
+        let threaded = run_load(&LoadConfig::quick());
+        let tcp = run_load(&LoadConfig { transport: TransportKind::Tcp, ..LoadConfig::quick() });
+        assert_eq!(tcp.failed_plays, 0);
+        // Same traffic, same modeled latencies — only the fleet line
+        // differs, by the transport label.
+        assert_eq!(threaded.render().replace("threaded binder", "tcp binder"), tcp.render());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! identically for every app; with the plans seeded and the clock
 //! virtual, the whole report is a pure function of the seed.
 
+use wideleak_android_drm::binder::TransportKind;
 use wideleak_device::catalog::DeviceModel;
 use wideleak_faults::{FaultKind, FaultPlan, ResiliencePolicy, Schedule};
 use wideleak_ott::apps::RetryStatsSnapshot;
@@ -198,6 +199,17 @@ fn classify(played: bool, stats: RetryStatsSnapshot, policy: &ResiliencePolicy) 
 /// cell boots a fresh ecosystem with the scenario's plan and the same
 /// seed, so two runs produce identical reports.
 pub fn run_resilience_study(seed: u64, quick: bool) -> ResilienceReport {
+    run_resilience_study_on(seed, quick, TransportKind::InProcess)
+}
+
+/// [`run_resilience_study`] with an explicit binder transport — the
+/// differential battery runs the same sweep over all three and pins
+/// byte-identical `render_q5` output.
+pub fn run_resilience_study_on(
+    seed: u64,
+    quick: bool,
+    transport: TransportKind,
+) -> ResilienceReport {
     let _span = wideleak_telemetry::span!("resilience.run");
     let policy = ResiliencePolicy::default();
     let mut cells = Vec::new();
@@ -207,7 +219,7 @@ pub fn run_resilience_study(seed: u64, quick: bool) -> ResilienceReport {
         let slugs: Vec<String> = roster.profiles().iter().map(|p| p.slug.to_owned()).collect();
         let take = if quick { 4 } else { slugs.len() };
         for slug in slugs.iter().take(take) {
-            cells.push(run_cell(&scenario, slug, seed, &policy));
+            cells.push(run_cell(&scenario, slug, seed, &policy, transport));
         }
     }
     wideleak_telemetry::add("resilience.cells", cells.len() as u64);
@@ -221,10 +233,12 @@ fn run_cell(
     slug: &str,
     seed: u64,
     policy: &ResiliencePolicy,
+    transport: TransportKind,
 ) -> ResilienceCell {
     let mut config = EcosystemConfig::fast_with_faults(scenario.plan.clone());
     config.seed = seed;
     config.resilience = policy.clone();
+    config.transport = transport;
     let eco = Ecosystem::new(config);
     let stack = eco.boot_device(DeviceModel::pixel_6(), false);
     let app = eco.install_app(&stack, slug, "resilience-probe");

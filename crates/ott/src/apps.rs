@@ -516,7 +516,7 @@ impl OttApp {
             error,
             OttError::Protocol { .. }
                 | OttError::Net(NetError::ConnectionReset | NetError::TimedOut)
-                | OttError::Drm(DrmError::BinderDied | DrmError::ServerPanic)
+                | OttError::Drm(DrmError::BinderDied | DrmError::ServerPanic | DrmError::Wire(_))
         )
     }
 

@@ -5,7 +5,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use wideleak_android_drm::binder::{InProcessBinder, ThreadedBinder, Transport};
+use wideleak_android_drm::binder::{InProcessBinder, ThreadedBinder, Transport, TransportKind};
+use wideleak_android_drm::netserver::TcpBinder;
 use wideleak_android_drm::server::MediaDrmServer;
 use wideleak_bmff::types::WIDEVINE_SYSTEM_ID;
 use wideleak_cdm::cdm::Cdm;
@@ -50,6 +51,10 @@ pub struct EcosystemConfig {
     /// tables are produced cache-free, and enabling any cache must leave
     /// them byte-identical.
     pub caches: CacheConfig,
+    /// Which binder transport booted devices use. In-process by default;
+    /// the differential battery pins that threaded and TCP produce
+    /// byte-identical study output, so this is a realism/perf knob only.
+    pub transport: TransportKind,
 }
 
 impl Default for EcosystemConfig {
@@ -62,6 +67,7 @@ impl Default for EcosystemConfig {
             fault_plan: FaultPlan::empty(),
             resilience: ResiliencePolicy::default(),
             caches: CacheConfig::none(),
+            transport: TransportKind::InProcess,
         }
     }
 }
@@ -382,22 +388,26 @@ impl Ecosystem {
         Ok(())
     }
 
-    /// Boots a device of the given model with its full DRM stack.
-    /// `rooted` is the attacker/researcher configuration.
+    /// Boots a device of the given model with its full DRM stack, on the
+    /// transport the config names. `rooted` is the attacker/researcher
+    /// configuration.
     pub fn boot_device(&self, model: DeviceModel, rooted: bool) -> DeviceStack {
-        self.boot_device_with_transport(model, rooted, false)
+        self.boot_device_with(model, rooted, self.config.transport)
     }
 
-    /// Boots a device whose media DRM server runs on its own thread.
+    /// Boots a device whose media DRM server runs on a worker pool,
+    /// regardless of the config's transport.
     pub fn boot_device_threaded(&self, model: DeviceModel, rooted: bool) -> DeviceStack {
-        self.boot_device_with_transport(model, rooted, true)
+        self.boot_device_with(model, rooted, TransportKind::Threaded)
     }
 
-    fn boot_device_with_transport(
+    /// Boots a device on an explicit transport — the differential
+    /// battery sweeps this over all of [`TransportKind::ALL`].
+    pub fn boot_device_with(
         &self,
         model: DeviceModel,
         rooted: bool,
-        threaded: bool,
+        transport: TransportKind,
     ) -> DeviceStack {
         let n = self.device_counter.fetch_add(1, Ordering::SeqCst);
         let instance_name = format!("{}#{n}", model.name.to_lowercase().replace(' ', "-"));
@@ -412,12 +422,42 @@ impl Ecosystem {
         );
         let mut server = MediaDrmServer::new();
         server.register_plugin(WIDEVINE_SYSTEM_ID, cdm.clone());
-        let binder: Arc<dyn Transport> = if threaded {
-            Arc::new(ThreadedBinder::builder(server).fault_injector(self.injector.clone()).spawn())
-        } else {
-            Arc::new(InProcessBinder::new(server).with_fault_injector(self.injector.clone()))
+        let binder: Arc<dyn Transport> = match transport {
+            TransportKind::InProcess => {
+                Arc::new(InProcessBinder::new(server).with_fault_injector(self.injector.clone()))
+            }
+            TransportKind::Threaded => Arc::new(
+                ThreadedBinder::builder(server).fault_injector(self.injector.clone()).spawn(),
+            ),
+            TransportKind::Tcp => Arc::new(
+                TcpBinder::loopback(server)
+                    .fault_injector(self.injector.clone())
+                    .build()
+                    .expect("binding a loopback media drm server"),
+            ),
         };
         DeviceStack { device, cdm, binder, instance_name }
+    }
+
+    /// Builds a standalone media DRM server — a keybox-provisioned CDM
+    /// registered under the Widevine system id — without wrapping it in
+    /// a binder. `wideleak serve` exports one of these over TCP for
+    /// remote [`TcpBinder`] clients.
+    pub fn media_drm_server(&self, model: DeviceModel) -> MediaDrmServer {
+        let n = self.device_counter.fetch_add(1, Ordering::SeqCst);
+        let instance_name = format!("{}#{n}", model.name.to_lowercase().replace(' ', "-"));
+        let device = Arc::new(Device::new(model));
+        let keybox = self.trust.issue_keybox(&instance_name);
+        let cdm = Arc::new(
+            Cdm::builder()
+                .keybox(keybox)
+                .decrypt_cache(self.config.caches.decrypt_keys)
+                .boot(&device)
+                .expect("keybox installation succeeds"),
+        );
+        let mut server = MediaDrmServer::new();
+        server.register_plugin(WIDEVINE_SYSTEM_ID, cdm);
+        server
     }
 
     /// Installs an app on a device for a subscriber, creating the

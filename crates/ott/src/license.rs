@@ -180,20 +180,6 @@ impl LicenseServer {
         self.response_cache.as_ref().map(LicenseResponseCache::stats)
     }
 
-    /// Creates a license server.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use LicenseServer::builder(trust, accounts).revocation(r).seed(s).build()"
-    )]
-    pub fn new(
-        trust: Arc<TrustAuthority>,
-        accounts: Arc<AccountRegistry>,
-        revocation: RevocationPolicy,
-        seed: u64,
-    ) -> Self {
-        LicenseServer::builder(trust, accounts).revocation(revocation).seed(seed).build()
-    }
-
     /// Disables attested-level verification — the web-browser-like
     /// configuration the netflix-1080p exploit relied on (§V-C).
     pub fn without_attestation_check(mut self) -> Self {

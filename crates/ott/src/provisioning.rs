@@ -159,20 +159,6 @@ impl ProvisioningServer {
         }
     }
 
-    /// Creates a server issuing RSA keys of `rsa_bits`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ProvisioningServer::builder(trust).policy(p).rsa_bits(n).seed(s).build()"
-    )]
-    pub fn new(
-        trust: Arc<TrustAuthority>,
-        policy: RevocationPolicy,
-        rsa_bits: usize,
-        seed: u64,
-    ) -> Self {
-        ProvisioningServer::builder(trust).policy(policy).rsa_bits(rsa_bits).seed(seed).build()
-    }
-
     /// The active revocation policy.
     pub fn policy(&self) -> RevocationPolicy {
         self.policy
@@ -334,14 +320,6 @@ mod tests {
         let k1 = unwrap_rsa_key(kb.device_key(), kb.device_id(), None, &r1).unwrap();
         let k2 = unwrap_rsa_key(kb.device_key(), kb.device_id(), None, &r2).unwrap();
         assert_eq!(k1.public_key(), k2.public_key());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn new_shim_matches_builder() {
-        let trust = Arc::new(TrustAuthority::new(11));
-        let shim = ProvisioningServer::new(trust.clone(), RevocationPolicy::default(), 512, 900);
-        assert_eq!(shim.policy(), ProvisioningServer::builder(trust).build().policy());
     }
 
     #[test]

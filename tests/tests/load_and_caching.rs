@@ -89,6 +89,7 @@ fn load_reports_are_deterministic_and_register_hits() {
         seed: 31,
         mode: LoadMode::Closed,
         caches: CacheConfig::all(),
+        ..LoadConfig::default()
     };
     let first = run_load(&config);
     let second = run_load(&config);
@@ -110,6 +111,7 @@ fn uncached_load_runs_the_full_paths() {
         seed: 31,
         mode: LoadMode::Closed,
         caches: CacheConfig::none(),
+        ..LoadConfig::default()
     };
     let report = run_load(&config);
     assert_eq!(report.failed_plays, 0, "cold paths still play everything");

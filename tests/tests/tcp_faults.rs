@@ -1,0 +1,117 @@
+//! The fault plane over real sockets: frame corruption and connection
+//! drops injected by a [`FaultPlan`] must surface as typed [`DrmError`]s
+//! on the TCP transport, be absorbed by the apps' existing retry/backoff
+//! machinery, and replay deterministically per seed.
+
+use wideleak::android_drm::binder::{DrmCall, TransportKind};
+use wideleak::android_drm::wire::WireError;
+use wideleak::android_drm::DrmError;
+use wideleak::device::catalog::DeviceModel;
+use wideleak::faults::{FaultKind, FaultPlan, Schedule};
+use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
+use wideleak::telemetry;
+
+fn tcp_ecosystem(plan: FaultPlan, seed: u64) -> Ecosystem {
+    let mut config = EcosystemConfig::fast_with_faults(plan);
+    config.seed = seed;
+    config.transport = TransportKind::Tcp;
+    Ecosystem::new(config)
+}
+
+/// A garbled frame arrives as a typed wire error, not a panic, a hang or
+/// a silent wrong answer: the XOR destroys the magic, so the client sees
+/// [`WireError::BadMagic`] wrapped in [`DrmError::Wire`].
+#[test]
+fn garbled_frames_surface_as_typed_wire_errors() {
+    let plan = FaultPlan::builder()
+        .binder_fault("is_provisioned", FaultKind::GarbleBody, Schedule::Always)
+        .build();
+    let eco = tcp_ecosystem(plan, 5);
+    let stack = eco.boot_device(DeviceModel::pixel_6(), false);
+    match stack.binder.transact(DrmCall::IsProvisioned) {
+        Err(DrmError::Wire(WireError::BadMagic { .. })) => {}
+        other => panic!("expected a typed BadMagic wire error, got {other:?}"),
+    }
+    assert!(eco.fault_injector().injected_count() > 0, "the garble actually fired");
+}
+
+/// A truncated frame maps to the Truncated variant of the taxonomy: the
+/// header promises more bytes than the connection delivers.
+#[test]
+fn truncated_frames_surface_as_truncated_wire_errors() {
+    let plan = FaultPlan::builder()
+        .binder_fault("is_provisioned", FaultKind::TruncateBody { keep: 6 }, Schedule::Always)
+        .build();
+    let eco = tcp_ecosystem(plan, 5);
+    let stack = eco.boot_device(DeviceModel::pixel_6(), false);
+    match stack.binder.transact(DrmCall::IsProvisioned) {
+        Err(DrmError::Wire(WireError::Truncated { .. })) => {}
+        other => panic!("expected a typed Truncated wire error, got {other:?}"),
+    }
+}
+
+/// Mid-playback frame corruption is transient: the app's retry/backoff
+/// absorbs a first-call garble and the playback still completes.
+#[test]
+fn retry_backoff_recovers_playback_from_frame_corruption() {
+    let plan = FaultPlan::builder()
+        .binder_fault("decrypt_sample", FaultKind::GarbleBody, Schedule::FirstN { n: 2 })
+        .build();
+    let eco = tcp_ecosystem(plan, 5);
+    let stack = eco.boot_device(DeviceModel::pixel_6(), false);
+    let app = eco.install_app(&stack, "netflix", "tcp-fault-probe");
+    app.play("title-001").expect("retry/backoff absorbs the corrupted frames");
+    let stats = app.retry_stats();
+    assert!(stats.retries >= 2, "each garbled frame cost a retry: {stats:?}");
+    assert!(eco.fault_injector().injected_count() >= 2);
+}
+
+/// A dropped connection severs the pooled socket for real: the client
+/// sees `BinderDied`, the pool health-check reconnects (witnessed by the
+/// `binder.tcp.reconnects` counter), and the retry layer replays the
+/// call to a working connection.
+#[test]
+fn connection_drops_reconnect_and_recover() {
+    telemetry::enable();
+    let reconnects_before = reconnect_count();
+    let plan = FaultPlan::builder()
+        .binder_fault("decrypt_sample", FaultKind::Drop, Schedule::FirstN { n: 2 })
+        .build();
+    let eco = tcp_ecosystem(plan, 5);
+    let stack = eco.boot_device(DeviceModel::pixel_6(), false);
+    let app = eco.install_app(&stack, "netflix", "tcp-drop-probe");
+    app.play("title-001").expect("retry/backoff survives the dropped connections");
+    assert!(app.retry_stats().retries >= 2, "the drops were retried");
+    assert!(
+        reconnect_count() > reconnects_before,
+        "the pool re-dialed after its connections were severed"
+    );
+}
+
+fn reconnect_count() -> u64 {
+    telemetry::snapshot()
+        .counters
+        .iter()
+        .find(|(name, _)| name == "binder.tcp.reconnects")
+        .map_or(0, |&(_, v)| v)
+}
+
+/// The whole faulted pipeline over TCP is a pure function of the seed:
+/// same seed, same injection log, same retry counts, same outcome.
+#[test]
+fn tcp_fault_runs_replay_deterministically_per_seed() {
+    let run = |seed: u64| {
+        let plan = FaultPlan::builder()
+            .binder_fault("decrypt_sample", FaultKind::GarbleBody, Schedule::PerMille { p: 300 })
+            .binder_fault("get_key_request", FaultKind::Drop, Schedule::PerMille { p: 200 })
+            .build();
+        let eco = tcp_ecosystem(plan, seed);
+        let stack = eco.boot_device(DeviceModel::pixel_6(), false);
+        let app = eco.install_app(&stack, "hulu", "tcp-replay-probe");
+        let played = app.play("title-001").is_ok();
+        (played, app.retry_stats(), eco.fault_injector().injection_log())
+    };
+    for seed in [3, 17] {
+        assert_eq!(run(seed), run(seed), "seed {seed} must replay identically over TCP");
+    }
+}
