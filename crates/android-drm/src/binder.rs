@@ -30,7 +30,7 @@ use std::sync::Arc;
 use wideleak_bmff::types::{KeyId, Subsample};
 use wideleak_cdm::oemcrypto::SampleCrypto;
 use wideleak_faults::{corrupt_body, FaultInjector, FaultKind, Plane};
-use wideleak_telemetry::CounterHandle;
+use wideleak_telemetry::{trace, CounterHandle, TraceContext};
 
 use crate::{server::MediaDrmServer, DrmError};
 
@@ -220,10 +220,19 @@ fn record_transaction(kind_index: usize, reply: &Result<DrmReply, DrmError>) {
 /// contained to this call and reported as [`DrmError::ServerPanic`]
 /// instead of poisoning the transport.
 pub(crate) fn dispatch(server: &MediaDrmServer, call: DrmCall) -> Result<DrmReply, DrmError> {
-    std::panic::catch_unwind(AssertUnwindSafe(|| server.handle(call))).unwrap_or_else(|_| {
-        SERVER_PANICS.incr();
-        Err(DrmError::ServerPanic)
-    })
+    let mut trace_span = trace::span("server.dispatch");
+    if trace_span.context().is_some() {
+        trace_span.note("kind", call.kind());
+    }
+    let reply =
+        std::panic::catch_unwind(AssertUnwindSafe(|| server.handle(call))).unwrap_or_else(|_| {
+            SERVER_PANICS.incr();
+            Err(DrmError::ServerPanic)
+        });
+    if let Err(e) = &reply {
+        trace_span.note("error", e.class());
+    }
+    reply
 }
 
 /// How a transport realises corruption and drop faults.
@@ -262,7 +271,18 @@ pub(crate) fn transact_via(
 ) -> Result<DrmReply, DrmError> {
     let kind_index = call.kind_index();
     let _span = wideleak_telemetry::span!(span_name, kind = call.kind());
+    // The trace root for this call: every in-process child span chains
+    // under it through the thread-local stack, and the transports carry
+    // its context across thread and process boundaries.
+    let mut trace_span = trace::span("drm.call");
+    if trace_span.context().is_some() {
+        trace_span.note("kind", call.kind());
+        trace_span.note("transport", span_name);
+    }
     let reply = apply_binder_faults(injector, server, style, call, run);
+    if let Err(e) = &reply {
+        trace_span.note("error", e.class());
+    }
     record_transaction(kind_index, &reply);
     reply
 }
@@ -283,6 +303,9 @@ fn apply_binder_faults(
         return run(call, None);
     };
     let (inj, kind) = fault;
+    // Correlate the injected fault with the live trace: the annotation
+    // lands on the innermost open span (the `drm.call` root).
+    trace::annotate("fault", kind.label());
     match kind {
         // The handler blows up; the transports' panic containment
         // reports it without taking the server down.
@@ -489,7 +512,11 @@ impl Transport for InProcessBinder {
     }
 }
 
-type Transaction = (DrmCall, crossbeam::channel::Sender<Result<DrmReply, DrmError>>);
+/// A queued transaction: the call, the caller's trace context (so the
+/// worker thread's spans stitch into the caller's trace across the
+/// thread boundary), and the reply channel.
+type Transaction =
+    (DrmCall, Option<TraceContext>, crossbeam::channel::Sender<Result<DrmReply, DrmError>>);
 
 /// A transport that runs the server on a pool of worker threads sharing
 /// one MPMC request channel, crossing a real thread boundary per
@@ -563,10 +590,19 @@ impl BinderPoolBuilder {
                 std::thread::Builder::new()
                     .name(format!("mediadrmserver-{i}"))
                     .spawn(move || {
-                        while let Ok((call, reply_tx)) = rx.recv() {
+                        while let Ok((call, ctx, reply_tx)) = rx.recv() {
+                            let reply = match ctx {
+                                // Adopt the caller's context so the
+                                // dispatch spans chain into its trace.
+                                Some(ctx) => {
+                                    let _g = trace::span_with_parent("server.handle", ctx);
+                                    dispatch(&server, call)
+                                }
+                                None => dispatch(&server, call),
+                            };
                             // A dropped reply receiver just means the
                             // client gave up.
-                            let _ = reply_tx.send(dispatch(&server, call));
+                            let _ = reply_tx.send(reply);
                         }
                     })
                     .expect("spawning a mediadrmserver worker")
@@ -612,7 +648,9 @@ impl Transport for ThreadedBinder {
             call,
             |call, _| {
                 let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
-                self.tx.send((call, reply_tx)).map_err(|_| DrmError::BinderDied)?;
+                let ctx = trace::current();
+                let _roundtrip = trace::span("pool.roundtrip");
+                self.tx.send((call, ctx, reply_tx)).map_err(|_| DrmError::BinderDied)?;
                 if wideleak_telemetry::is_enabled() {
                     let depth = self.rx.len() as u64;
                     wideleak_telemetry::set_gauge("binder.queue.depth", depth);

@@ -64,6 +64,11 @@ pub enum DrmError {
 
 impl DrmError {
     /// A stable lowercase label for telemetry error-class counters.
+    ///
+    /// Wire errors differentiate per [`wire::WireError`] variant
+    /// (`wire.bad_crc`, `wire.truncated`, ...) so the metrics can
+    /// distinguish bit rot from truncation from protocol mismatch —
+    /// the distinction the paper's failure taxonomy turns on.
     #[must_use]
     pub fn class(&self) -> &'static str {
         match self {
@@ -72,7 +77,14 @@ impl DrmError {
             DrmError::BinderDied => "binder_died",
             DrmError::ServerPanic => "server_panic",
             DrmError::BadReply => "bad_reply",
-            DrmError::Wire(_) => "wire",
+            DrmError::Wire(w) => match w {
+                wire::WireError::Truncated { .. } => "wire.truncated",
+                wire::WireError::Oversized { .. } => "wire.oversized",
+                wire::WireError::BadMagic { .. } => "wire.bad_magic",
+                wire::WireError::UnsupportedVersion { .. } => "wire.unsupported_version",
+                wire::WireError::BadCrc { .. } => "wire.bad_crc",
+                wire::WireError::Malformed { .. } => "wire.malformed",
+            },
         }
     }
 }

@@ -27,11 +27,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use wideleak_faults::{corrupt_body, FaultInjector, FaultKind};
-use wideleak_telemetry::CounterHandle;
+use wideleak_telemetry::{trace, CounterHandle};
 
 use crate::binder::{dispatch, transact_via, DrmCall, DrmReply, FaultStyle, Transport};
 use crate::server::MediaDrmServer;
-use crate::wire::{decode_frame, encode_frame, frame_len, FrameBody, HEADER_LEN};
+use crate::wire::{
+    decode_frame, decode_frame_ext, encode_frame, encode_frame_with, frame_len, FrameBody,
+    HEADER_LEN,
+};
 use crate::DrmError;
 
 static FRAMES_SENT: CounterHandle = CounterHandle::new("binder.tcp.frames.sent");
@@ -212,11 +215,18 @@ fn serve_connection(mut stream: TcpStream, server: &Arc<MediaDrmServer>, shutdow
             Ok(None) | Err(_) => return,
         };
         SERVER_FRAMES.incr();
-        let reply = match decode_frame(&frame) {
-            Ok((FrameBody::Call(call), _)) => dispatch(server, call),
+        let reply = match decode_frame_ext(&frame) {
+            // When the frame carries the caller's trace context, adopt
+            // it around the dispatch so the server process's spans
+            // stitch into the client's trace.
+            Ok((FrameBody::Call(call), Some(ctx), _)) => {
+                let _g = trace::span_with_parent("server.handle", ctx);
+                dispatch(server, call)
+            }
+            Ok((FrameBody::Call(call), None, _)) => dispatch(server, call),
             // A reply frame arriving at the server is a protocol
             // violation; answer with the decode taxonomy's close cousin.
-            Ok((FrameBody::Reply(_), _)) => Err(DrmError::BadReply),
+            Ok((FrameBody::Reply(_), _, _)) => Err(DrmError::BadReply),
             Err(wire_err) => {
                 let reply = encode_frame(&FrameBody::Reply(Err(DrmError::Wire(wire_err))));
                 let _ = stream.write_all(&reply);
@@ -380,19 +390,32 @@ impl TcpBinder {
         call: DrmCall,
         fault: Option<&FaultKind>,
     ) -> Result<DrmReply, DrmError> {
-        let mut stream = self.checkout()?;
+        // Capture the caller's trace context *before* opening phase
+        // spans: the frame should carry the `drm.call` root so the
+        // server stitches under it, not under a transient phase.
+        let trace_ctx = trace::current();
+        let mut stream = {
+            // Queue-wait phase: time blocked on a free pool slot.
+            let _checkout = trace::span("tcp.checkout");
+            self.checkout()?
+        };
         if matches!(fault, Some(FaultKind::Drop)) {
             // Sever: the socket closes, the slot is marked dead, and the
             // *next* transaction pays the reconnect.
             self.checkin(None);
             return Err(DrmError::BinderDied);
         }
-        let request = encode_frame(&FrameBody::Call(call));
+        let request = {
+            let _encode = trace::span("tcp.encode");
+            encode_frame_with(&FrameBody::Call(call), trace_ctx.as_ref())
+        };
         let started = std::time::Instant::now();
+        let roundtrip = trace::span("tcp.roundtrip");
         if stream.write_all(&request).is_err() {
             // Health check: the pooled socket went stale (server
             // restarted, peer closed). One reconnect, one retry.
             RECONNECTS.incr();
+            trace::annotate("reconnect", "stale_socket");
             stream = match TcpStream::connect(self.addr) {
                 Ok(fresh) => {
                     let _ = fresh.set_nodelay(true);
@@ -424,6 +447,7 @@ impl TcpBinder {
         };
         FRAMES_RECEIVED.incr();
         BYTES_RECEIVED.add(frame.len() as u64);
+        drop(roundtrip);
         wideleak_telemetry::observe("binder.tcp.rtt", started.elapsed());
         if let Some(kind) = fault {
             // Frame-level corruption: the damage lands on real received
@@ -431,6 +455,7 @@ impl TcpBinder {
             // error — nothing is faked downstream of the socket.
             frame = corrupt_body(kind, frame);
         }
+        let _decode = trace::span("tcp.decode");
         match decode_frame(&frame) {
             Ok((FrameBody::Reply(reply), _)) => {
                 self.checkin(Some(stream));

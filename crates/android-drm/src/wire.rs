@@ -6,13 +6,25 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  "WDLK"
-//!      4     1  version (currently 1)
+//!      4     1  version (currently 2; v1 still decodes)
 //!      5     1  frame type (0 = call, 1 = reply)
-//!      6     2  reserved (must be 0)
+//!      6     1  flags (v2+; bit 0 = trace context present)
+//!      7     1  reserved (must be 0)
 //!      8     4  payload length, little-endian
-//!     12     n  payload (tagged DrmCall / Result<DrmReply, DrmError>)
+//!     12     n  payload (optional 24-byte trace context, then the
+//!               tagged DrmCall / Result<DrmReply, DrmError>)
 //!   12+n     4  CRC-32 (IEEE) over bytes 0..12+n, little-endian
 //! ```
+//!
+//! Version 2 spends one of the two reserved bytes as a flags field.
+//! When [`FLAG_TRACE_CONTEXT`] is set, the payload region opens with a
+//! [`TraceContext`] in its fixed 24-byte wire form
+//! ([`TraceContext::WIRE_LEN`]) before the body, which is how a client
+//! call's trace identity reaches the server process (and stitches the
+//! server's spans into the caller's trace). The length field covers
+//! the context and the body; the CRC covers everything, context
+//! included. A v1 frame (flags byte zero, no context) still decodes —
+//! the promise the v1 format made by reserving the byte.
 //!
 //! [`encode_frame`] and [`decode_frame`] are pure functions over byte
 //! slices — no sockets, no clocks — so the property/fuzz battery can
@@ -36,6 +48,7 @@ use wideleak_cdm::oemcrypto::SampleCrypto;
 use wideleak_cdm::CdmError;
 use wideleak_crypto::crc32::crc32;
 use wideleak_tee::TeeError;
+use wideleak_telemetry::TraceContext;
 
 use crate::binder::{DrmCall, DrmReply};
 use crate::DrmError;
@@ -44,7 +57,17 @@ use crate::DrmError;
 pub const MAGIC: [u8; 4] = *b"WDLK";
 
 /// The wire-format revision this build speaks.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
+
+/// The oldest revision this build still decodes.
+pub const MIN_VERSION: u8 = 1;
+
+/// Header flag (v2+): the payload opens with a 24-byte trace context.
+pub const FLAG_TRACE_CONTEXT: u8 = 0x01;
+
+/// All header flag bits this build understands; anything else in the
+/// flags byte of a v2 frame is [`WireError::Malformed`].
+const KNOWN_FLAGS: u8 = FLAG_TRACE_CONTEXT;
 
 /// Fixed header size (magic + version + type + reserved + length).
 pub const HEADER_LEN: usize = 12;
@@ -160,16 +183,30 @@ const FRAME_TYPE_REPLY: u8 = 1;
 /// Encodes one frame: header, payload, CRC trailer.
 #[must_use]
 pub fn encode_frame(body: &FrameBody) -> Vec<u8> {
+    encode_frame_with(body, None)
+}
+
+/// Encodes one frame, optionally carrying a trace context ahead of the
+/// body so the receiving process can stitch its spans into the
+/// caller's trace.
+#[must_use]
+pub fn encode_frame_with(body: &FrameBody, ctx: Option<&TraceContext>) -> Vec<u8> {
     let (frame_type, payload) = match body {
         FrameBody::Call(call) => (FRAME_TYPE_CALL, encode_call(call)),
         FrameBody::Reply(reply) => (FRAME_TYPE_REPLY, encode_reply(reply)),
     };
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    let ctx_len = ctx.map_or(0, |_| TraceContext::WIRE_LEN);
+    let total_payload = ctx_len + payload.len();
+    let mut out = Vec::with_capacity(HEADER_LEN + total_payload + TRAILER_LEN);
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
     out.push(frame_type);
-    out.extend_from_slice(&[0, 0]);
-    out.extend_from_slice(&u32::try_from(payload.len()).expect("payload fits u32").to_le_bytes());
+    out.push(if ctx.is_some() { FLAG_TRACE_CONTEXT } else { 0 });
+    out.push(0);
+    out.extend_from_slice(&u32::try_from(total_payload).expect("payload fits u32").to_le_bytes());
+    if let Some(ctx) = ctx {
+        out.extend_from_slice(&ctx.encode());
+    }
     out.extend_from_slice(&payload);
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
@@ -193,7 +230,7 @@ pub fn frame_len(header: &[u8]) -> Result<usize, WireError> {
     if magic != MAGIC {
         return Err(WireError::BadMagic { found: magic });
     }
-    if header[4] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&header[4]) {
         return Err(WireError::UnsupportedVersion { version: header[4] });
     }
     let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
@@ -211,6 +248,17 @@ pub fn frame_len(header: &[u8]) -> Result<usize, WireError> {
 /// Returns the matching [`WireError`] for every malformed input; never
 /// panics.
 pub fn decode_frame(buf: &[u8]) -> Result<(FrameBody, usize), WireError> {
+    decode_frame_ext(buf).map(|(body, _ctx, used)| (body, used))
+}
+
+/// Like [`decode_frame`], but also surfacing the trace context when
+/// the sender attached one ([`FLAG_TRACE_CONTEXT`]).
+///
+/// # Errors
+///
+/// Returns the matching [`WireError`] for every malformed input; never
+/// panics.
+pub fn decode_frame_ext(buf: &[u8]) -> Result<(FrameBody, Option<TraceContext>, usize), WireError> {
     let total = frame_len(buf)?;
     if buf.len() < total {
         return Err(WireError::Truncated { needed: total, got: buf.len() });
@@ -226,14 +274,33 @@ pub fn decode_frame(buf: &[u8]) -> Result<(FrameBody, usize), WireError> {
     if expected != found {
         return Err(WireError::BadCrc { expected, found });
     }
-    let mut r = Reader::new(&buf[HEADER_LEN..body_end]);
+    // v1 reserved its two header bytes without validating them; the
+    // flags field only exists from v2 on.
+    let flags = if buf[4] >= 2 { buf[6] } else { 0 };
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(WireError::Malformed { what: "unknown header flags" });
+    }
+    let mut payload = &buf[HEADER_LEN..body_end];
+    let ctx = if flags & FLAG_TRACE_CONTEXT != 0 {
+        if payload.len() < TraceContext::WIRE_LEN {
+            return Err(WireError::Malformed { what: "trace context exceeds payload" });
+        }
+        let Some(ctx) = TraceContext::decode(payload) else {
+            return Err(WireError::Malformed { what: "trace context with zero span id" });
+        };
+        payload = &payload[TraceContext::WIRE_LEN..];
+        Some(ctx)
+    } else {
+        None
+    };
+    let mut r = Reader::new(payload);
     let body = match buf[5] {
         FRAME_TYPE_CALL => FrameBody::Call(decode_call(&mut r)?),
         FRAME_TYPE_REPLY => FrameBody::Reply(decode_reply(&mut r)?),
         _ => return Err(WireError::Malformed { what: "unknown frame type" }),
     };
     r.finish()?;
-    Ok((body, total))
+    Ok((body, ctx, total))
 }
 
 // ---------------------------------------------------------------------
@@ -994,6 +1061,97 @@ mod tests {
             decode_frame(&frame),
             Err(WireError::Malformed { what: "trailing bytes after payload" })
         );
+    }
+
+    /// Builds a frame by hand with an arbitrary version and flags byte
+    /// and a correct CRC, so decode paths past the header checks are
+    /// reachable.
+    fn handmade_frame(version: u8, flags: u8, payload: &[u8]) -> Vec<u8> {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.push(version);
+        frame.push(FRAME_TYPE_CALL);
+        frame.push(flags);
+        frame.push(0);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let crc = crc32(&frame);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame
+    }
+
+    #[test]
+    fn v1_frames_still_decode() {
+        let frame = handmade_frame(1, 0, &encode_call(&DrmCall::IsProvisioned));
+        let (body, ctx, used) = decode_frame_ext(&frame).unwrap();
+        assert_eq!(body, FrameBody::Call(DrmCall::IsProvisioned));
+        assert_eq!(ctx, None);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn trace_context_rides_the_frame() {
+        let ctx = TraceContext { trace_id: 0xfeed, span_id: 0xbeef, parent_span_id: 7 };
+        for body in [
+            FrameBody::Call(DrmCall::OpenSession { nonce: [3; 16] }),
+            FrameBody::Reply(Ok(DrmReply::SessionId(9))),
+        ] {
+            let frame = encode_frame_with(&body, Some(&ctx));
+            let (decoded, got_ctx, used) = decode_frame_ext(&frame).unwrap();
+            assert_eq!(decoded, body);
+            assert_eq!(got_ctx, Some(ctx));
+            assert_eq!(used, frame.len());
+            // The plain decoder sees the same body and just drops the context.
+            assert_eq!(decode_frame(&frame).unwrap().0, body);
+        }
+    }
+
+    #[test]
+    fn context_frames_cost_exactly_the_context_bytes() {
+        let body = FrameBody::Call(DrmCall::IsProvisioned);
+        let bare = encode_frame(&body);
+        let ctx = TraceContext { trace_id: 1, span_id: 2, parent_span_id: 0 };
+        let traced = encode_frame_with(&body, Some(&ctx));
+        assert_eq!(traced.len(), bare.len() + TraceContext::WIRE_LEN);
+    }
+
+    #[test]
+    fn trace_flag_without_room_for_the_context_is_malformed() {
+        let frame = handmade_frame(VERSION, FLAG_TRACE_CONTEXT, &[0u8; 8]);
+        assert_eq!(
+            decode_frame_ext(&frame),
+            Err(WireError::Malformed { what: "trace context exceeds payload" })
+        );
+    }
+
+    #[test]
+    fn zero_span_id_context_is_malformed() {
+        let mut payload = [0u8; TraceContext::WIRE_LEN + 1].to_vec();
+        payload[TraceContext::WIRE_LEN] = 3; // IsProvisioned call tag
+        let frame = handmade_frame(VERSION, FLAG_TRACE_CONTEXT, &payload);
+        assert_eq!(
+            decode_frame_ext(&frame),
+            Err(WireError::Malformed { what: "trace context with zero span id" })
+        );
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_malformed() {
+        let frame = handmade_frame(VERSION, 0x80, &encode_call(&DrmCall::IsProvisioned));
+        assert_eq!(
+            decode_frame_ext(&frame),
+            Err(WireError::Malformed { what: "unknown header flags" })
+        );
+    }
+
+    #[test]
+    fn v1_frames_never_carry_flags() {
+        // A v1 sender's reserved bytes were not validated; even a set
+        // bit must not be read as a trace flag on a v1 frame.
+        let frame = handmade_frame(1, FLAG_TRACE_CONTEXT, &encode_call(&DrmCall::IsProvisioned));
+        let (body, ctx, _) = decode_frame_ext(&frame).unwrap();
+        assert_eq!(body, FrameBody::Call(DrmCall::IsProvisioned));
+        assert_eq!(ctx, None);
     }
 
     #[test]

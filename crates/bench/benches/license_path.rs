@@ -22,7 +22,7 @@ use wideleak::device::catalog::DeviceModel;
 use wideleak::ott::apps::OttApp;
 use wideleak::ott::cache::CacheConfig;
 use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
-use wideleak_bench::BENCH_RSA_BITS;
+use wideleak_bench::{BenchReport, BENCH_RSA_BITS};
 
 fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick") || std::env::var_os("WIDELEAK_BENCH_QUICK").is_some()
@@ -73,6 +73,17 @@ fn main() {
         prov.hits,
         prov.lookups()
     );
+
+    let mut report = BenchReport::new("license_path");
+    report
+        .label("mode", if quick_mode() { "quick" } else { "full" })
+        .label("iters", iters.to_string())
+        .metric("cold.us_per_play", per(cold))
+        .metric("warm.us_per_play", per(warm))
+        .metric("warm.speedup", cold.as_secs_f64() / warm.as_secs_f64())
+        .metric("warm.license_cache_hits", lic.hits as f64)
+        .metric("warm.license_cache_lookups", lic.lookups() as f64);
+    report.write();
     // Smoke check, with headroom for scheduler noise at tiny --quick
     // iteration counts.
     assert!(

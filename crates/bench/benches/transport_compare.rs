@@ -27,7 +27,7 @@ use wideleak::device::hooks::HookEngine;
 use wideleak::device::memory::ProcessMemory;
 use wideleak::device::net::RemoteEndpoint;
 use wideleak::ott::ecosystem::Ecosystem;
-use wideleak_bench::bench_ecosystem;
+use wideleak_bench::{bench_ecosystem, BenchReport};
 
 /// Audio-sized samples: small enough that the transport round trip is a
 /// visible fraction of the total, the regime the comparison is about.
@@ -138,6 +138,11 @@ fn main() {
         "transport", "mean us", "p50 us", "p95 us", "p99 us", "decrypts/s"
     );
 
+    let mut report = BenchReport::new("transport_compare");
+    report
+        .label("mode", if quick_mode() { "quick" } else { "full" })
+        .label("iters", iters.to_string())
+        .label("sample_bytes", SAMPLE_BYTES.to_string());
     for &transport in &TransportKind::ALL {
         let binder = boot_binder(&eco, transport);
         let (sid, kid) = license_session(binder.as_ref(), &eco, &token);
@@ -155,8 +160,16 @@ fn main() {
             micros(percentile(&samples, 99)),
             samples.len() as f64 / total.as_secs_f64(),
         );
+        let label = transport.label();
+        report
+            .metric(format!("{label}.mean_us"), micros(mean))
+            .metric(format!("{label}.p50_us"), micros(percentile(&samples, 50)))
+            .metric(format!("{label}.p95_us"), micros(percentile(&samples, 95)))
+            .metric(format!("{label}.p99_us"), micros(percentile(&samples, 99)))
+            .metric(format!("{label}.decrypts_per_s"), samples.len() as f64 / total.as_secs_f64());
         binder.transact(DrmCall::CloseSession { session_id: sid }).unwrap();
     }
+    report.write();
 
     let counters = wideleak::telemetry::snapshot().counters;
     for name in ["binder.tcp.frames.sent", "binder.tcp.bytes.sent", "binder.tcp.reconnects"] {

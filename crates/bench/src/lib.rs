@@ -21,3 +21,126 @@ pub fn bench_config() -> EcosystemConfig {
 pub fn bench_ecosystem() -> Ecosystem {
     Ecosystem::new(bench_config())
 }
+
+/// Where `BENCH_*.json` result files land: `$WIDELEAK_BENCH_OUT` when
+/// set, the current directory otherwise.
+pub fn bench_out_dir() -> std::path::PathBuf {
+    std::env::var_os("WIDELEAK_BENCH_OUT")
+        .map_or_else(|| std::path::PathBuf::from("."), std::path::PathBuf::from)
+}
+
+/// A machine-readable bench result, persisted as `BENCH_<name>.json`
+/// so successive PRs can read the perf trajectory without scraping
+/// stdout. JSON is hand-rolled (flat: one `metrics` object of numbers,
+/// one `labels` object of strings) to keep the harness vendor-light.
+pub struct BenchReport {
+    name: &'static str,
+    metrics: Vec<(String, f64)>,
+    labels: Vec<(String, String)>,
+}
+
+fn push_json_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl BenchReport {
+    /// Starts a report for the named bench target.
+    #[must_use]
+    pub fn new(name: &'static str) -> BenchReport {
+        BenchReport { name, metrics: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Records one numeric metric (dotted keys, e.g. `tcp.p50_us`).
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        self.metrics.push((key.into(), value));
+        self
+    }
+
+    /// Records one string label (run parameters: mode, iteration count).
+    pub fn label(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.labels.push((key.into(), value.into()));
+        self
+    }
+
+    /// Renders the report as a single JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"bench\":");
+        push_json_escaped(self.name, &mut out);
+        out.push_str(",\"labels\":{");
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_escaped(k, &mut out);
+            out.push(':');
+            push_json_escaped(v, &mut out);
+        }
+        out.push_str("},\"metrics\":{");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_escaped(k, &mut out);
+            // Finite shortest-round-trip floats; non-finite values have
+            // no JSON spelling, so they degrade to null.
+            if v.is_finite() {
+                out.push_str(&format!(":{v}"));
+            } else {
+                out.push_str(":null");
+            }
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into [`bench_out_dir`], returning
+    /// the path. Failures print to stderr rather than panic: a bench
+    /// run's numbers on stdout still count when the disk does not.
+    pub fn write(&self) -> Option<std::path::PathBuf> {
+        let path = bench_out_dir().join(format!("BENCH_{}.json", self.name));
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => {
+                eprintln!("bench: wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("bench: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_report_renders_flat_json() {
+        let mut report = BenchReport::new("unit");
+        report.label("mode", "quick").metric("tcp.p50_us", 12.5).metric("bad", f64::NAN);
+        let json = report.to_json();
+        assert_eq!(
+            json,
+            "{\"bench\":\"unit\",\"labels\":{\"mode\":\"quick\"},\
+             \"metrics\":{\"tcp.p50_us\":12.5,\"bad\":null}}\n"
+        );
+    }
+
+    #[test]
+    fn bench_report_escapes_strings() {
+        let mut report = BenchReport::new("unit");
+        report.label("note", "a\"b\\c");
+        assert!(report.to_json().contains("\"a\\\"b\\\\c\""));
+    }
+}

@@ -296,6 +296,7 @@ impl CdmCore {
     /// Returns [`CdmError::BadKeybox`] before keybox installation.
     pub fn provisioning_request(&self, nonce: [u8; 16]) -> Result<ProvisioningRequest, CdmError> {
         let _span = wideleak_telemetry::span!("cdm.provisioning_request");
+        let _trace = wideleak_telemetry::trace::span("cdm.provisioning_request");
         let kb = self.keybox()?;
         let mut req = ProvisioningRequest {
             device_id: kb.device_id().to_vec(),
@@ -322,6 +323,7 @@ impl CdmCore {
         response: &crate::messages::ProvisioningResponse,
     ) -> Result<(), CdmError> {
         let _span = wideleak_telemetry::span!("cdm.install_rsa_key");
+        let _trace = wideleak_telemetry::trace::span("cdm.install_rsa_key");
         let kb = self.keybox()?;
         // Unwrap outside the write lock: the RSA decrypt is the expensive
         // part and needs no device state beyond the keybox copy.
@@ -418,6 +420,7 @@ impl CdmCore {
         key_ids: &[KeyId],
     ) -> Result<LicenseRequest, CdmError> {
         let _span = wideleak_telemetry::span!("cdm.license_request", session = session_id);
+        let _trace = wideleak_telemetry::trace::span("cdm.license_request");
         let nonce = {
             let shard = self.shard(session_id).lock();
             shard.get(&session_id).ok_or(CdmError::NoSuchSession { session_id })?.nonce
@@ -450,6 +453,7 @@ impl CdmCore {
         response: &LicenseResponse,
     ) -> Result<Vec<KeyId>, CdmError> {
         let _span = wideleak_telemetry::span!("cdm.load_license", session = session_id);
+        let _trace = wideleak_telemetry::trace::span("cdm.load_license");
         let (rsa, now) = {
             let device = self.device.read();
             (device.rsa_key.clone().ok_or(CdmError::NotProvisioned)?, device.clock)
@@ -1340,6 +1344,10 @@ impl L1OemCrypto {
     }
 
     fn call(&self, function: &str, command: u32, input: Vec<u8>) -> Result<Vec<u8>, CdmError> {
+        // The world switch is its own trace phase: with a propagated
+        // context, a single client call renders client → server → cdm →
+        // tee with the TEE residency visible as this span's duration.
+        let _tee = wideleak_telemetry::trace::span("tee.invoke").with("function", function);
         let result =
             self.world.invoke(WIDEVINE_TRUSTLET, command, &input).map_err(|e| match e {
                 TeeError::AccessDenied { reason: TEE_KEY_EXPIRED } => CdmError::KeyExpired,

@@ -19,13 +19,18 @@
 //! binder transport devices boot with; `--telemetry <path.jsonl>` records
 //! structured spans/counters/histograms across the whole run, exports
 //! them to the given file and prints a stats summary after
-//! `study`/`attack`.
+//! `study`/`attack`; `--trace <path.jsonl>` records distributed trace
+//! spans to a durable JSONL sink (flushed on exit and on ctrl-c);
+//! `--metrics ADDR` has `serve` publish a live Prometheus-style
+//! `/metrics` endpoint next to the DRM socket.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-use wideleak::android_drm::binder::TransportKind;
-use wideleak::android_drm::netserver::TcpDrmServer;
+use wideleak::android_drm::binder::{DrmCall, Transport, TransportKind};
+use wideleak::android_drm::netserver::{TcpBinder, TcpDrmServer};
 use wideleak::attack::recover::{attack_all, attack_app};
+use wideleak::bmff::types::WIDEVINE_SYSTEM_ID;
 use wideleak::device::catalog::DeviceModel;
 use wideleak::load::{run_load, LoadConfig};
 use wideleak::monitor::report::{render_call_histogram, render_insights, render_table_1};
@@ -33,11 +38,12 @@ use wideleak::monitor::resilience::{render_q5, run_resilience_study_on};
 use wideleak::monitor::study::{run_study, study_app};
 use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
 use wideleak::telemetry;
+use wideleak::telemetry::trace;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: wideleak [--fast] [--seed N] [--quick] [--transport KIND] \
-         [--telemetry FILE.jsonl] <command>\n\
+         [--telemetry FILE.jsonl] [--trace FILE.jsonl] <command>\n\
          commands:\n\
            study [slug]   regenerate Table I (or one app's findings)\n\
            attack [slug]  run the CVE-2021-0639 pipeline\n\
@@ -46,10 +52,38 @@ fn usage() -> ExitCode {
            resilience     run the Q5 fault-schedule sweep (--quick: 4 apps)\n\
            load           drive the fleet load generator (--quick: CI size)\n\
            serve [ADDR]   run a wire-framed TCP media DRM server (default 127.0.0.1:7564)\n\
+                          --metrics ADDR adds a live Prometheus /metrics endpoint\n\
+           call ADDR [N]  drive N license-path probes against a remote serve (default 1)\n\
            stats FILE     re-render a telemetry JSONL export as a summary\n\
-         --transport picks the binder: inprocess (default), threaded, or tcp"
+           trace FILE...  analyse trace JSONL sinks (phases, exemplars, faults)\n\
+         --transport picks the binder: inprocess (default), threaded, or tcp\n\
+         --trace FILE.jsonl records distributed trace spans (durable on ctrl-c)"
     );
     ExitCode::FAILURE
+}
+
+/// Set by the SIGINT handler; `serve` polls it so ctrl-c unwinds
+/// `main` normally and the trace sink's drop flush runs.
+static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_signum: i32) {
+    SIGINT_RECEIVED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT handler via the C `signal(2)` shim — the one
+/// spot in the workspace that needs FFI, kept to this binary crate
+/// (the libraries all `forbid(unsafe_code)`).
+fn install_sigint_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
 }
 
 /// Writes the collected telemetry to `path` and prints the stats
@@ -70,6 +104,8 @@ fn export_telemetry(path: &str, print_summary: bool) {
 fn main() -> ExitCode {
     let mut config = EcosystemConfig::default();
     let mut telemetry_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut transport_flag: Option<TransportKind> = None;
     let mut quick = false;
     let mut positional = Vec::new();
@@ -84,6 +120,14 @@ fn main() -> ExitCode {
             },
             "--telemetry" => match args.next() {
                 Some(path) => telemetry_path = Some(path),
+                None => return usage(),
+            },
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(path),
+                None => return usage(),
+            },
+            "--metrics" => match args.next() {
+                Some(addr) => metrics_addr = Some(addr),
                 None => return usage(),
             },
             "--transport" => match args.next().and_then(|v| v.parse::<TransportKind>().ok()) {
@@ -123,28 +167,139 @@ fn main() -> ExitCode {
         };
     }
 
+    // `trace` analyses prior runs' trace sinks; no ecosystem needed.
+    // Multiple files merge — feed the client's and the server's sinks
+    // together to reassemble cross-process traces.
+    if command == "trace" {
+        let files = &positional[1..];
+        if files.is_empty() {
+            return usage();
+        }
+        let mut spans = Vec::new();
+        for path in files {
+            match std::fs::read_to_string(path) {
+                Ok(text) => spans.extend(trace::parse_jsonl(&text)),
+                Err(e) => {
+                    eprintln!("trace: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        print!("{}", telemetry::trace_report::render_trace_report(&spans));
+        return ExitCode::SUCCESS;
+    }
+
     if telemetry_path.is_some() {
         telemetry::enable();
         telemetry::event("info", format!("run start: {command} {}", slug.unwrap_or("")));
     }
+    // The sink handle lives for the rest of main: dropping it (normal
+    // exit or the SIGINT unwind below) flushes buffered spans.
+    let _trace_sink = match &trace_path {
+        Some(path) => {
+            trace::enable();
+            trace::set_process_label(command);
+            match trace::FileSink::create(std::path::Path::new(path)) {
+                Ok(sink) => Some(sink),
+                Err(e) => {
+                    eprintln!("trace: cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     let seed = config.seed;
     let transport = config.transport;
+
+    // `call` is a thin remote DRM client: all session state lives in
+    // the `serve` process, so a probe needs nothing but the socket.
+    // With `--trace` on both ends, the merged sinks reassemble each
+    // probe into one multi-process trace.
+    if command == "call" {
+        let Some(addr) = slug else {
+            return usage();
+        };
+        let count: usize = positional.get(2).and_then(|v| v.parse().ok()).unwrap_or(1);
+        let Ok(sock_addr) = addr.parse() else {
+            eprintln!("call: bad address {addr}");
+            return ExitCode::FAILURE;
+        };
+        let binder = match TcpBinder::connect(sock_addr).pool_size(2).build() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("call: cannot connect {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut failures = 0usize;
+        for i in 0..count {
+            let mut nonce = [0u8; 16];
+            nonce[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            nonce[8..].copy_from_slice(&seed.to_le_bytes());
+            let outcome = binder
+                .transact(DrmCall::IsSchemeSupported { uuid: WIDEVINE_SYSTEM_ID })
+                .and_then(|_| binder.transact(DrmCall::OpenSession { nonce }))
+                .and_then(wideleak::android_drm::binder::DrmReply::into_session_id)
+                .and_then(|sid| {
+                    let probe = binder.transact(DrmCall::IsProvisioned);
+                    let _ = binder.transact(DrmCall::CloseSession { session_id: sid });
+                    probe
+                });
+            match outcome {
+                Ok(reply) => println!("call {i}: ok ({reply:?})"),
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("call {i}: {e}");
+                }
+            }
+        }
+        trace::flush();
+        return if failures == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
 
     // `serve` exports a standalone media DRM server; it never installs
     // apps or boots a device stack.
     if command == "serve" {
         let addr = slug.unwrap_or("127.0.0.1:7564");
+        let metrics = match &metrics_addr {
+            Some(maddr) => {
+                // The exposition endpoint publishes the live registry;
+                // enable collection so there is something to scrape.
+                telemetry::enable();
+                match telemetry::ExpositionServer::bind(maddr) {
+                    Ok(server) => {
+                        println!(
+                            "wideleak: metrics endpoint on http://{}/metrics",
+                            server.local_addr()
+                        );
+                        Some(server)
+                    }
+                    Err(e) => {
+                        eprintln!("serve: cannot bind metrics {maddr}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => None,
+        };
         let eco = Ecosystem::new(config);
         let drm = eco.media_drm_server(DeviceModel::pixel_6());
         return match TcpDrmServer::bind(addr, drm) {
             Ok(server) => {
+                install_sigint_handler();
                 println!(
-                    "wideleak: media DRM server listening on {} (wire v1; ctrl-c to stop)",
+                    "wideleak: media DRM server listening on {} (wire v2; ctrl-c to stop)",
                     server.local_addr()
                 );
-                loop {
-                    std::thread::park();
+                while !SIGINT_RECEIVED.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
                 }
+                eprintln!("wideleak: shutting down");
+                drop(server);
+                drop(metrics);
+                trace::flush();
+                ExitCode::SUCCESS
             }
             Err(e) => {
                 eprintln!("serve: cannot bind {addr}: {e}");

@@ -34,6 +34,12 @@ fn push_str_value(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Writes `s` as a quoted, escaped JSON string into `out`. Shared
+/// with the trace serializer so both sinks escape identically.
+pub(crate) fn push_json_str(s: &str, out: &mut String) {
+    push_str_value(s, out);
+}
+
 fn push_field_value(v: &FieldValue, out: &mut String) {
     match v {
         FieldValue::U64(n) => {
@@ -121,8 +127,9 @@ pub fn to_jsonl(snapshot: &Snapshot) -> String {
     out
 }
 
-/// Formats nanoseconds with an adaptive unit for the summary table.
-fn humanize_ns(ns: u64) -> String {
+/// Formats nanoseconds with an adaptive unit for the summary tables.
+#[must_use]
+pub fn humanize_ns(ns: u64) -> String {
     if ns < 1_000 {
         format!("{ns}ns")
     } else if ns < 1_000_000 {
@@ -224,7 +231,7 @@ pub struct ParsedRun {
 }
 
 /// Extracts the u64 value of `"key":<digits>` from a flat JSON line.
-fn json_u64(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn json_u64(line: &str, key: &str) -> Option<u64> {
     let needle = format!("\"{key}\":");
     let at = line.find(&needle)? + needle.len();
     let rest = &line[at..];
@@ -233,7 +240,7 @@ fn json_u64(line: &str, key: &str) -> Option<u64> {
 }
 
 /// Extracts and unescapes the value of `"key":"..."` from a flat JSON line.
-fn json_str(line: &str, key: &str) -> Option<String> {
+pub(crate) fn json_str(line: &str, key: &str) -> Option<String> {
     let needle = format!("\"{key}\":\"");
     let at = line.find(&needle)? + needle.len();
     let mut out = String::new();

@@ -30,8 +30,11 @@
 
 pub mod events;
 pub mod export;
+pub mod expose;
 pub mod metrics;
 pub mod span;
+pub mod trace;
+pub mod trace_report;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -41,8 +44,10 @@ use parking_lot::Mutex;
 
 pub use events::{Event, EventRing};
 pub use export::{summary_table, to_jsonl};
+pub use expose::ExpositionServer;
 pub use metrics::{CounterHandle, Histogram, HistogramSummary, Registry};
 pub use span::{FieldValue, SpanGuard, SpanRecord};
+pub use trace::{TraceContext, TraceGuard, TraceSpan};
 
 /// Number of span-storage shards. Spans are appended to
 /// `shards[id % SHARDS]`, so concurrent threads rarely contend.
