@@ -34,6 +34,7 @@ pub mod mediacrypto;
 pub mod mediadrm;
 pub mod netserver;
 pub mod playback;
+pub mod reactor;
 pub mod server;
 pub mod wire;
 
@@ -60,6 +61,13 @@ pub enum DrmError {
     /// mismatch). Transient from the app's point of view: the connection
     /// is torn down and the retry policy gets a fresh one.
     Wire(wire::WireError),
+    /// No reply arrived within the client's read deadline. Transient:
+    /// the connection is abandoned and the retry policy gets a fresh
+    /// one, instead of the caller hanging on a wedged server forever.
+    Timeout {
+        /// The deadline that expired, in milliseconds.
+        ms: u64,
+    },
 }
 
 impl DrmError {
@@ -85,6 +93,7 @@ impl DrmError {
                 wire::WireError::BadCrc { .. } => "wire.bad_crc",
                 wire::WireError::Malformed { .. } => "wire.malformed",
             },
+            DrmError::Timeout { .. } => "timeout",
         }
     }
 }
@@ -106,6 +115,9 @@ impl fmt::Display for DrmError {
             DrmError::ServerPanic => f.write_str("media drm server panicked handling the call"),
             DrmError::BadReply => f.write_str("unexpected reply shape from media drm server"),
             DrmError::Wire(e) => write!(f, "wire frame error: {e}"),
+            DrmError::Timeout { ms } => {
+                write!(f, "binder read timed out after {ms} ms")
+            }
         }
     }
 }

@@ -6,25 +6,38 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  "WDLK"
-//!      4     1  version (currently 2; v1 still decodes)
+//!      4     1  version (currently 3; v1 and v2 still decode)
 //!      5     1  frame type (0 = call, 1 = reply)
-//!      6     1  flags (v2+; bit 0 = trace context present)
+//!      6     1  flags (v2+; bit 0 = trace context, bit 1 = request id)
 //!      7     1  reserved (must be 0)
 //!      8     4  payload length, little-endian
-//!     12     n  payload (optional 24-byte trace context, then the
-//!               tagged DrmCall / Result<DrmReply, DrmError>)
+//!     12     n  payload (optional 24-byte trace context, optional
+//!               8-byte request id, then the tagged DrmCall /
+//!               Result<DrmReply, DrmError>)
 //!   12+n     4  CRC-32 (IEEE) over bytes 0..12+n, little-endian
 //! ```
 //!
-//! Version 2 spends one of the two reserved bytes as a flags field.
+//! Version 2 spent one of the two reserved bytes as a flags field.
 //! When [`FLAG_TRACE_CONTEXT`] is set, the payload region opens with a
 //! [`TraceContext`] in its fixed 24-byte wire form
 //! ([`TraceContext::WIRE_LEN`]) before the body, which is how a client
 //! call's trace identity reaches the server process (and stitches the
-//! server's spans into the caller's trace). The length field covers
-//! the context and the body; the CRC covers everything, context
-//! included. A v1 frame (flags byte zero, no context) still decodes —
-//! the promise the v1 format made by reserving the byte.
+//! server's spans into the caller's trace).
+//!
+//! Version 3 spends the next flag bit on pipelining: when
+//! [`FLAG_REQUEST_ID`] is set, an 8-byte little-endian request id
+//! follows the (optional) trace context. The reactor server echoes a
+//! call's request id on its reply frame, which is what lets a client
+//! keep several calls in flight on one connection and correlate the
+//! out-of-order replies. The flag is only legal from v3 on — a v2
+//! decoder rejects it as an unknown flag, exactly as the v2 format
+//! promised — and flags are validated against the *sender's* version,
+//! so a v2 frame carrying bit 1 is still malformed to a v3 decoder.
+//!
+//! The length field covers the extensions and the body; the CRC covers
+//! everything, extensions included. A v1 frame (flags byte zero, no
+//! extensions) still decodes — the promise the v1 format made by
+//! reserving the byte.
 //!
 //! [`encode_frame`] and [`decode_frame`] are pure functions over byte
 //! slices — no sockets, no clocks — so the property/fuzz battery can
@@ -57,7 +70,7 @@ use crate::DrmError;
 pub const MAGIC: [u8; 4] = *b"WDLK";
 
 /// The wire-format revision this build speaks.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 
 /// The oldest revision this build still decodes.
 pub const MIN_VERSION: u8 = 1;
@@ -65,9 +78,23 @@ pub const MIN_VERSION: u8 = 1;
 /// Header flag (v2+): the payload opens with a 24-byte trace context.
 pub const FLAG_TRACE_CONTEXT: u8 = 0x01;
 
-/// All header flag bits this build understands; anything else in the
-/// flags byte of a v2 frame is [`WireError::Malformed`].
-const KNOWN_FLAGS: u8 = FLAG_TRACE_CONTEXT;
+/// Header flag (v3+): an 8-byte little-endian request id follows the
+/// (optional) trace context. Replies echo the request id of the call
+/// they answer, which is what makes frame pipelining correlatable.
+pub const FLAG_REQUEST_ID: u8 = 0x02;
+
+/// The flag bits legal for a frame claiming `version`; anything else
+/// in the flags byte is [`WireError::Malformed`]. Flags are validated
+/// against the *sender's* version so each revision keeps the promise
+/// it made about its reserved bits: a v2 frame carrying the request-id
+/// bit is malformed even to this decoder.
+fn known_flags(version: u8) -> u8 {
+    match version {
+        0 | 1 => 0,
+        2 => FLAG_TRACE_CONTEXT,
+        _ => FLAG_TRACE_CONTEXT | FLAG_REQUEST_ID,
+    }
+}
 
 /// Fixed header size (magic + version + type + reserved + length).
 pub const HEADER_LEN: usize = 12;
@@ -180,10 +207,21 @@ pub enum FrameBody {
 const FRAME_TYPE_CALL: u8 = 0;
 const FRAME_TYPE_REPLY: u8 = 1;
 
+/// The wire extensions a frame carried ahead of its body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameMeta {
+    /// The trace context, when the sender attached one
+    /// ([`FLAG_TRACE_CONTEXT`]).
+    pub ctx: Option<TraceContext>,
+    /// The pipelining request id, when the sender attached one
+    /// ([`FLAG_REQUEST_ID`]).
+    pub request_id: Option<u64>,
+}
+
 /// Encodes one frame: header, payload, CRC trailer.
 #[must_use]
 pub fn encode_frame(body: &FrameBody) -> Vec<u8> {
-    encode_frame_with(body, None)
+    encode_frame_full(body, None, None)
 }
 
 /// Encodes one frame, optionally carrying a trace context ahead of the
@@ -191,21 +229,43 @@ pub fn encode_frame(body: &FrameBody) -> Vec<u8> {
 /// caller's trace.
 #[must_use]
 pub fn encode_frame_with(body: &FrameBody, ctx: Option<&TraceContext>) -> Vec<u8> {
+    encode_frame_full(body, ctx, None)
+}
+
+/// Encodes one frame with any combination of wire extensions: a trace
+/// context and/or a pipelining request id ahead of the body.
+#[must_use]
+pub fn encode_frame_full(
+    body: &FrameBody,
+    ctx: Option<&TraceContext>,
+    request_id: Option<u64>,
+) -> Vec<u8> {
     let (frame_type, payload) = match body {
         FrameBody::Call(call) => (FRAME_TYPE_CALL, encode_call(call)),
         FrameBody::Reply(reply) => (FRAME_TYPE_REPLY, encode_reply(reply)),
     };
     let ctx_len = ctx.map_or(0, |_| TraceContext::WIRE_LEN);
-    let total_payload = ctx_len + payload.len();
+    let id_len = request_id.map_or(0, |_| 8);
+    let total_payload = ctx_len + id_len + payload.len();
+    let mut flags = 0u8;
+    if ctx.is_some() {
+        flags |= FLAG_TRACE_CONTEXT;
+    }
+    if request_id.is_some() {
+        flags |= FLAG_REQUEST_ID;
+    }
     let mut out = Vec::with_capacity(HEADER_LEN + total_payload + TRAILER_LEN);
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
     out.push(frame_type);
-    out.push(if ctx.is_some() { FLAG_TRACE_CONTEXT } else { 0 });
+    out.push(flags);
     out.push(0);
     out.extend_from_slice(&u32::try_from(total_payload).expect("payload fits u32").to_le_bytes());
     if let Some(ctx) = ctx {
         out.extend_from_slice(&ctx.encode());
+    }
+    if let Some(id) = request_id {
+        out.extend_from_slice(&id.to_le_bytes());
     }
     out.extend_from_slice(&payload);
     let crc = crc32(&out);
@@ -248,7 +308,7 @@ pub fn frame_len(header: &[u8]) -> Result<usize, WireError> {
 /// Returns the matching [`WireError`] for every malformed input; never
 /// panics.
 pub fn decode_frame(buf: &[u8]) -> Result<(FrameBody, usize), WireError> {
-    decode_frame_ext(buf).map(|(body, _ctx, used)| (body, used))
+    decode_frame_full(buf).map(|(body, _meta, used)| (body, used))
 }
 
 /// Like [`decode_frame`], but also surfacing the trace context when
@@ -259,6 +319,17 @@ pub fn decode_frame(buf: &[u8]) -> Result<(FrameBody, usize), WireError> {
 /// Returns the matching [`WireError`] for every malformed input; never
 /// panics.
 pub fn decode_frame_ext(buf: &[u8]) -> Result<(FrameBody, Option<TraceContext>, usize), WireError> {
+    decode_frame_full(buf).map(|(body, meta, used)| (body, meta.ctx, used))
+}
+
+/// Like [`decode_frame`], but surfacing every wire extension the frame
+/// carried as a [`FrameMeta`].
+///
+/// # Errors
+///
+/// Returns the matching [`WireError`] for every malformed input; never
+/// panics.
+pub fn decode_frame_full(buf: &[u8]) -> Result<(FrameBody, FrameMeta, usize), WireError> {
     let total = frame_len(buf)?;
     if buf.len() < total {
         return Err(WireError::Truncated { needed: total, got: buf.len() });
@@ -277,7 +348,7 @@ pub fn decode_frame_ext(buf: &[u8]) -> Result<(FrameBody, Option<TraceContext>, 
     // v1 reserved its two header bytes without validating them; the
     // flags field only exists from v2 on.
     let flags = if buf[4] >= 2 { buf[6] } else { 0 };
-    if flags & !KNOWN_FLAGS != 0 {
+    if flags & !known_flags(buf[4]) != 0 {
         return Err(WireError::Malformed { what: "unknown header flags" });
     }
     let mut payload = &buf[HEADER_LEN..body_end];
@@ -293,6 +364,17 @@ pub fn decode_frame_ext(buf: &[u8]) -> Result<(FrameBody, Option<TraceContext>, 
     } else {
         None
     };
+    let request_id = if flags & FLAG_REQUEST_ID != 0 {
+        if payload.len() < 8 {
+            return Err(WireError::Malformed { what: "request id exceeds payload" });
+        }
+        let mut id = [0u8; 8];
+        id.copy_from_slice(&payload[..8]);
+        payload = &payload[8..];
+        Some(u64::from_le_bytes(id))
+    } else {
+        None
+    };
     let mut r = Reader::new(payload);
     let body = match buf[5] {
         FRAME_TYPE_CALL => FrameBody::Call(decode_call(&mut r)?),
@@ -300,7 +382,31 @@ pub fn decode_frame_ext(buf: &[u8]) -> Result<(FrameBody, Option<TraceContext>, 
         _ => return Err(WireError::Malformed { what: "unknown frame type" }),
     };
     r.finish()?;
-    Ok((body, ctx, total))
+    Ok((body, FrameMeta { ctx, request_id }, total))
+}
+
+/// Reads the request id off a complete frame without decoding (or CRC
+/// checking) the body. The pipelined client's reader thread uses this
+/// to route a raw reply frame to its waiter before paying for the full
+/// decode; a frame too corrupt to peek returns `None` and the caller
+/// falls back to a full decode for the typed error.
+#[must_use]
+pub fn peek_request_id(frame: &[u8]) -> Option<u64> {
+    if frame.len() < HEADER_LEN || frame[..4] != MAGIC || frame[4] < 3 {
+        return None;
+    }
+    let flags = frame[6];
+    if flags & FLAG_REQUEST_ID == 0 {
+        return None;
+    }
+    let mut offset = HEADER_LEN;
+    if flags & FLAG_TRACE_CONTEXT != 0 {
+        offset += TraceContext::WIRE_LEN;
+    }
+    let bytes = frame.get(offset..offset + 8)?;
+    let mut id = [0u8; 8];
+    id.copy_from_slice(bytes);
+    Some(u64::from_le_bytes(id))
 }
 
 // ---------------------------------------------------------------------
@@ -693,6 +799,9 @@ fn encode_drm_error(w: &mut Writer, e: &DrmError) {
             w.u8(5);
             encode_wire_error(w, wire);
         }
+        DrmError::Timeout { ms } => {
+            w.u8(6).u64(*ms);
+        }
     }
 }
 
@@ -704,6 +813,7 @@ fn decode_drm_error(r: &mut Reader<'_>) -> Result<DrmError, WireError> {
         3 => DrmError::ServerPanic,
         4 => DrmError::BadReply,
         5 => DrmError::Wire(decode_wire_error(r)?),
+        6 => DrmError::Timeout { ms: r.u64("timeout ms")? },
         _ => return Err(WireError::Malformed { what: "unknown drm error tag" }),
     })
 }
@@ -941,6 +1051,7 @@ mod tests {
             }))),
             Err(DrmError::Wire(WireError::BadCrc { expected: 1, found: 2 })),
             Err(DrmError::Wire(WireError::Malformed { what: "unknown call tag" })),
+            Err(DrmError::Timeout { ms: 5000 }),
         ]
     }
 
@@ -1152,6 +1263,90 @@ mod tests {
         let (body, ctx, _) = decode_frame_ext(&frame).unwrap();
         assert_eq!(body, FrameBody::Call(DrmCall::IsProvisioned));
         assert_eq!(ctx, None);
+    }
+
+    #[test]
+    fn v2_frames_still_decode() {
+        let frame = handmade_frame(2, 0, &encode_call(&DrmCall::IsProvisioned));
+        let (body, meta, used) = decode_frame_full(&frame).unwrap();
+        assert_eq!(body, FrameBody::Call(DrmCall::IsProvisioned));
+        assert_eq!(meta, FrameMeta::default());
+        assert_eq!(used, frame.len());
+
+        // A v2 frame with a trace context still surfaces it.
+        let ctx = TraceContext { trace_id: 5, span_id: 6, parent_span_id: 0 };
+        let mut payload = ctx.encode().to_vec();
+        payload.extend_from_slice(&encode_call(&DrmCall::IsProvisioned));
+        let frame = handmade_frame(2, FLAG_TRACE_CONTEXT, &payload);
+        let (_, meta, _) = decode_frame_full(&frame).unwrap();
+        assert_eq!(meta.ctx, Some(ctx));
+        assert_eq!(meta.request_id, None);
+    }
+
+    #[test]
+    fn v2_frames_reject_the_request_id_flag() {
+        // The request-id bit only exists from v3 on; a v2 sender setting
+        // it is claiming a flag its own revision never defined.
+        let mut payload = 7u64.to_le_bytes().to_vec();
+        payload.extend_from_slice(&encode_call(&DrmCall::IsProvisioned));
+        let frame = handmade_frame(2, FLAG_REQUEST_ID, &payload);
+        assert_eq!(
+            decode_frame_full(&frame),
+            Err(WireError::Malformed { what: "unknown header flags" })
+        );
+    }
+
+    #[test]
+    fn request_id_rides_the_frame() {
+        let ctx = TraceContext { trace_id: 0xfeed, span_id: 0xbeef, parent_span_id: 7 };
+        for body in [
+            FrameBody::Call(DrmCall::OpenSession { nonce: [3; 16] }),
+            FrameBody::Reply(Ok(DrmReply::SessionId(9))),
+        ] {
+            for ctx in [None, Some(&ctx)] {
+                let frame = encode_frame_full(&body, ctx, Some(0xD00D_F00D_0000_0042));
+                assert_eq!(peek_request_id(&frame), Some(0xD00D_F00D_0000_0042));
+                let (decoded, meta, used) = decode_frame_full(&frame).unwrap();
+                assert_eq!(decoded, body);
+                assert_eq!(meta.ctx, ctx.copied());
+                assert_eq!(meta.request_id, Some(0xD00D_F00D_0000_0042));
+                assert_eq!(used, frame.len());
+                // The plain decoder sees the same body and drops the id.
+                assert_eq!(decode_frame(&frame).unwrap().0, body);
+            }
+        }
+    }
+
+    #[test]
+    fn request_id_frames_cost_exactly_eight_bytes() {
+        let body = FrameBody::Call(DrmCall::IsProvisioned);
+        let bare = encode_frame(&body);
+        let tagged = encode_frame_full(&body, None, Some(1));
+        assert_eq!(tagged.len(), bare.len() + 8);
+    }
+
+    #[test]
+    fn request_id_flag_without_room_is_malformed() {
+        let frame = handmade_frame(VERSION, FLAG_REQUEST_ID, &[0u8; 4]);
+        assert_eq!(
+            decode_frame_full(&frame),
+            Err(WireError::Malformed { what: "request id exceeds payload" })
+        );
+    }
+
+    #[test]
+    fn peek_request_id_ignores_frames_without_one() {
+        let body = FrameBody::Call(DrmCall::IsProvisioned);
+        assert_eq!(peek_request_id(&encode_frame(&body)), None);
+        let ctx = TraceContext { trace_id: 1, span_id: 2, parent_span_id: 0 };
+        assert_eq!(peek_request_id(&encode_frame_with(&body, Some(&ctx))), None);
+        assert_eq!(peek_request_id(&[]), None);
+        assert_eq!(peek_request_id(b"WDLK"), None);
+        // A v1/v2 frame whose reserved byte happens to carry the bit is
+        // not peeked — the flag did not exist in those revisions.
+        let mut payload = 9u64.to_le_bytes().to_vec();
+        payload.extend_from_slice(&encode_call(&DrmCall::IsProvisioned));
+        assert_eq!(peek_request_id(&handmade_frame(2, FLAG_REQUEST_ID, &payload)), None);
     }
 
     #[test]

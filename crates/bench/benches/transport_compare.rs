@@ -1,7 +1,9 @@
 //! Transport comparison: the same licensed `DecryptSample` round trip
 //! through all three binder transports — in-process dispatch, the
-//! threaded worker pool, and framed TCP over loopback — reporting
-//! per-call p50/p95/p99 so the cost of each IPC boundary is visible.
+//! threaded worker pool, and framed TCP over loopback — plus pipelined
+//! TCP (several calls in flight on one shared connection, correlated by
+//! wire-v3 request ids), reporting per-call p50/p95/p99 so the cost of
+//! each IPC boundary is visible.
 //!
 //! ```text
 //! cargo bench -p wideleak-bench --bench transport_compare [-- --quick]
@@ -38,14 +40,23 @@ fn quick_mode() -> bool {
 }
 
 /// Boots an L3 CDM behind a fresh media DRM server on one transport.
-fn boot_binder(eco: &Ecosystem, transport: TransportKind) -> Arc<dyn Transport> {
+/// A `pipeline_depth` of 2+ puts the TCP binder in pipelined mode (it
+/// is ignored by the in-process transports, matching the ecosystem
+/// knob's semantics).
+fn boot_binder(
+    eco: &Ecosystem,
+    transport: TransportKind,
+    pipeline_depth: usize,
+) -> Arc<dyn Transport> {
     let backend = L3OemCrypto::new(
         CdmVersion::new(16, 0, 0),
         Arc::new(HookEngine::new()),
         Arc::new(ProcessMemory::new("mediaserver")),
     );
     backend
-        .install_keybox(eco.trust().issue_keybox(&format!("bench-transport-{transport}")))
+        .install_keybox(
+            eco.trust().issue_keybox(&format!("bench-transport-{transport}-{pipeline_depth}")),
+        )
         .unwrap();
     let mut server = MediaDrmServer::new();
     let cdm = Cdm::builder().backend(Arc::new(backend)).build();
@@ -53,7 +64,9 @@ fn boot_binder(eco: &Ecosystem, transport: TransportKind) -> Arc<dyn Transport> 
     match transport {
         TransportKind::InProcess => Arc::new(InProcessBinder::new(server)),
         TransportKind::Threaded => Arc::new(ThreadedBinder::builder(server).spawn()),
-        TransportKind::Tcp => Arc::new(TcpBinder::loopback(server).build().unwrap()),
+        TransportKind::Tcp => {
+            Arc::new(TcpBinder::loopback(server).pipeline_depth(pipeline_depth).build().unwrap())
+        }
     }
 }
 
@@ -143,8 +156,14 @@ fn main() {
         .label("mode", if quick_mode() { "quick" } else { "full" })
         .label("iters", iters.to_string())
         .label("sample_bytes", SAMPLE_BYTES.to_string());
-    for &transport in &TransportKind::ALL {
-        let binder = boot_binder(&eco, transport);
+    // The three one-call-per-roundtrip transports, then pipelined TCP:
+    // the same calls over one shared connection with eight slots in
+    // flight, replies correlated by request id.
+    let mut rows: Vec<(&str, TransportKind, usize)> =
+        TransportKind::ALL.iter().map(|&t| (t.label(), t, 1)).collect();
+    rows.push(("tcp-pipe", TransportKind::Tcp, 8));
+    for &(label, transport, depth) in &rows {
+        let binder = boot_binder(&eco, transport, depth);
         let (sid, kid) = license_session(binder.as_ref(), &eco, &token);
         // Warm-up: connections dialed, threads faulted in, caches hot.
         measure(binder.as_ref(), sid, kid, 16);
@@ -153,14 +172,13 @@ fn main() {
         let mean = total / samples.len() as u32;
         println!(
             "{:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>12.0}",
-            transport.label(),
+            label,
             micros(mean),
             micros(percentile(&samples, 50)),
             micros(percentile(&samples, 95)),
             micros(percentile(&samples, 99)),
             samples.len() as f64 / total.as_secs_f64(),
         );
-        let label = transport.label();
         report
             .metric(format!("{label}.mean_us"), micros(mean))
             .metric(format!("{label}.p50_us"), micros(percentile(&samples, 50)))

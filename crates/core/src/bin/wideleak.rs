@@ -32,7 +32,7 @@ use wideleak::android_drm::netserver::{TcpBinder, TcpDrmServer};
 use wideleak::attack::recover::{attack_all, attack_app};
 use wideleak::bmff::types::WIDEVINE_SYSTEM_ID;
 use wideleak::device::catalog::DeviceModel;
-use wideleak::load::{run_load, LoadConfig};
+use wideleak::load::{run_fleet, run_load, FleetConfig, LoadConfig};
 use wideleak::monitor::report::{render_call_histogram, render_insights, render_table_1};
 use wideleak::monitor::resilience::{render_q5, run_resilience_study_on};
 use wideleak::monitor::study::{run_study, study_app};
@@ -51,6 +51,7 @@ fn usage() -> ExitCode {
            play <slug>    one instrumented playback with a Figure-1 trace\n\
            resilience     run the Q5 fault-schedule sweep (--quick: 4 apps)\n\
            load           drive the fleet load generator (--quick: CI size)\n\
+                          --fleet N holds N concurrent TCP devices against one reactor server\n\
            serve [ADDR]   run a wire-framed TCP media DRM server (default 127.0.0.1:7564)\n\
                           --metrics ADDR adds a live Prometheus /metrics endpoint\n\
            call ADDR [N]  drive N license-path probes against a remote serve (default 1)\n\
@@ -107,6 +108,7 @@ fn main() -> ExitCode {
     let mut trace_path: Option<String> = None;
     let mut metrics_addr: Option<String> = None;
     let mut transport_flag: Option<TransportKind> = None;
+    let mut fleet_devices: Option<usize> = None;
     let mut quick = false;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -128,6 +130,10 @@ fn main() -> ExitCode {
             },
             "--metrics" => match args.next() {
                 Some(addr) => metrics_addr = Some(addr),
+                None => return usage(),
+            },
+            "--fleet" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(devices) => fleet_devices = Some(devices),
                 None => return usage(),
             },
             "--transport" => match args.next().and_then(|v| v.parse::<TransportKind>().ok()) {
@@ -289,7 +295,7 @@ fn main() -> ExitCode {
             Ok(server) => {
                 install_sigint_handler();
                 println!(
-                    "wideleak: media DRM server listening on {} (wire v2; ctrl-c to stop)",
+                    "wideleak: media DRM server listening on {} (wire v3; ctrl-c to stop)",
                     server.local_addr()
                 );
                 while !SIGINT_RECEIVED.load(Ordering::SeqCst) {
@@ -384,17 +390,32 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         ("load", _) => {
-            let base = if quick { LoadConfig::quick() } else { LoadConfig::default() };
-            let load_config = LoadConfig {
-                seed,
-                // The fleet defaults to the threaded binder; only a
-                // `--transport` flag overrides it.
-                transport: transport_flag.unwrap_or(base.transport),
-                ..base
-            };
-            let report = run_load(&load_config);
-            print!("{}", report.render());
-            ExitCode::SUCCESS
+            if let Some(devices) = fleet_devices {
+                // High-concurrency fleet: always over TCP (it measures
+                // the reactor transport, not the study paths).
+                let base = if quick { FleetConfig::quick() } else { FleetConfig::default() };
+                let fleet_config = FleetConfig { devices, seed, ..base };
+                let report = run_fleet(&fleet_config);
+                print!("{}", report.render(&fleet_config));
+                if report.clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("load: fleet run was not clean");
+                    ExitCode::FAILURE
+                }
+            } else {
+                let base = if quick { LoadConfig::quick() } else { LoadConfig::default() };
+                let load_config = LoadConfig {
+                    seed,
+                    // The fleet defaults to the threaded binder; only a
+                    // `--transport` flag overrides it.
+                    transport: transport_flag.unwrap_or(base.transport),
+                    ..base
+                };
+                let report = run_load(&load_config);
+                print!("{}", report.render());
+                ExitCode::SUCCESS
+            }
         }
         ("play", Some(slug)) => {
             let stack = eco.boot_device(DeviceModel::pixel_6(), true);

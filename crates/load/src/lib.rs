@@ -17,9 +17,19 @@
 //! the full cold paths, which is what `benches/license_path.rs` and the
 //! caches-off byte-identity tests compare against.
 
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use wideleak_android_drm::binder::{DrmCall, DrmReply};
+use wideleak_android_drm::netserver::TcpDrmServer;
+use wideleak_android_drm::wire::{
+    decode_frame_full, encode_frame_full, frame_len, FrameBody, HEADER_LEN,
+};
+use wideleak_bmff::types::WIDEVINE_SYSTEM_ID;
 use wideleak_device::catalog::DeviceModel;
 use wideleak_faults::{det_hash, VirtualClock};
 use wideleak_ott::apps::OttApp;
@@ -461,6 +471,450 @@ fn sum_decrypt_stats(fleet: &[FleetDevice]) -> Option<DecryptCacheStats> {
     total
 }
 
+// ---------------------------------------------------------------------
+// High-concurrency fleet mode
+// ---------------------------------------------------------------------
+
+/// Wall-clock budget for a fleet run before undelivered calls are
+/// written off — a CI backstop, not a measurement.
+const FLEET_DEADLINE: Duration = Duration::from_secs(120);
+
+/// Parameters of one high-concurrency fleet run (`wideleak load
+/// --fleet N`): N simulated devices each hold a real socket open
+/// against one reactor [`TcpDrmServer`], with up to `pipeline_depth`
+/// wire-v3 request-id-tagged calls in flight per connection.
+///
+/// Unlike [`LoadConfig`], which measures the modeled study paths, this
+/// mode measures the transport itself: each device is a raw wire
+/// client driven by a non-blocking state machine, so a handful of
+/// driver threads carry tens of thousands of concurrent connections.
+/// Both halves live in this process — each device costs two file
+/// descriptors, so raise `ulimit -n` beyond ~2× devices for full-size
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Concurrent simulated devices (one socket each).
+    pub devices: usize,
+    /// Scheme probes each device issues (alternating answers, so
+    /// correlation mistakes are visible as unexpected replies).
+    pub calls_per_device: usize,
+    /// Calls each device keeps in flight on its connection.
+    pub pipeline_depth: usize,
+    /// Seed for nonces and the served CDM's derivations.
+    pub seed: u64,
+    /// Driver threads the devices are partitioned across.
+    pub drivers: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            devices: 10_000,
+            calls_per_device: 4,
+            pipeline_depth: 4,
+            seed: 2022,
+            drivers: 4,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The CI-sized preset behind `wideleak load --fleet N --quick`.
+    #[must_use]
+    pub fn quick() -> Self {
+        FleetConfig { devices: 1_000, calls_per_device: 2, ..Self::default() }
+    }
+}
+
+/// What one fleet run delivered. All counts are deterministic for a
+/// given config (on a healthy host); `elapsed_ms` and
+/// `peak_active_connections` are wall-clock observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetReport {
+    /// Devices the run asked for.
+    pub devices: usize,
+    /// Sockets that connected.
+    pub connected: u64,
+    /// Devices whose connect failed (their calls count as undelivered).
+    pub connect_failures: u64,
+    /// Call frames fully written to the server.
+    pub calls_sent: u64,
+    /// Replies that matched their call's expected answer.
+    pub replies_ok: u64,
+    /// Replies with a wrong/unknown id or a wrong answer — any nonzero
+    /// value means the pipelining correlation broke.
+    pub replies_unexpected: u64,
+    /// Expected replies that never arrived (dead connections, deadline).
+    pub undelivered: u64,
+    /// Sessions opened (and then closed) by the 1-in-16 session devices.
+    pub sessions_opened: u64,
+    /// Largest `netserver.connections.active` the server reported
+    /// while the run was in flight.
+    pub peak_active_connections: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed_ms: u64,
+}
+
+impl FleetReport {
+    /// Renders the ASCII report `wideleak load --fleet` prints.
+    #[must_use]
+    pub fn render(&self, config: &FleetConfig) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== wideleak fleet report ==");
+        let _ = writeln!(
+            out,
+            "fleet:      {} devices x {} calls, {} drivers, pipeline depth {} (seed {})",
+            config.devices,
+            config.calls_per_device,
+            config.drivers,
+            config.pipeline_depth,
+            config.seed,
+        );
+        let _ = writeln!(
+            out,
+            "sockets:    {} connected, {} connect failures, peak {} active at the server",
+            self.connected, self.connect_failures, self.peak_active_connections,
+        );
+        let _ = writeln!(
+            out,
+            "calls:      {} sent: {} ok, {} unexpected, {} undelivered",
+            self.calls_sent, self.replies_ok, self.replies_unexpected, self.undelivered,
+        );
+        let _ = writeln!(out, "sessions:   {} opened and closed", self.sessions_opened);
+        let _ = writeln!(out, "elapsed:    {} ms wall", self.elapsed_ms);
+        out
+    }
+
+    /// Whether every call was answered as expected.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.connect_failures == 0 && self.replies_unexpected == 0 && self.undelivered == 0
+    }
+}
+
+/// What a device expects back for one in-flight call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    /// `IsSchemeSupported` with the Widevine UUID → `Bool(true)`.
+    SchemeTrue,
+    /// `IsSchemeSupported` with a zero UUID → `Bool(false)`.
+    SchemeFalse,
+    /// `OpenSession` → any `SessionId` (which then enqueues the close).
+    Session,
+    /// `CloseSession` → any `Ok` reply.
+    CloseOk,
+}
+
+/// One simulated device: a non-blocking socket plus the frame-level
+/// state machines (partial writes out, reassembly in, expectations by
+/// request id).
+struct SimDevice {
+    stream: TcpStream,
+    /// Frames not yet fully written: `(request id, expectation, bytes)`.
+    outbox: VecDeque<(u64, Expect, Vec<u8>)>,
+    /// Progress into the front outbox frame.
+    woffset: usize,
+    /// Expectations for fully-written calls, by request id.
+    pending: HashMap<u64, Expect>,
+    /// Inbound reassembly buffer.
+    rbuf: Vec<u8>,
+    expected_total: usize,
+    received: usize,
+    next_id: u64,
+}
+
+impl SimDevice {
+    fn enqueue(&mut self, expect: Expect, call: &DrmCall) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = encode_frame_full(&FrameBody::Call(call.clone()), None, Some(id));
+        self.outbox.push_back((id, expect, frame));
+    }
+
+    fn finished(&self) -> bool {
+        self.received >= self.expected_total
+    }
+}
+
+/// Per-driver tallies, summed into the [`FleetReport`].
+#[derive(Debug, Clone, Copy, Default)]
+struct DriverTally {
+    connected: u64,
+    connect_failures: u64,
+    calls_sent: u64,
+    replies_ok: u64,
+    replies_unexpected: u64,
+    undelivered: u64,
+    sessions_opened: u64,
+}
+
+/// Splits `0..devices` into `drivers` contiguous ranges.
+fn partition(devices: usize, drivers: usize) -> Vec<Range<usize>> {
+    let per = devices / drivers;
+    let extra = devices % drivers;
+    let mut ranges = Vec::with_capacity(drivers);
+    let mut start = 0;
+    for i in 0..drivers {
+        let len = per + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// A device's scripted calls plus how many replies it must collect
+/// (the 1-in-16 session devices add an open and a deferred close).
+fn device_script(d: usize, config: &FleetConfig) -> (Vec<(Expect, DrmCall)>, usize) {
+    let mut script = Vec::with_capacity(config.calls_per_device + 1);
+    for i in 0..config.calls_per_device {
+        if i % 2 == 0 {
+            script.push((
+                Expect::SchemeTrue,
+                DrmCall::IsSchemeSupported { uuid: WIDEVINE_SYSTEM_ID },
+            ));
+        } else {
+            script.push((Expect::SchemeFalse, DrmCall::IsSchemeSupported { uuid: [0; 16] }));
+        }
+    }
+    let mut expected = script.len();
+    if d.is_multiple_of(16) {
+        let mut nonce = [0u8; 16];
+        nonce[..8].copy_from_slice(&det_hash(config.seed, d as u64).to_le_bytes());
+        nonce[8..].copy_from_slice(&(d as u64).to_le_bytes());
+        script.push((Expect::Session, DrmCall::OpenSession { nonce }));
+        // The open's reply plus the close enqueued when it arrives.
+        expected += 2;
+    }
+    (script, expected)
+}
+
+/// Sweeps one device once: write while the in-flight window has room,
+/// drain the socket, settle complete reply frames. Returns
+/// `(made_progress, died)`.
+fn sweep_device(
+    dev: &mut SimDevice,
+    depth: usize,
+    scratch: &mut [u8],
+    tally: &mut DriverTally,
+) -> (bool, bool) {
+    let mut progress = false;
+    // Write: at most `depth` calls in flight at once.
+    while dev.pending.len() < depth {
+        let Some((_, _, frame)) = dev.outbox.front() else { break };
+        match dev.stream.write(&frame[dev.woffset..]) {
+            Ok(0) => return (progress, true),
+            Ok(n) => {
+                dev.woffset += n;
+                progress = true;
+                if dev.woffset == frame.len() {
+                    let (id, expect, _) = dev.outbox.pop_front().expect("front exists");
+                    dev.woffset = 0;
+                    dev.pending.insert(id, expect);
+                    tally.calls_sent += 1;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return (progress, true),
+        }
+    }
+    // Read everything available.
+    loop {
+        match dev.stream.read(scratch) {
+            Ok(0) => return (progress, true),
+            Ok(n) => {
+                dev.rbuf.extend_from_slice(&scratch[..n]);
+                progress = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return (progress, true),
+        }
+    }
+    // Settle complete frames.
+    while dev.rbuf.len() >= HEADER_LEN {
+        let total = match frame_len(&dev.rbuf[..HEADER_LEN]) {
+            Ok(total) => total,
+            Err(_) => return (progress, true),
+        };
+        if dev.rbuf.len() < total {
+            break;
+        }
+        let frame: Vec<u8> = dev.rbuf.drain(..total).collect();
+        let Ok((body, meta, _)) = decode_frame_full(&frame) else {
+            return (progress, true);
+        };
+        progress = true;
+        dev.received += 1;
+        let expect = meta.request_id.and_then(|id| dev.pending.remove(&id));
+        match (expect, body) {
+            (Some(Expect::SchemeTrue), FrameBody::Reply(Ok(DrmReply::Bool(true))))
+            | (Some(Expect::SchemeFalse), FrameBody::Reply(Ok(DrmReply::Bool(false))))
+            | (Some(Expect::CloseOk), FrameBody::Reply(Ok(_))) => tally.replies_ok += 1,
+            (Some(Expect::Session), FrameBody::Reply(Ok(DrmReply::SessionId(sid)))) => {
+                tally.replies_ok += 1;
+                tally.sessions_opened += 1;
+                dev.enqueue(Expect::CloseOk, &DrmCall::CloseSession { session_id: sid });
+            }
+            _ => tally.replies_unexpected += 1,
+        }
+    }
+    (progress, false)
+}
+
+/// One driver thread's share of the fleet: connect its device range,
+/// then sweep the state machines until every device has collected its
+/// replies (or the deadline writes the rest off).
+fn drive_devices(
+    addr: SocketAddr,
+    range: Range<usize>,
+    config: &FleetConfig,
+    connected_rendezvous: &std::sync::Barrier,
+    deadline: Instant,
+) -> DriverTally {
+    let depth = config.pipeline_depth.max(1);
+    let mut tally = DriverTally::default();
+    let mut devices: Vec<Option<SimDevice>> = Vec::with_capacity(range.len());
+    for d in range {
+        let (script, expected_total) = device_script(d, config);
+        // A couple of retries ride out transient accept-queue pressure.
+        let mut stream = None;
+        for attempt in 0..3 {
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) if attempt < 2 => std::thread::sleep(Duration::from_millis(10)),
+                Err(_) => {}
+            }
+        }
+        let Some(stream) = stream else {
+            tally.connect_failures += 1;
+            tally.undelivered += expected_total as u64;
+            devices.push(None);
+            continue;
+        };
+        let _ = stream.set_nonblocking(true);
+        let _ = stream.set_nodelay(true);
+        let mut dev = SimDevice {
+            stream,
+            outbox: VecDeque::new(),
+            woffset: 0,
+            pending: HashMap::new(),
+            rbuf: Vec::new(),
+            expected_total,
+            received: 0,
+            next_id: 1,
+        };
+        for (expect, call) in &script {
+            dev.enqueue(*expect, call);
+        }
+        tally.connected += 1;
+        devices.push(Some(dev));
+    }
+    // No driver starts traffic until every driver has finished
+    // connecting: the whole fleet is on the wire simultaneously before
+    // the first call, so the server's active gauge measures true
+    // fleet-wide concurrency.
+    connected_rendezvous.wait();
+    // Finished devices keep their socket open in `held` until the whole
+    // driver is done, so the fleet's connections stay concurrent for
+    // the duration of its traffic.
+    let mut held: Vec<TcpStream> = Vec::new();
+    let mut remaining = devices.iter().flatten().count();
+    let mut scratch = vec![0u8; 16 * 1024];
+    while remaining > 0 {
+        if Instant::now() > deadline {
+            for dev in devices.iter().flatten() {
+                tally.undelivered += dev.expected_total.saturating_sub(dev.received) as u64;
+            }
+            break;
+        }
+        let mut progress = false;
+        for slot in &mut devices {
+            let Some(dev) = slot.as_mut() else { continue };
+            let (did, died) = sweep_device(dev, depth, &mut scratch, &mut tally);
+            progress |= did;
+            if died {
+                tally.undelivered += dev.expected_total.saturating_sub(dev.received) as u64;
+                *slot = None;
+                remaining -= 1;
+            } else if dev.finished() {
+                let dev = slot.take().expect("slot occupied");
+                held.push(dev.stream);
+                remaining -= 1;
+            }
+        }
+        if !progress {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    drop(held);
+    tally
+}
+
+/// Runs one high-concurrency fleet pass against a fresh reactor server
+/// and returns its report.
+///
+/// # Panics
+///
+/// Panics when the config asks for zero devices, or when the loopback
+/// server cannot bind.
+#[must_use]
+pub fn run_fleet(config: &FleetConfig) -> FleetReport {
+    assert!(config.devices > 0, "fleet run needs at least one device");
+    let eco =
+        Ecosystem::new(EcosystemConfig { seed: config.seed, ..EcosystemConfig::fast_for_tests() });
+    let drm = eco.media_drm_server(DeviceModel::nexus_5());
+    let server = TcpDrmServer::bind("127.0.0.1:0", drm).expect("binding the fleet server");
+    let addr = server.local_addr();
+    let started = Instant::now();
+    let deadline = started + FLEET_DEADLINE;
+    let drivers = config.drivers.clamp(1, config.devices);
+    let connected_rendezvous = std::sync::Barrier::new(drivers);
+    let mut tallies: Vec<DriverTally> = Vec::new();
+    let mut peak = 0u64;
+    std::thread::scope(|scope| {
+        let rendezvous = &connected_rendezvous;
+        let handles: Vec<_> = partition(config.devices, drivers)
+            .into_iter()
+            .map(|range| {
+                scope.spawn(move || drive_devices(addr, range, config, rendezvous, deadline))
+            })
+            .collect();
+        // Sample the server's active-connections gauge while the
+        // drivers run; the max is the report's concurrency evidence.
+        loop {
+            peak = peak.max(server.active_connections());
+            if handles.iter().all(std::thread::ScopedJoinHandle::is_finished) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for handle in handles {
+            tallies.push(handle.join().expect("fleet driver panicked"));
+        }
+    });
+    let mut report = FleetReport {
+        devices: config.devices,
+        peak_active_connections: peak,
+        elapsed_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+        ..FleetReport::default()
+    };
+    for tally in tallies {
+        report.connected += tally.connected;
+        report.connect_failures += tally.connect_failures;
+        report.calls_sent += tally.calls_sent;
+        report.replies_ok += tally.replies_ok;
+        report.replies_unexpected += tally.replies_unexpected;
+        report.undelivered += tally.undelivered;
+        report.sessions_opened += tally.sessions_opened;
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +974,51 @@ mod tests {
         // Same traffic, same modeled latencies — only the fleet line
         // differs, by the transport label.
         assert_eq!(threaded.render().replace("threaded binder", "tcp binder"), tcp.render());
+    }
+
+    /// A unit-test-sized fleet; the CI smoke runs the real 1k+ preset
+    /// through the binary.
+    fn small_fleet() -> FleetConfig {
+        FleetConfig { devices: 160, calls_per_device: 2, ..FleetConfig::quick() }
+    }
+
+    #[test]
+    fn fleet_answers_every_call_with_the_expected_value() {
+        let config = small_fleet();
+        let report = run_fleet(&config);
+        assert!(report.clean(), "fleet run was not clean: {report:?}");
+        assert_eq!(report.connected, 160);
+        // 160 devices × 2 probes, plus 10 session devices × (open+close).
+        assert_eq!(report.replies_ok, 160 * 2 + 10 * 2);
+        assert_eq!(report.sessions_opened, 10);
+        assert!(
+            report.peak_active_connections >= 80,
+            "fleet connections were concurrent: peak {}",
+            report.peak_active_connections
+        );
+    }
+
+    #[test]
+    fn fleet_counts_are_deterministic() {
+        let config = small_fleet();
+        let a = run_fleet(&config);
+        let b = run_fleet(&config);
+        assert_eq!(
+            (a.connected, a.calls_sent, a.replies_ok, a.sessions_opened, a.undelivered),
+            (b.connected, b.calls_sent, b.replies_ok, b.sessions_opened, b.undelivered),
+        );
+    }
+
+    #[test]
+    fn fleet_partition_covers_every_device_once() {
+        for (devices, drivers) in [(10, 4), (3, 4), (1000, 4), (7, 1)] {
+            let ranges = partition(devices, drivers);
+            let total: usize = ranges.iter().map(ExactSizeIterator::len).sum();
+            assert_eq!(total, devices);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+        }
     }
 
     #[test]

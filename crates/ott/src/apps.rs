@@ -516,7 +516,12 @@ impl OttApp {
             error,
             OttError::Protocol { .. }
                 | OttError::Net(NetError::ConnectionReset | NetError::TimedOut)
-                | OttError::Drm(DrmError::BinderDied | DrmError::ServerPanic | DrmError::Wire(_))
+                | OttError::Drm(
+                    DrmError::BinderDied
+                        | DrmError::ServerPanic
+                        | DrmError::Wire(_)
+                        | DrmError::Timeout { .. }
+                )
         )
     }
 

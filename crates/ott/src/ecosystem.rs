@@ -55,6 +55,11 @@ pub struct EcosystemConfig {
     /// the differential battery pins that threaded and TCP produce
     /// byte-identical study output, so this is a realism/perf knob only.
     pub transport: TransportKind,
+    /// How many calls a TCP binder may keep in flight on one shared
+    /// connection. ≤ 1 (the default) keeps the pooled
+    /// one-call-per-socket mode; ≥ 2 enables request-id pipelining.
+    /// Ignored by the in-memory transports.
+    pub tcp_pipeline_depth: usize,
 }
 
 impl Default for EcosystemConfig {
@@ -68,6 +73,7 @@ impl Default for EcosystemConfig {
             resilience: ResiliencePolicy::default(),
             caches: CacheConfig::none(),
             transport: TransportKind::InProcess,
+            tcp_pipeline_depth: 1,
         }
     }
 }
@@ -432,6 +438,7 @@ impl Ecosystem {
             TransportKind::Tcp => Arc::new(
                 TcpBinder::loopback(server)
                     .fault_injector(self.injector.clone())
+                    .pipeline_depth(self.config.tcp_pipeline_depth)
                     .build()
                     .expect("binding a loopback media drm server"),
             ),

@@ -8,7 +8,8 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use wideleak::android_drm::binder::{DrmCall, DrmReply};
 use wideleak::android_drm::wire::{
-    decode_frame, encode_frame, FrameBody, WireError, HEADER_LEN, MAX_PAYLOAD, TRAILER_LEN,
+    decode_frame, decode_frame_full, encode_frame, encode_frame_full, peek_request_id, FrameBody,
+    WireError, HEADER_LEN, MAX_PAYLOAD, TRAILER_LEN,
 };
 use wideleak::android_drm::DrmError;
 use wideleak::bmff::types::{KeyId, Subsample};
@@ -219,5 +220,105 @@ fn mutated_corpus_never_panics_and_never_false_decodes() {
             }
             let _ = decode_frame(&bad);
         }
+    }
+}
+
+/// Rewrites a v3 frame's header version byte to an older revision and
+/// recomputes the CRC, producing the frame a downlevel peer would have
+/// sent (a bare frame carries no extension flags, so the payload layout
+/// is identical across versions).
+fn downlevel_frame(version: u8, body: &FrameBody) -> Vec<u8> {
+    let mut frame = encode_frame(body);
+    assert_eq!(frame[6], 0, "a bare frame carries no extension flags");
+    frame[4] = version;
+    let body_end = frame.len() - TRAILER_LEN;
+    let crc = wideleak::crypto::crc32::crc32(&frame[..body_end]);
+    frame[body_end..].copy_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The v3 pipelining extension: any call tagged with any request id
+    /// survives the wire byte-identically, the id is visible both to
+    /// the cheap routing peek and to the full decode, and it never
+    /// bleeds into the body.
+    #[test]
+    fn request_ids_round_trip_on_arbitrary_calls(call in call_strategy(), id in any::<u64>()) {
+        let frame = encode_frame_full(&FrameBody::Call(call.clone()), None, Some(id));
+        prop_assert_eq!(peek_request_id(&frame), Some(id));
+        let (body, meta, consumed) = decode_frame_full(&frame).expect("own frames must decode");
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(meta.request_id, Some(id));
+        prop_assert!(meta.ctx.is_none());
+        prop_assert_eq!(body, FrameBody::Call(call));
+    }
+
+    /// Downlevel compatibility: v1 and v2 frames (which cannot carry a
+    /// request id) still decode under the v3 decoder, with no id and no
+    /// peek hit — the pipelined reader's fallback path.
+    #[test]
+    fn downlevel_frames_decode_with_no_request_id(call in call_strategy(), version in 1u8..=2) {
+        let frame = downlevel_frame(version, &FrameBody::Call(call.clone()));
+        prop_assert_eq!(peek_request_id(&frame), None);
+        let (body, meta, consumed) = decode_frame_full(&frame).expect("downlevel frames decode");
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(meta.request_id, None);
+        prop_assert!(meta.ctx.is_none());
+        prop_assert_eq!(body, FrameBody::Call(call));
+    }
+}
+
+/// Every reply shape in the corpus — including the nested error
+/// taxonomy — round-trips with a request id attached, exactly as the
+/// reactor echoes ids on replies.
+#[test]
+fn reply_corpus_round_trips_with_request_ids() {
+    for (i, reply) in reply_corpus().into_iter().enumerate() {
+        let id = (i as u64).wrapping_mul(0x0101_0101_0101_0101).wrapping_add(7);
+        let frame = encode_frame_full(&FrameBody::Reply(reply.clone()), None, Some(id));
+        assert_eq!(peek_request_id(&frame), Some(id));
+        let (body, meta, consumed) = decode_frame_full(&frame).expect("own frames must decode");
+        assert_eq!(consumed, frame.len());
+        assert_eq!(meta.request_id, Some(id));
+        assert_eq!(body, FrameBody::Reply(reply));
+    }
+}
+
+/// The request-id flag is only legal from v3 on. A v2 frame carrying it
+/// breaks v2's reserved-bits promise and must be rejected as malformed,
+/// not silently decoded.
+#[test]
+fn a_v2_frame_carrying_the_request_id_flag_is_malformed() {
+    let mut frame = encode_frame_full(&FrameBody::Call(DrmCall::IsProvisioned), None, Some(9));
+    frame[4] = 2;
+    let body_end = frame.len() - TRAILER_LEN;
+    let crc = wideleak::crypto::crc32::crc32(&frame[..body_end]);
+    frame[body_end..].copy_from_slice(&crc.to_le_bytes());
+    assert_eq!(
+        decode_frame_full(&frame),
+        Err(WireError::Malformed { what: "unknown header flags" })
+    );
+}
+
+/// The routing peek deliberately skips the CRC, so a flipped id byte
+/// can mislead it — but the full decode the waiter then performs always
+/// catches the corruption. No flipped byte anywhere in an id-tagged
+/// frame may survive both layers.
+#[test]
+fn flipped_id_bytes_never_survive_the_full_decode() {
+    let frame = encode_frame_full(
+        &FrameBody::Call(DrmCall::CloseSession { session_id: 44 }),
+        None,
+        Some(0xDEAD_BEEF_F00D_CAFE),
+    );
+    for pos in HEADER_LEN..HEADER_LEN + 8 {
+        let mut bad = frame.clone();
+        bad[pos] ^= 0x40;
+        assert!(
+            decode_frame_full(&bad).is_err(),
+            "a flipped request-id byte at {pos} must not fully decode"
+        );
     }
 }
