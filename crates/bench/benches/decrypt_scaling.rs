@@ -30,7 +30,7 @@ use wideleak::device::hooks::HookEngine;
 use wideleak::device::memory::ProcessMemory;
 use wideleak::device::net::RemoteEndpoint;
 use wideleak::ott::ecosystem::Ecosystem;
-use wideleak_bench::bench_ecosystem;
+use wideleak_bench::{bench_ecosystem, BenchReport};
 
 /// One encrypted audio-sized sample per transaction: small enough that
 /// the binder round-trip is a visible fraction of the cost, the regime
@@ -152,6 +152,13 @@ fn main() {
         "clients", "elapsed", "decrypts/s", "MiB/s", "speedup"
     );
 
+    let mut report = BenchReport::new("decrypt_scaling");
+    report
+        .label("mode", if quick_mode() { "quick" } else { "full" })
+        .label("iters", iters.to_string())
+        .label("sample_bytes", SAMPLE_BYTES.to_string())
+        .label("workers", WORKERS.to_string());
+
     let mut baseline_rate = 0.0f64;
     for (row, &n) in CLIENT_COUNTS.iter().enumerate() {
         let sessions: Vec<(u32, KeyId)> = (0..n)
@@ -173,6 +180,13 @@ fn main() {
             rate * SAMPLE_BYTES as f64 / (1024.0 * 1024.0),
             rate / baseline_rate,
         );
+        report
+            .metric(format!("clients.{n}.decrypts_per_s"), rate)
+            .metric(
+                format!("clients.{n}.mib_per_s"),
+                rate * SAMPLE_BYTES as f64 / (1024.0 * 1024.0),
+            )
+            .metric(format!("clients.{n}.speedup_vs_1"), rate / baseline_rate);
         for (sid, _) in sessions {
             binder.transact(DrmCall::CloseSession { session_id: sid }).unwrap();
         }
@@ -181,5 +195,7 @@ fn main() {
     let snapshot = wideleak::telemetry::snapshot();
     if let Some((_, depth)) = snapshot.gauges.iter().find(|(n, _)| n == "binder.queue.depth.max") {
         println!("binder.queue.depth.max = {depth}");
+        report.metric("binder.queue.depth.max", *depth as f64);
     }
+    report.write();
 }

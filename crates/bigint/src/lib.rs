@@ -4,14 +4,16 @@
 //! implementation (`wideleak-crypto`). It provides [`BigUint`], a
 //! little-endian limb-based unsigned integer, a signed companion
 //! [`BigInt`] used by the extended Euclidean algorithm, modular arithmetic
-//! helpers in [`modular`], and probabilistic primality testing plus prime
-//! generation in [`prime`].
+//! helpers in [`modular`], precomputed Montgomery/CRT contexts for the
+//! exponentiation hot path in [`montgomery`], and probabilistic primality
+//! testing plus prime generation in [`prime`].
 //!
-//! The implementation favours clarity and testability over raw speed: all
-//! algorithms are textbook (schoolbook multiplication, Knuth Algorithm D
-//! division, square-and-multiply exponentiation). At the workspace's
-//! test/bench optimisation levels this comfortably handles the 2048-bit RSA
-//! moduli used by the simulated Widevine CDM.
+//! The base arithmetic favours clarity and testability (schoolbook
+//! multiplication, Knuth Algorithm D division); the [`montgomery`]
+//! contexts layer REDC-based fixed-window exponentiation on top for the
+//! repeated-modulus workloads (RSA private ops, Miller–Rabin), with the
+//! schoolbook path kept as the differential reference. This comfortably
+//! handles the 2048-bit RSA moduli used by the simulated Widevine CDM.
 //!
 //! # Examples
 //!
@@ -29,6 +31,7 @@
 
 mod int;
 pub mod modular;
+pub mod montgomery;
 pub mod prime;
 mod uint;
 

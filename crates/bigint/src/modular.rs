@@ -39,7 +39,28 @@ pub fn mod_mul(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
     &(&(a % m) * &(b % m)) % m
 }
 
+/// Computes `base^exp mod m`.
+///
+/// Deprecated thin wrapper over [`crate::montgomery::ModExpContext`],
+/// kept so the pre-context API surface still compiles. It rebuilds the
+/// per-modulus precomputation on every call; hot paths should build a
+/// context once and reuse it.
+///
+/// # Panics
+///
+/// Panics if `m` is zero. `m == 1` yields zero.
+#[deprecated(
+    note = "build a `wideleak_bigint::montgomery::ModExpContext` once and call `pow` on it"
+)]
+pub fn mod_pow(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
+    crate::montgomery::ModExpContext::new(m).pow(base, exp)
+}
+
 /// Computes `base^exp mod m` by left-to-right square-and-multiply.
+///
+/// This is the reference implementation the Montgomery fast path is
+/// differentially tested against, and the fallback
+/// [`crate::montgomery::ModExpContext`] uses for even moduli.
 ///
 /// # Panics
 ///
@@ -48,16 +69,16 @@ pub fn mod_mul(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
 /// # Examples
 ///
 /// ```
-/// use wideleak_bigint::{modular::mod_pow, BigUint};
+/// use wideleak_bigint::{modular::mod_pow_schoolbook, BigUint};
 ///
-/// let r = mod_pow(
+/// let r = mod_pow_schoolbook(
 ///     &BigUint::from_u64(4),
 ///     &BigUint::from_u64(13),
 ///     &BigUint::from_u64(497),
 /// );
 /// assert_eq!(r, BigUint::from_u64(445));
 /// ```
-pub fn mod_pow(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
+pub fn mod_pow_schoolbook(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
     assert!(!m.is_zero(), "modulus is zero");
     if m.is_one() {
         return BigUint::zero();
@@ -141,6 +162,11 @@ pub fn mod_inv(a: &BigUint, m: &BigUint) -> Option<BigUint> {
 /// Chinese-remainder recombination for a two-prime RSA private operation:
 /// given residues `(mp mod p, mq mod q)` and `q_inv = q^-1 mod p`, returns
 /// the unique value modulo `p*q`.
+///
+/// Deprecated: [`crate::montgomery::CrtContext`] precomputes the
+/// per-prime exponentiation contexts and performs the recombination in
+/// one call.
+#[deprecated(note = "build a `wideleak_bigint::montgomery::CrtContext` and call `exp` on it")]
 pub fn crt_combine(
     mp: &BigUint,
     mq: &BigUint,
@@ -181,10 +207,10 @@ mod tests {
 
     #[test]
     fn mod_pow_basics() {
-        assert_eq!(mod_pow(&n(2), &n(10), &n(1_000_000)), n(1024));
-        assert_eq!(mod_pow(&n(2), &n(0), &n(97)), n(1));
-        assert_eq!(mod_pow(&n(0), &n(5), &n(97)), n(0));
-        assert_eq!(mod_pow(&n(5), &n(3), &n(1)), n(0));
+        assert_eq!(mod_pow_schoolbook(&n(2), &n(10), &n(1_000_000)), n(1024));
+        assert_eq!(mod_pow_schoolbook(&n(2), &n(0), &n(97)), n(1));
+        assert_eq!(mod_pow_schoolbook(&n(0), &n(5), &n(97)), n(0));
+        assert_eq!(mod_pow_schoolbook(&n(5), &n(3), &n(1)), n(0));
     }
 
     #[test]
@@ -192,7 +218,7 @@ mod tests {
         // a^(p-1) = 1 mod p for prime p and gcd(a, p) = 1.
         let p = n(1_000_000_007);
         for a in [2u64, 3, 65537, 999_999_999] {
-            assert_eq!(mod_pow(&n(a), &(&p - &BigUint::one()), &p), BigUint::one());
+            assert_eq!(mod_pow_schoolbook(&n(a), &(&p - &BigUint::one()), &p), BigUint::one());
         }
     }
 
@@ -202,7 +228,25 @@ mod tests {
         // 2^61 = 1 mod p, so 2^2048 = 2^(2048 mod 61) = 2^35.
         let p = n((1u64 << 61) - 1);
         let e = BigUint::from_u64(2048);
-        assert_eq!(mod_pow(&n(2), &e, &p), n(1u64 << 35));
+        assert_eq!(mod_pow_schoolbook(&n(2), &e, &p), n(1u64 << 35));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_match() {
+        // The compatibility surface must agree with the context API and
+        // the schoolbook reference for both odd and even moduli.
+        for m in [7u64, 97, 4096, 1_000_000_007] {
+            assert_eq!(mod_pow(&n(123), &n(45), &n(m)), mod_pow_schoolbook(&n(123), &n(45), &n(m)));
+        }
+        assert_eq!(mod_pow(&n(5), &n(3), &n(1)), n(0));
+        let (p, q) = (n(3), n(5));
+        let q_inv = mod_inv(&q, &p).unwrap();
+        let via_ctx = crate::montgomery::CrtContext::new(&p, &q, &n(1), &n(1), &q_inv);
+        assert_eq!(
+            &crt_combine(&n(2), &n(3), &p, &q, &q_inv) % &n(15),
+            &via_ctx.exp(&n(8)) % &n(15)
+        );
     }
 
     #[test]
@@ -240,6 +284,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn crt_recombines() {
         // x = 2 mod 3, x = 3 mod 5 -> x = 8 mod 15.
         let p = n(3);

@@ -6,7 +6,7 @@
 //! *candidates* themselves (see `wideleak_crypto::rsa`). This keeps the
 //! whole stack reproducible from a single seed.
 
-use crate::modular::mod_pow;
+use crate::montgomery::ModExpContext;
 use crate::BigUint;
 
 /// Small primes used for cheap trial division before Miller–Rabin.
@@ -62,15 +62,18 @@ fn miller_rabin(n: &BigUint, rounds: u32) -> bool {
         s += 1;
     }
 
+    // One Montgomery context per candidate: every witness exponentiation
+    // and squaring below shares the same odd modulus.
+    let ctx = ModExpContext::new(n);
     let mut witness_stream = WitnessStream::new(n);
     'rounds: for _ in 0..rounds {
         let a = witness_stream.next_witness(&n_minus_2);
-        let mut x = mod_pow(&a, &d, n);
+        let mut x = ctx.pow(&a, &d);
         if x.is_one() || x == n_minus_1 {
             continue;
         }
         for _ in 0..s - 1 {
-            x = mod_pow(&x, &BigUint::from_u64(2), n);
+            x = ctx.mul_mod(&x, &x);
             if x == n_minus_1 {
                 continue 'rounds;
             }

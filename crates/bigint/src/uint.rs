@@ -77,6 +77,11 @@ impl BigUint {
         n
     }
 
+    /// The raw little-endian limbs (normalized: no trailing zeros).
+    pub(crate) fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
     /// Parses a big-endian byte string (the usual cryptographic encoding).
     ///
     /// Leading zero bytes are accepted and ignored.

@@ -2,7 +2,8 @@
 //! division invariants, codec round-trips, and modular-arithmetic laws.
 
 use proptest::prelude::*;
-use wideleak_bigint::modular::{gcd, mod_inv, mod_mul, mod_pow};
+use wideleak_bigint::modular::{gcd, mod_inv, mod_mul, mod_pow_schoolbook};
+use wideleak_bigint::montgomery::{ModExpContext, Montgomery};
 use wideleak_bigint::{BigInt, BigUint};
 
 /// Strategy producing BigUints of up to ~4 limbs from random byte strings.
@@ -13,6 +14,20 @@ fn biguint() -> impl Strategy<Value = BigUint> {
 /// Non-zero variant.
 fn biguint_nonzero() -> impl Strategy<Value = BigUint> {
     biguint().prop_map(|n| if n.is_zero() { BigUint::one() } else { n })
+}
+
+/// Odd modulus > 1: the domain of the Montgomery fast path.
+fn biguint_odd() -> impl Strategy<Value = BigUint> {
+    biguint().prop_map(|n| {
+        let mut n = n;
+        if n.is_even() {
+            n = &n + &BigUint::one();
+        }
+        if n.is_one() {
+            n = BigUint::from_u64(3);
+        }
+        n
+    })
 }
 
 proptest! {
@@ -93,13 +108,50 @@ proptest! {
         m in biguint_nonzero(),
     ) {
         // a^(e1+e2) == a^e1 * a^e2 (mod m)
-        let lhs = mod_pow(&a, &BigUint::from_u64(e1 + e2), &m);
+        let ctx = ModExpContext::new(&m);
+        let lhs = ctx.pow(&a, &BigUint::from_u64(e1 + e2));
         let rhs = mod_mul(
-            &mod_pow(&a, &BigUint::from_u64(e1), &m),
-            &mod_pow(&a, &BigUint::from_u64(e2), &m),
+            &ctx.pow(&a, &BigUint::from_u64(e1)),
+            &ctx.pow(&a, &BigUint::from_u64(e2)),
             &m,
         );
         prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn montgomery_pow_matches_schoolbook(
+        a in biguint(),
+        e in biguint(),
+        m in biguint_odd(),
+    ) {
+        // The Montgomery fast path is differentially pinned to the
+        // schoolbook reference over random odd moduli.
+        let mont = Montgomery::new(&m).expect("odd modulus > 1");
+        prop_assert_eq!(mont.pow(&a, &e), mod_pow_schoolbook(&a, &e, &m));
+    }
+
+    #[test]
+    fn montgomery_mul_matches_plain_reduction(
+        a in biguint(),
+        b in biguint(),
+        m in biguint_odd(),
+    ) {
+        let mont = Montgomery::new(&m).expect("odd modulus > 1");
+        prop_assert_eq!(mont.mul_mod(&a, &b), &(&a * &b) % &m);
+    }
+
+    #[test]
+    fn context_matches_schoolbook_on_any_modulus(
+        a in biguint(),
+        e in 0u64..512,
+        m in biguint_nonzero(),
+    ) {
+        // Even moduli take the schoolbook fallback; odd ones take
+        // Montgomery. Both must agree with the reference everywhere.
+        let ctx = ModExpContext::new(&m);
+        prop_assert_eq!(ctx.is_accelerated(), m.is_odd() && !m.is_one());
+        let e = BigUint::from_u64(e);
+        prop_assert_eq!(ctx.pow(&a, &e), mod_pow_schoolbook(&a, &e, &m));
     }
 
     #[test]

@@ -125,7 +125,10 @@ impl DecryptCacheStats {
 /// read on every session operation — hence one `RwLock` for all of it.
 struct DeviceState {
     keybox: Option<Keybox>,
-    rsa_key: Option<RsaPrivateKey>,
+    /// Behind an `Arc` because the key embeds precomputed Montgomery/CRT
+    /// contexts: handing a reference-counted pointer out of the read lock
+    /// is cheap, deep-cloning the contexts per license load is not.
+    rsa_key: Option<Arc<RsaPrivateKey>>,
     /// Logical clock in seconds, driving license-duration enforcement.
     clock: u64,
 }
@@ -277,16 +280,17 @@ impl CdmCore {
         self.device.read().rsa_key.is_some()
     }
 
-    /// A copy of the Device RSA Key, if provisioned (the L1 trustlet
-    /// persists it to secure storage).
-    pub fn rsa_key(&self) -> Option<RsaPrivateKey> {
+    /// A handle to the Device RSA Key, if provisioned (the L1 trustlet
+    /// persists it to secure storage). Cloning the `Arc` shares the
+    /// precomputed exponentiation contexts instead of rebuilding them.
+    pub fn rsa_key(&self) -> Option<Arc<RsaPrivateKey>> {
         self.device.read().rsa_key.clone()
     }
 
     /// Installs a Device RSA Key directly (the L1 trustlet restores a
     /// persisted key after a restart through this).
     pub fn set_rsa_key(&self, key: RsaPrivateKey) {
-        self.device.write().rsa_key = Some(key);
+        self.device.write().rsa_key = Some(Arc::new(key));
     }
 
     /// Builds a signed provisioning request.
@@ -328,7 +332,7 @@ impl CdmCore {
         // Unwrap outside the write lock: the RSA decrypt is the expensive
         // part and needs no device state beyond the keybox copy.
         let key = unwrap_rsa_key(kb.device_key(), kb.device_id(), Some(expected_nonce), response)?;
-        self.device.write().rsa_key = Some(key);
+        self.device.write().rsa_key = Some(Arc::new(key));
         // Installing the unwrapped key completes one provisioning
         // round-trip (request + response).
         wideleak_telemetry::incr("cdm.provisioning.round_trips");

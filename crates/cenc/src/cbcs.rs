@@ -71,7 +71,7 @@ fn xcrypt_sample(
     subsamples: &[Subsample],
     dir: Dir,
 ) -> Result<Vec<u8>, CencError> {
-    let cipher = Aes128::new(&key.0);
+    let cipher = key.cipher();
     let mut out = sample.to_vec();
     xcrypt_sample_in_place(&cipher, constant_iv, pattern, &mut out, subsamples, dir)?;
     Ok(out)
@@ -112,7 +112,7 @@ pub fn encrypt_sample_in_place(
     sample: &mut [u8],
     subsamples: &[Subsample],
 ) -> Result<(), CencError> {
-    let cipher = Aes128::new(&key.0);
+    let cipher = key.cipher();
     xcrypt_sample_in_place(&cipher, constant_iv, pattern, sample, subsamples, Dir::Encrypt)
 }
 
@@ -128,8 +128,24 @@ pub fn decrypt_sample_in_place(
     sample: &mut [u8],
     subsamples: &[Subsample],
 ) -> Result<(), CencError> {
-    let cipher = Aes128::new(&key.0);
+    let cipher = key.cipher();
     xcrypt_sample_in_place(&cipher, constant_iv, pattern, sample, subsamples, Dir::Decrypt)
+}
+
+/// Encrypts one sample in place using a caller-supplied AES key schedule,
+/// so the packager can expand the key once per segment.
+///
+/// # Errors
+///
+/// Returns [`CencError::SubsampleMismatch`] for an inconsistent map.
+pub fn encrypt_sample_in_place_with_cipher(
+    cipher: &Aes128,
+    constant_iv: [u8; BLOCK_LEN],
+    pattern: CryptPattern,
+    sample: &mut [u8],
+    subsamples: &[Subsample],
+) -> Result<(), CencError> {
+    xcrypt_sample_in_place(cipher, constant_iv, pattern, sample, subsamples, Dir::Encrypt)
 }
 
 /// Decrypts one sample in place using a caller-supplied AES key schedule,

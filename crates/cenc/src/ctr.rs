@@ -11,7 +11,16 @@ use wideleak_crypto::aes::{Aes128, BLOCK_LEN};
 use crate::keys::ContentKey;
 use crate::{validate_subsamples, CencError};
 
+/// Blocks of keystream generated per batch: 512 bytes of stack buffer,
+/// enough to cover typical encrypted subsample regions in one pass.
+const BATCH_BLOCKS: usize = 32;
+
 /// A CTR keystream generator with byte-level positioning.
+///
+/// Whole blocks are generated in batches of up to [`BATCH_BLOCKS`]
+/// through [`wideleak_crypto::modes::ctr_keystream_into`]; only region
+/// tails shorter than a block go through the single-block buffer, so
+/// keystream continuity across subsamples is preserved byte for byte.
 struct CtrStream<'a> {
     cipher: &'a Aes128,
     counter: [u8; BLOCK_LEN],
@@ -29,15 +38,36 @@ impl<'a> CtrStream<'a> {
     }
 
     fn xor_into(&mut self, data: &mut [u8]) {
-        for b in data.iter_mut() {
-            if self.used == BLOCK_LEN {
-                self.buffer = self.counter;
-                self.cipher.encrypt_block(&mut self.buffer);
-                wideleak_crypto::modes::increment_counter(&mut self.counter);
-                self.used = 0;
-            }
-            *b ^= self.buffer[self.used];
+        let mut pos = 0usize;
+        // Drain keystream left over from the previous region first.
+        while pos < data.len() && self.used < BLOCK_LEN {
+            data[pos] ^= self.buffer[self.used];
             self.used += 1;
+            pos += 1;
+        }
+        // Batch whole blocks straight from the counter.
+        let mut batch = [0u8; BATCH_BLOCKS * BLOCK_LEN];
+        while data.len() - pos >= BLOCK_LEN {
+            let blocks = ((data.len() - pos) / BLOCK_LEN).min(BATCH_BLOCKS);
+            let ks = &mut batch[..blocks * BLOCK_LEN];
+            wideleak_crypto::modes::ctr_keystream_into(self.cipher, &mut self.counter, ks);
+            for (b, k) in data[pos..pos + blocks * BLOCK_LEN].iter_mut().zip(ks.iter()) {
+                *b ^= *k;
+            }
+            pos += blocks * BLOCK_LEN;
+        }
+        // A tail shorter than a block: buffer one block so the next
+        // region continues mid-block exactly where this one stopped.
+        if pos < data.len() {
+            self.buffer = self.counter;
+            self.cipher.encrypt_block(&mut self.buffer);
+            wideleak_crypto::modes::increment_counter(&mut self.counter);
+            self.used = 0;
+            while pos < data.len() {
+                data[pos] ^= self.buffer[self.used];
+                self.used += 1;
+                pos += 1;
+            }
         }
     }
 }
@@ -58,7 +88,7 @@ fn xcrypt_sample(
     subsamples: &[Subsample],
 ) -> Result<Vec<u8>, CencError> {
     let mut out = sample.to_vec();
-    let cipher = Aes128::new(&key.0);
+    let cipher = key.cipher();
     xcrypt_sample_in_place_with_cipher(&cipher, iv, &mut out, subsamples)?;
     Ok(out)
 }
@@ -106,7 +136,7 @@ pub fn encrypt_sample_in_place(
     sample: &mut [u8],
     subsamples: &[Subsample],
 ) -> Result<(), CencError> {
-    let cipher = Aes128::new(&key.0);
+    let cipher = key.cipher();
     xcrypt_sample_in_place_with_cipher(&cipher, iv, sample, subsamples)
 }
 
@@ -122,7 +152,7 @@ pub fn decrypt_sample_in_place(
     sample: &mut [u8],
     subsamples: &[Subsample],
 ) -> Result<(), CencError> {
-    let cipher = Aes128::new(&key.0);
+    let cipher = key.cipher();
     xcrypt_sample_in_place_with_cipher(&cipher, iv, sample, subsamples)
 }
 
@@ -270,6 +300,73 @@ mod tests {
         let mut buf = vec![0xAAu8; 9];
         assert!(encrypt_sample_in_place(&key(), [0; 8], &mut buf, &subs).is_err());
         assert_eq!(buf, vec![0xAAu8; 9]);
+    }
+
+    /// The pre-batching reference: one keystream byte at a time.
+    fn per_byte_reference(cipher: &Aes128, iv: [u8; 8], data: &mut [u8], subs: &[Subsample]) {
+        let mut counter = [0u8; BLOCK_LEN];
+        counter[..8].copy_from_slice(&iv);
+        let mut buffer = [0u8; BLOCK_LEN];
+        let mut used = BLOCK_LEN;
+        let mut xor = |region: &mut [u8]| {
+            for b in region.iter_mut() {
+                if used == BLOCK_LEN {
+                    buffer = counter;
+                    cipher.encrypt_block(&mut buffer);
+                    wideleak_crypto::modes::increment_counter(&mut counter);
+                    used = 0;
+                }
+                *b ^= buffer[used];
+                used += 1;
+            }
+        };
+        if subs.is_empty() {
+            xor(data);
+            return;
+        }
+        let mut offset = 0usize;
+        for sub in subs {
+            offset += sub.clear_bytes as usize;
+            let end = offset + sub.encrypted_bytes as usize;
+            xor(&mut data[offset..end]);
+            offset = end;
+        }
+    }
+
+    #[test]
+    fn batched_keystream_matches_per_byte_reference() {
+        // The batching fast path must be byte-identical to the per-byte
+        // stream at every length around block and batch boundaries.
+        let cipher = Aes128::new(&key().0);
+        for len in [0usize, 1, 15, 16, 17, 31, 33, 255, 511, 512, 513, 1024, 2000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 31 % 256) as u8).collect();
+            let mut expected = pt.clone();
+            per_byte_reference(&cipher, [8; 8], &mut expected, &[]);
+            let mut got = pt.clone();
+            xcrypt_sample_in_place_with_cipher(&cipher, [8; 8], &mut got, &[]).unwrap();
+            assert_eq!(got, expected, "len={len}");
+        }
+    }
+
+    #[test]
+    fn batched_keystream_matches_reference_across_subsample_tails() {
+        // Odd-length encrypted regions leave mid-block keystream leftovers
+        // that the next region must consume before batching resumes.
+        let cipher = Aes128::new(&key().0);
+        let subs = [
+            Subsample { clear_bytes: 3, encrypted_bytes: 7 },
+            Subsample { clear_bytes: 0, encrypted_bytes: 21 },
+            Subsample { clear_bytes: 11, encrypted_bytes: 600 },
+            Subsample { clear_bytes: 1, encrypted_bytes: 5 },
+        ];
+        let total: usize =
+            subs.iter().map(|s| s.clear_bytes as usize + s.encrypted_bytes as usize).sum();
+        let pt: Vec<u8> = (0..total).map(|i| (i * 7 % 256) as u8).collect();
+        let mut expected = pt.clone();
+        per_byte_reference(&cipher, [6; 8], &mut expected, &subs);
+        let mut got = pt.clone();
+        xcrypt_sample_in_place_with_cipher(&cipher, [6; 8], &mut got, &subs).unwrap();
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -25,6 +25,16 @@ impl ContentKey {
         }
         ContentKey(key)
     }
+
+    /// Expands the AES-128 key schedule for this key.
+    ///
+    /// Key expansion is the expensive part of an AES call; per-sample
+    /// paths should call this once per segment or session and thread the
+    /// returned handle through the `_with_cipher` entry points instead
+    /// of re-expanding per sample.
+    pub fn cipher(&self) -> wideleak_crypto::aes::Aes128 {
+        wideleak_crypto::aes::Aes128::new(&self.0)
+    }
 }
 
 /// Maps key IDs to content keys during encryption or decryption.

@@ -79,14 +79,17 @@ pub fn encrypt_segment(
     let mut data = Vec::new();
     let mut sample_sizes = Vec::with_capacity(samples.len());
 
+    // One key-schedule expansion for the whole segment; every sample
+    // below reuses it through the `_with_cipher` entry points.
+    let cipher = key.cipher();
     for (i, sample) in samples.iter().enumerate() {
         let subsamples = default_subsamples(kind, sample.len());
-        let encrypted = match scheme {
+        let mut encrypted = sample.clone();
+        match scheme {
             Scheme::Cenc => {
                 let iv = derive_iv(iv_seed, sequence_number, i as u32);
-                let ct = ctr::encrypt_sample(key, iv, sample, &subsamples)?;
-                entries.push(SampleEncryption { iv: iv.to_vec(), subsamples: subsamples.clone() });
-                ct
+                ctr::xcrypt_sample_in_place_with_cipher(&cipher, iv, &mut encrypted, &subsamples)?;
+                entries.push(SampleEncryption { iv: iv.to_vec(), subsamples });
             }
             Scheme::Cbcs => {
                 let constant_iv = tenc
@@ -95,11 +98,16 @@ pub fn encrypt_segment(
                 let pattern = tenc
                     .pattern
                     .ok_or(CencError::BadMetadata { reason: "cbcs requires a pattern" })?;
-                let ct = cbcs::encrypt_sample(key, constant_iv, pattern, sample, &subsamples)?;
-                entries.push(SampleEncryption { iv: Vec::new(), subsamples: subsamples.clone() });
-                ct
+                cbcs::encrypt_sample_in_place_with_cipher(
+                    &cipher,
+                    constant_iv,
+                    pattern,
+                    &mut encrypted,
+                    &subsamples,
+                )?;
+                entries.push(SampleEncryption { iv: Vec::new(), subsamples });
             }
-        };
+        }
         sample_sizes.push(encrypted.len() as u32);
         data.extend_from_slice(&encrypted);
     }
@@ -151,15 +159,18 @@ pub fn decrypt_segment(
         .key_for(&tenc.default_kid)
         .ok_or_else(|| CencError::MissingKey { kid: tenc.default_kid.to_string() })?;
 
+    // Expand the key schedule once and reuse it for every sample.
+    let cipher = key.cipher();
     let mut out = Vec::with_capacity(samples.len());
     for (sample, entry) in samples.iter().zip(&senc.entries) {
-        let pt = match scheme {
+        let mut pt = sample.to_vec();
+        match scheme {
             Scheme::Cenc => {
                 let iv: [u8; 8] =
                     entry.iv.as_slice().try_into().map_err(|_| CencError::BadMetadata {
                         reason: "cenc IV must be 8 bytes",
                     })?;
-                ctr::decrypt_sample(&key, iv, sample, &entry.subsamples)?
+                ctr::xcrypt_sample_in_place_with_cipher(&cipher, iv, &mut pt, &entry.subsamples)?;
             }
             Scheme::Cbcs => {
                 let constant_iv = tenc
@@ -168,9 +179,15 @@ pub fn decrypt_segment(
                 let pattern = tenc
                     .pattern
                     .ok_or(CencError::BadMetadata { reason: "cbcs requires a pattern" })?;
-                cbcs::decrypt_sample(&key, constant_iv, pattern, sample, &entry.subsamples)?
+                cbcs::decrypt_sample_in_place_with_cipher(
+                    &cipher,
+                    constant_iv,
+                    pattern,
+                    &mut pt,
+                    &entry.subsamples,
+                )?;
             }
-        };
+        }
         out.push(pt);
     }
     Ok(out)

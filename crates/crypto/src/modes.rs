@@ -143,6 +143,26 @@ pub fn ctr_xcrypt_in_place(cipher: &Aes128, counter_block: &[u8; BLOCK_LEN], dat
     }
 }
 
+/// Fills `out` with CTR keystream in whole-block chunks, advancing
+/// `counter` in place.
+///
+/// `out.len()` must be a multiple of the block length; the partial-tail
+/// bookkeeping stays with the caller (see `wideleak-cenc`'s stream),
+/// which lets it batch full blocks here and buffer only the remainder.
+///
+/// # Panics
+///
+/// Panics if `out` is not block-aligned.
+pub fn ctr_keystream_into(cipher: &Aes128, counter: &mut [u8; BLOCK_LEN], out: &mut [u8]) {
+    assert!(out.len().is_multiple_of(BLOCK_LEN), "keystream buffer must be block aligned");
+    for chunk in out.chunks_exact_mut(BLOCK_LEN) {
+        chunk.copy_from_slice(counter);
+        let block: &mut [u8; BLOCK_LEN] = chunk.try_into().expect("chunk is block sized");
+        cipher.encrypt_block(block);
+        increment_counter(counter);
+    }
+}
+
 /// Increments the low 64 bits of a CENC counter block (big-endian),
 /// wrapping within those 8 bytes as ISO/IEC 23001-7 specifies.
 pub fn increment_counter(counter: &mut [u8; BLOCK_LEN]) {
@@ -288,6 +308,33 @@ mod tests {
             ctr_xcrypt_in_place(&cipher, &counter, &mut buf);
             assert_eq!(buf, data, "len={len} round-trip");
         }
+    }
+
+    #[test]
+    fn keystream_into_matches_per_block_path() {
+        let cipher = nist_cipher();
+        let start: [u8; 16] = hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        for blocks in [0usize, 1, 2, 7, 32] {
+            let mut counter = start;
+            let mut batched = vec![0u8; blocks * BLOCK_LEN];
+            ctr_keystream_into(&cipher, &mut counter, &mut batched);
+            // Reference: XOR of zeros against the one-block-at-a-time path.
+            let expected = ctr_xcrypt(&cipher, &start, &vec![0u8; blocks * BLOCK_LEN]);
+            assert_eq!(batched, expected, "blocks={blocks}");
+            // The counter must have advanced exactly `blocks` times.
+            let mut manual = start;
+            for _ in 0..blocks {
+                increment_counter(&mut manual);
+            }
+            assert_eq!(counter, manual, "blocks={blocks}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block aligned")]
+    fn keystream_into_rejects_misaligned_buffer() {
+        let mut counter = [0u8; 16];
+        ctr_keystream_into(&nist_cipher(), &mut counter, &mut [0u8; 17]);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! reproduced here over [`wideleak_bigint`].
 
 use rand::RngCore;
-use wideleak_bigint::modular::{crt_combine, gcd, mod_inv, mod_pow};
+use wideleak_bigint::modular::{gcd, mod_inv};
+use wideleak_bigint::montgomery::{CrtContext, ModExpContext};
 use wideleak_bigint::prime::{next_prime_from, DEFAULT_ROUNDS};
 use wideleak_bigint::BigUint;
 
@@ -18,23 +19,51 @@ use crate::sha256::Sha256;
 use crate::CryptoError;
 
 /// The public half of an RSA key pair.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Construction precomputes a Montgomery exponentiation context for `n`,
+/// so repeated public operations (signature verification, OAEP
+/// encryption) skip the per-call modulus setup.
+#[derive(Debug, Clone)]
 pub struct RsaPublicKey {
     n: BigUint,
     e: BigUint,
+    /// Cached exponentiation context for `n`, built once in `new`.
+    ctx: ModExpContext,
 }
 
+impl PartialEq for RsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The context is derived from `n`; comparing it would be
+        // redundant (and it deliberately has no `PartialEq`).
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for RsaPublicKey {}
+
 /// An RSA private key with CRT parameters.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Construction runs through [`RsaPrivateKey::precompute`], which builds
+/// the per-prime Montgomery contexts once; every private operation then
+/// reuses them.
+#[derive(Clone)]
 pub struct RsaPrivateKey {
     public: RsaPublicKey,
     d: BigUint,
     p: BigUint,
     q: BigUint,
-    d_p: BigUint,
-    d_q: BigUint,
-    q_inv: BigUint,
+    /// Precomputed CRT exponentiation contexts for `p` and `q`; also
+    /// owns the derived exponents `d_p`, `d_q` and `q_inv`.
+    crt: CrtContext,
 }
+
+impl PartialEq for RsaPrivateKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.public == other.public && self.d == other.d && self.p == other.p && self.q == other.q
+    }
+}
+
+impl Eq for RsaPrivateKey {}
 
 impl std::fmt::Debug for RsaPrivateKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -43,9 +72,11 @@ impl std::fmt::Debug for RsaPrivateKey {
 }
 
 impl RsaPublicKey {
-    /// Builds a public key from raw modulus and exponent.
+    /// Builds a public key from raw modulus and exponent, precomputing
+    /// the exponentiation context for `n`.
     pub fn new(n: BigUint, e: BigUint) -> Self {
-        RsaPublicKey { n, e }
+        let ctx = ModExpContext::new(&n);
+        RsaPublicKey { n, e, ctx }
     }
 
     /// The modulus.
@@ -63,9 +94,9 @@ impl RsaPublicKey {
         self.n.bit_len().div_ceil(8)
     }
 
-    /// Raw RSA public operation `m^e mod n`.
+    /// Raw RSA public operation `m^e mod n` through the cached context.
     fn raw(&self, m: &BigUint) -> BigUint {
-        mod_pow(m, &self.e, &self.n)
+        self.ctx.pow(m, &self.e)
     }
 
     /// Encrypts `message` with RSAES-OAEP (SHA-256, empty label).
@@ -223,11 +254,32 @@ impl RsaPrivateKey {
                 continue;
             }
             let d = mod_inv(&e, &phi).expect("e is invertible mod phi");
-            let d_p = &d % &(&p - &one);
-            let d_q = &d % &(&q - &one);
-            let q_inv = mod_inv(&q, &p).expect("p, q are distinct primes");
-            return RsaPrivateKey { public: RsaPublicKey { n, e }, d, p, q, d_p, d_q, q_inv };
+            return Self::precompute(RsaPublicKey::new(n, e), d, p, q)
+                .expect("p, q are distinct primes");
         }
+    }
+
+    /// The constructor seam: derives the CRT parameters (`d_p`, `d_q`,
+    /// `q_inv`) and builds the per-prime Montgomery contexts exactly
+    /// once. Every constructor funnels through here, so a constructed
+    /// key always carries its precomputed [`CrtContext`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKey`] when `q` has no inverse
+    /// modulo `p` (the factors are not coprime).
+    fn precompute(
+        public: RsaPublicKey,
+        d: BigUint,
+        p: BigUint,
+        q: BigUint,
+    ) -> Result<Self, CryptoError> {
+        let one = BigUint::one();
+        let d_p = &d % &(&p - &one);
+        let d_q = &d % &(&q - &one);
+        let q_inv = mod_inv(&q, &p).ok_or(CryptoError::InvalidKey)?;
+        let crt = CrtContext::new(&p, &q, &d_p, &d_q, &q_inv);
+        Ok(RsaPrivateKey { public, d, p, q, crt })
     }
 
     /// Reconstructs a private key from its raw components (used when the
@@ -254,10 +306,7 @@ impl RsaPrivateKey {
         if &(&e * &d) % &p1 != one || &(&e * &d) % &q1 != one {
             return Err(CryptoError::InvalidKey);
         }
-        let d_p = &d % &p1;
-        let d_q = &d % &q1;
-        let q_inv = mod_inv(&q, &p).ok_or(CryptoError::InvalidKey)?;
-        Ok(RsaPrivateKey { public: RsaPublicKey { n, e }, d, p, q, d_p, d_q, q_inv })
+        Self::precompute(RsaPublicKey::new(n, e), d, p, q)
     }
 
     /// The corresponding public key.
@@ -276,11 +325,9 @@ impl RsaPrivateKey {
         (&self.p, &self.q)
     }
 
-    /// Raw RSA private operation via CRT.
+    /// Raw RSA private operation via the precomputed CRT context.
     fn raw(&self, c: &BigUint) -> BigUint {
-        let mp = mod_pow(&(c % &self.p), &self.d_p, &self.p);
-        let mq = mod_pow(&(c % &self.q), &self.d_q, &self.q);
-        crt_combine(&mp, &mq, &self.p, &self.q, &self.q_inv)
+        self.crt.exp(c)
     }
 
     /// Decrypts an RSAES-OAEP (SHA-256) ciphertext.
