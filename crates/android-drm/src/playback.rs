@@ -173,6 +173,112 @@ pub fn play_protected_content(
     }
 }
 
+/// One chunk the adaptive fetcher hands the driver: which
+/// representation epoch it belongs to, the key ids that epoch needs,
+/// and the media itself.
+#[derive(Debug, Clone)]
+pub struct AdaptiveChunk {
+    /// Representation id the rate controller chose for this chunk.
+    pub rep_id: String,
+    /// Key ids to license for this representation (empty = open
+    /// request, i.e. metadata key ids are hidden).
+    pub key_ids: Vec<KeyId>,
+    /// Init segment of the chosen representation.
+    pub init: InitSegment,
+    /// The media segment to decode.
+    pub segment: MediaSegment,
+}
+
+/// What the adaptive driver did at the DRM layer.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptivePlayback {
+    /// Decrypted frames across every chunk, in order.
+    pub frames: Vec<Frame>,
+    /// Licenses fetched (one per representation epoch).
+    pub license_fetches: u64,
+    /// Representation id of each chunk, in order.
+    pub rep_sequence: Vec<String>,
+}
+
+/// Drives an adaptive playback session: a sequence of chunks whose
+/// representation may change under the rate controller's feet.
+///
+/// Mirrors how ExoPlayer handles key rotation — a representation switch
+/// whose keys are not already loaded closes the current `MediaDrm`
+/// session and opens a fresh one, re-running `getKeyRequest → license →
+/// provideKeyResponse` for the new tier's keys. That per-epoch license
+/// round-trip is the churn the adaptation study measures. Chunks with
+/// empty `key_ids` send one *open* request whose license covers every
+/// tier, so the session is reused across switches (no churn) — the
+/// hidden-key-id behaviour some apps exhibit.
+///
+/// - `next_chunk(i)` yields chunk `i` (the fetcher applies the rate
+///   decision and the simulated transfer there);
+/// - `fetch_license(request)` talks to the License Server;
+/// - `next_nonce()` mints the session nonce for each epoch.
+///
+/// # Errors
+///
+/// Propagates every framework, CDM and network failure; the live
+/// session is closed on every path.
+pub fn play_adaptive_content(
+    binder: Arc<dyn Transport>,
+    uuid: [u8; 16],
+    content_id: &str,
+    chunk_count: usize,
+    mut next_chunk: impl FnMut(usize) -> Result<AdaptiveChunk, DrmError>,
+    mut fetch_license: impl FnMut(&[u8]) -> Result<Vec<u8>, DrmError>,
+    mut next_nonce: impl FnMut() -> [u8; 16],
+) -> Result<AdaptivePlayback, DrmError> {
+    let drm = MediaDrm::new(binder, uuid)?;
+    let mut out = AdaptivePlayback::default();
+    // (session, license scope): the scope is the rep id for narrow
+    // per-tier requests, or "" for an open request covering every tier.
+    let mut epoch: Option<(u32, String)> = None;
+
+    let result = (|| {
+        for i in 0..chunk_count {
+            let chunk = next_chunk(i)?;
+            let scope = if chunk.key_ids.is_empty() { String::new() } else { chunk.rep_id.clone() };
+            let rotate = epoch.as_ref().is_none_or(|(_, loaded)| *loaded != scope);
+            if rotate {
+                if let Some((old, _)) = epoch.take() {
+                    drm.close_session(old)?;
+                }
+                let session = drm.open_session(next_nonce())?;
+                epoch = Some((session, scope));
+                let request = drm.get_key_request(session, content_id, &chunk.key_ids)?;
+                let response = fetch_license(&request)?;
+                drm.provide_key_response(session, response)?;
+                out.license_fetches += 1;
+            }
+            let (session, _) = epoch.as_ref().expect("epoch opened above");
+            let crypto = MediaCrypto::new(&drm, *session);
+            let codec = MediaCodec::configure(&crypto);
+            out.frames.extend(codec.queue_secure_segment(&chunk.init, &chunk.segment)?);
+            out.rep_sequence.push(chunk.rep_id.clone());
+        }
+        Ok(())
+    })();
+
+    match result {
+        Ok(()) => {
+            if let Some((session, _)) = epoch {
+                drm.close_session(session)?;
+            }
+            Ok(out)
+        }
+        Err(e) => {
+            if let Some((session, _)) = epoch {
+                // Best-effort close: the playback error is the one worth
+                // reporting, not a secondary close failure.
+                let _ = drm.close_session(session);
+            }
+            Err(e)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

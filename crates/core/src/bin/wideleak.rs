@@ -9,6 +9,7 @@
 //! wideleak spoof            # the §V-C forged-L1 experiment
 //! wideleak play <slug>      # one instrumented playback with trace dump
 //! wideleak resilience       # the Q5 fault-schedule sweep
+//! wideleak adapt            # the adaptation study under congestion
 //! wideleak load             # the fleet load generator (--quick: CI size)
 //! wideleak serve [ADDR]     # stand up a wire-framed TCP media DRM server
 //! wideleak stats <file>     # re-render a telemetry JSONL export
@@ -32,7 +33,8 @@ use wideleak::android_drm::netserver::{TcpBinder, TcpDrmServer};
 use wideleak::attack::recover::{attack_all, attack_app};
 use wideleak::bmff::types::WIDEVINE_SYSTEM_ID;
 use wideleak::device::catalog::DeviceModel;
-use wideleak::load::{run_fleet, run_load, FleetConfig, LoadConfig};
+use wideleak::load::{run_fleet, run_load, Congestion, FleetConfig, LoadConfig};
+use wideleak::monitor::adapt::{render_adapt, run_adapt_study};
 use wideleak::monitor::report::{render_call_histogram, render_insights, render_table_1};
 use wideleak::monitor::resilience::{render_q5, run_resilience_study_on};
 use wideleak::monitor::study::{run_study, study_app};
@@ -50,8 +52,10 @@ fn usage() -> ExitCode {
            spoof          run the forged-L1 HD experiment (Section V-C)\n\
            play <slug>    one instrumented playback with a Figure-1 trace\n\
            resilience     run the Q5 fault-schedule sweep (--quick: 4 apps)\n\
+           adapt          run the adaptation study under congestion (--quick: 4 apps)\n\
            load           drive the fleet load generator (--quick: CI size)\n\
                           --fleet N holds N concurrent TCP devices against one reactor server\n\
+                          --congestion steady|constricted runs adaptive plays on constrained links\n\
            serve [ADDR]   run a wire-framed TCP media DRM server (default 127.0.0.1:7564)\n\
                           --metrics ADDR adds a live Prometheus /metrics endpoint\n\
            call ADDR [N]  drive N license-path probes against a remote serve (default 1)\n\
@@ -109,6 +113,7 @@ fn main() -> ExitCode {
     let mut metrics_addr: Option<String> = None;
     let mut transport_flag: Option<TransportKind> = None;
     let mut fleet_devices: Option<usize> = None;
+    let mut congestion = Congestion::None;
     let mut quick = false;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -134,6 +139,10 @@ fn main() -> ExitCode {
             },
             "--fleet" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(devices) => fleet_devices = Some(devices),
+                None => return usage(),
+            },
+            "--congestion" => match args.next().as_deref().and_then(Congestion::parse) {
+                Some(preset) => congestion = preset,
                 None => return usage(),
             },
             "--transport" => match args.next().and_then(|v| v.parse::<TransportKind>().ok()) {
@@ -389,6 +398,11 @@ fn main() -> ExitCode {
             println!("{}", render_q5(&report));
             ExitCode::SUCCESS
         }
+        ("adapt", _) => {
+            let report = run_adapt_study(seed, quick);
+            println!("{}", render_adapt(&report));
+            ExitCode::SUCCESS
+        }
         ("load", _) => {
             if let Some(devices) = fleet_devices {
                 // High-concurrency fleet: always over TCP (it measures
@@ -410,6 +424,7 @@ fn main() -> ExitCode {
                     // The fleet defaults to the threaded binder; only a
                     // `--transport` flag overrides it.
                     transport: transport_flag.unwrap_or(base.transport),
+                    congestion,
                     ..base
                 };
                 let report = run_load(&load_config);

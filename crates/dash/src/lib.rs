@@ -37,5 +37,7 @@
 pub mod mpd;
 pub mod xml;
 
-pub use mpd::{AdaptationSet, ContentProtection, ContentType, Mpd, Period, Representation};
+pub use mpd::{
+    AdaptationSet, ContentProtection, ContentType, Mpd, MpdError, Period, Representation,
+};
 pub use xml::{XmlElement, XmlError, XmlNode};

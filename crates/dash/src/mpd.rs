@@ -12,6 +12,62 @@ pub const MP4_PROTECTION_SCHEME: &str = "urn:mpeg:dash:mp4protection:2011";
 /// registered Widevine system UUID).
 pub const WIDEVINE_SCHEME: &str = "urn:uuid:edef8ba9-79d6-4ace-a3c8-27dcd51d21ed";
 
+/// Errors from parsing an MPD document.
+///
+/// Splits the XML-layer failures ([`XmlError`]) from MPD-level schema
+/// violations, so a rate controller can never be handed a
+/// representation whose declared `bandwidth` silently parsed to 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpdError {
+    /// The underlying XML was malformed.
+    Xml(XmlError),
+    /// An attribute was present but its value did not parse.
+    BadAttribute {
+        /// Element carrying the attribute.
+        element: &'static str,
+        /// Attribute name.
+        attribute: &'static str,
+        /// The rejected raw value.
+        value: String,
+    },
+    /// A required attribute was missing.
+    MissingAttribute {
+        /// Element that should carry the attribute.
+        element: &'static str,
+        /// Attribute name.
+        attribute: &'static str,
+    },
+}
+
+impl From<XmlError> for MpdError {
+    fn from(e: XmlError) -> Self {
+        MpdError::Xml(e)
+    }
+}
+
+impl fmt::Display for MpdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpdError::Xml(e) => write!(f, "malformed XML: {e}"),
+            MpdError::BadAttribute { element, attribute, value } => {
+                write!(f, "<{element}> attribute {attribute}={value:?} does not parse")
+            }
+            MpdError::MissingAttribute { element, attribute } => {
+                write!(f, "<{element}> is missing required attribute {attribute}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpdError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// Content type of an adaptation set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ContentType {
@@ -158,9 +214,23 @@ impl Representation {
         e.child(seg_list)
     }
 
-    fn from_xml(e: &XmlElement) -> Result<Self, XmlError> {
+    fn from_xml(e: &XmlElement) -> Result<Self, MpdError> {
         let id = e.attribute("id").unwrap_or_default().to_owned();
-        let bandwidth = e.attribute("bandwidth").and_then(|b| b.parse().ok()).unwrap_or(0);
+        // A representation with no parseable bandwidth would look
+        // infinitely cheap to a rate controller — reject it outright.
+        let bandwidth = match e.attribute("bandwidth") {
+            Some(raw) => raw.parse().map_err(|_| MpdError::BadAttribute {
+                element: "Representation",
+                attribute: "bandwidth",
+                value: raw.to_owned(),
+            })?,
+            None => {
+                return Err(MpdError::MissingAttribute {
+                    element: "Representation",
+                    attribute: "bandwidth",
+                })
+            }
+        };
         let resolution = match (e.attribute("width"), e.attribute("height")) {
             (Some(w), Some(h)) => match (w.parse(), h.parse()) {
                 (Ok(w), Ok(h)) => Some((w, h)),
@@ -250,7 +320,7 @@ impl AdaptationSet {
         e
     }
 
-    fn from_xml(e: &XmlElement) -> Result<Self, XmlError> {
+    fn from_xml(e: &XmlElement) -> Result<Self, MpdError> {
         let content_type = e
             .attribute("contentType")
             .and_then(ContentType::from_str_opt)
@@ -305,8 +375,10 @@ impl Mpd {
     ///
     /// # Errors
     ///
-    /// Returns [`XmlError`] on malformed XML or structure.
-    pub fn parse(input: &str) -> Result<Mpd, XmlError> {
+    /// Returns [`MpdError::Xml`] on malformed XML and the other
+    /// [`MpdError`] variants on MPD-level schema violations (e.g. a
+    /// missing or garbled `bandwidth` attribute).
+    pub fn parse(input: &str) -> Result<Mpd, MpdError> {
         let root = XmlElement::parse(input)?;
         let title = root
             .element("ProgramInformation")
@@ -320,10 +392,10 @@ impl Mpd {
                     adaptation_sets: p
                         .elements("AdaptationSet")
                         .map(AdaptationSet::from_xml)
-                        .collect::<Result<_, XmlError>>()?,
+                        .collect::<Result<_, MpdError>>()?,
                 })
             })
-            .collect::<Result<_, XmlError>>()?;
+            .collect::<Result<_, MpdError>>()?;
         Ok(Mpd { title, periods })
     }
 
@@ -489,5 +561,38 @@ mod tests {
     fn title_with_specials_round_trip() {
         let mpd = Mpd { title: "A & B <Pilot> \"S1\"".into(), periods: vec![] };
         assert_eq!(Mpd::parse(&mpd.to_xml_string()).unwrap().title, "A & B <Pilot> \"S1\"");
+    }
+
+    #[test]
+    fn garbled_bandwidth_is_a_typed_error() {
+        // Regression: a malformed bandwidth attribute used to parse to 0
+        // via unwrap_or, making the representation look infinitely cheap.
+        let xml =
+            demo_mpd().to_xml_string().replacen("bandwidth=\"1080000\"", "bandwidth=\"cheap\"", 1);
+        assert!(xml.contains("bandwidth=\"cheap\""), "fixture must contain the garbled attribute");
+        assert_eq!(
+            Mpd::parse(&xml),
+            Err(MpdError::BadAttribute {
+                element: "Representation",
+                attribute: "bandwidth",
+                value: "cheap".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn missing_bandwidth_is_a_typed_error() {
+        let xml = demo_mpd().to_xml_string().replacen(" bandwidth=\"1080000\"", "", 1);
+        assert_eq!(
+            Mpd::parse(&xml),
+            Err(MpdError::MissingAttribute { element: "Representation", attribute: "bandwidth" })
+        );
+    }
+
+    #[test]
+    fn mpd_error_wraps_xml_error() {
+        let err = Mpd::parse("<MPD><Period>").unwrap_err();
+        assert!(matches!(err, MpdError::Xml(_)), "truncated XML surfaces as MpdError::Xml: {err}");
+        assert!(err.to_string().starts_with("malformed XML"));
     }
 }

@@ -32,7 +32,9 @@ use wideleak_android_drm::wire::{
 use wideleak_bmff::types::WIDEVINE_SYSTEM_ID;
 use wideleak_device::catalog::DeviceModel;
 use wideleak_faults::{det_hash, VirtualClock};
+use wideleak_ott::adapt::AdaptConfig;
 use wideleak_ott::apps::OttApp;
+use wideleak_ott::bandwidth::{BandwidthConfig, BandwidthSchedule, ClientLink};
 use wideleak_ott::cache::{CacheConfig, CacheStats};
 use wideleak_ott::ecosystem::{DeviceStack, Ecosystem, EcosystemConfig};
 
@@ -78,6 +80,63 @@ impl LoadMode {
     }
 }
 
+/// Congestion preset the generator applies to its playback traffic.
+///
+/// With a preset other than [`Congestion::None`], steady-state workers
+/// run the adaptive path ([`OttApp::play_adaptive`]) over seeded
+/// per-worker links instead of the fixed-representation hot path, and
+/// the report grows an `adaptive:` line with fleet-wide switch,
+/// license-churn and rebuffer counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Congestion {
+    /// Unconstrained links: every play runs the classic fixed-rep path.
+    #[default]
+    None,
+    /// Flat 3 Mbps links: adaptive workers climb the ladder and stay up.
+    Steady,
+    /// 4 Mbps constricting to 1.2 Mbps at t=20s of each link's local
+    /// timeline: workers are forced back down the ladder mid-chain, with
+    /// the per-tier license churn that implies.
+    Constricted,
+}
+
+impl Congestion {
+    /// The bandwidth model this preset attaches to the ecosystem.
+    #[must_use]
+    pub fn bandwidth(self) -> Option<BandwidthConfig> {
+        match self {
+            Congestion::None => None,
+            Congestion::Steady => Some(BandwidthConfig::flat(3_000_000)),
+            Congestion::Constricted => Some(BandwidthConfig {
+                schedule: BandwidthSchedule::steps(vec![(0, 4_000_000), (20_000, 1_200_000)]),
+                burst_bits: 2_000_000,
+                spread_permille: 100,
+            }),
+        }
+    }
+
+    /// Stable CLI/report label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Congestion::None => "none",
+            Congestion::Steady => "steady",
+            Congestion::Constricted => "constricted",
+        }
+    }
+
+    /// Parses a CLI label back into a preset.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(Congestion::None),
+            "steady" => Some(Congestion::Steady),
+            "constricted" => Some(Congestion::Constricted),
+            _ => None,
+        }
+    }
+}
+
 /// Parameters of one load-generator run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoadConfig {
@@ -96,6 +155,8 @@ pub struct LoadConfig {
     pub caches: CacheConfig,
     /// Which binder transport the fleet's devices boot with.
     pub transport: TransportKind,
+    /// Congestion preset for the steady-state playback traffic.
+    pub congestion: Congestion,
 }
 
 impl Default for LoadConfig {
@@ -108,6 +169,7 @@ impl Default for LoadConfig {
             mode: LoadMode::Closed,
             caches: CacheConfig::all(),
             transport: TransportKind::Threaded,
+            congestion: Congestion::None,
         }
     }
 }
@@ -189,6 +251,44 @@ pub struct LoadReport {
     pub license_cache: Option<CacheStats>,
     /// Decrypt-cache counters summed across the fleet, when enabled.
     pub decrypt_cache: Option<DecryptCacheStats>,
+    /// Fleet-wide adaptive-path counters, present when a congestion
+    /// preset other than `none` drove the steady phase.
+    pub adaptive: Option<AdaptiveLoadStats>,
+}
+
+/// Aggregated adaptive-playback counters across every steady worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptiveLoadStats {
+    /// Up-switches across the fleet.
+    pub switches_up: u64,
+    /// Down-switches across the fleet.
+    pub switches_down: u64,
+    /// Licenses fetched by adaptive sessions (per-tier key rotation).
+    pub license_fetches: u64,
+    /// Total rebuffer time across the fleet (virtual ms).
+    pub rebuffer_ms: u64,
+    /// Total presentation time across the fleet (virtual ms).
+    pub played_ms: u64,
+}
+
+impl AdaptiveLoadStats {
+    /// Rebuffer time in permille of presentation time.
+    #[must_use]
+    pub fn rebuffer_permille(&self) -> u64 {
+        if self.played_ms == 0 {
+            return 0;
+        }
+        u64::try_from(u128::from(self.rebuffer_ms) * 1000 / u128::from(self.played_ms))
+            .unwrap_or(u64::MAX)
+    }
+
+    fn absorb(&mut self, other: AdaptiveLoadStats) {
+        self.switches_up += other.switches_up;
+        self.switches_down += other.switches_down;
+        self.license_fetches += other.license_fetches;
+        self.rebuffer_ms += other.rebuffer_ms;
+        self.played_ms += other.played_ms;
+    }
 }
 
 impl LoadReport {
@@ -265,6 +365,17 @@ impl LoadReport {
             }
             None => out.push_str("  decrypt keys:       disabled\n"),
         }
+        if let Some(a) = &self.adaptive {
+            let _ = writeln!(
+                out,
+                "adaptive:   {} preset: {} up / {} down switches, {} licenses, rebuffer {} permille",
+                c.congestion.label(),
+                a.switches_up,
+                a.switches_down,
+                a.license_fetches,
+                a.rebuffer_permille(),
+            );
+        }
         out
     }
 }
@@ -320,6 +431,7 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
         seed: config.seed,
         caches: config.caches,
         transport: config.transport,
+        bandwidth: config.congestion.bandwidth(),
         ..EcosystemConfig::fast_for_tests()
     });
     let clock = eco.fault_injector().clock().clone();
@@ -327,10 +439,14 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
     // Boot the fleet: discontinued L3 devices running apps that do not
     // enforce revocation (paper Table I), each media DRM server behind
     // the configured transport (worker pool by default, loopback TCP
-    // under `--transport tcp`).
+    // under `--transport tcp`). Congested runs boot L1 devices instead:
+    // the adaptive path needs the full representation ladder, which L3
+    // output protection caps at 540p.
+    let adaptive = config.congestion != Congestion::None;
+    let model = if adaptive { DeviceModel::pixel_6() } else { DeviceModel::nexus_5() };
     let fleet: Vec<FleetDevice> = (0..config.devices)
         .map(|d| {
-            let stack = eco.boot_device_with(DeviceModel::nexus_5(), false, config.transport);
+            let stack = eco.boot_device_with(model.clone(), false, config.transport);
             let app = eco.install_app(
                 &stack,
                 FLEET_APPS[d % FLEET_APPS.len()],
@@ -364,7 +480,14 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
     // hammer the warmed paths concurrently.
     let failed = AtomicU64::new(warmup_failed);
     let checkins = AtomicU64::new(0);
-    let mut worker_results: Vec<(Vec<u64>, u64)> = Vec::new();
+    // Pre-mint every worker's link in (device, worker) order on the main
+    // thread: link seeds come from a shared mint counter, so the minting
+    // order — not the spawn interleaving — must be deterministic. Each
+    // link then advances a private local timeline inside its worker.
+    let mut links: VecDeque<Option<ClientLink>> = (0..fleet.len() * config.workers_per_device)
+        .map(|_| adaptive.then(|| eco.adaptive_link()))
+        .collect();
+    let mut worker_results: Vec<(Vec<u64>, u64, AdaptiveLoadStats)> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (d, member) in fleet.iter().enumerate() {
@@ -372,11 +495,10 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
                 let clock = &clock;
                 let failed = &failed;
                 let checkins = &checkins;
-                handles.push(
-                    scope.spawn(move || {
-                        run_worker(config, &member.app, clock, failed, checkins, d, w)
-                    }),
-                );
+                let link = links.pop_front().expect("one link minted per worker");
+                handles.push(scope.spawn(move || {
+                    run_worker(config, &member.app, clock, failed, checkins, d, w, link)
+                }));
             }
         }
         for handle in handles {
@@ -385,8 +507,15 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
     });
 
     let mut steady_samples: Vec<u64> =
-        worker_results.iter().flat_map(|(samples, _)| samples.iter().copied()).collect();
-    let longest_chain_ms = worker_results.iter().map(|&(_, span)| span).max().unwrap_or(0);
+        worker_results.iter().flat_map(|(samples, _, _)| samples.iter().copied()).collect();
+    let longest_chain_ms = worker_results.iter().map(|&(_, span, _)| span).max().unwrap_or(0);
+    let adaptive_stats = adaptive.then(|| {
+        let mut total = AdaptiveLoadStats::default();
+        for &(_, _, stats) in &worker_results {
+            total.absorb(stats);
+        }
+        total
+    });
     let makespan_ms = (warmup_span_ms + longest_chain_ms).max(1);
     let total_plays = warmup_samples.len() as u64 + steady_samples.len() as u64;
     let decrypt_cache = config.caches.decrypt_keys.then(|| sum_decrypt_stats(&fleet)).flatten();
@@ -403,12 +532,14 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
         provisioning_cache: eco.provisioning_cache_stats(),
         license_cache: eco.license_cache_stats(),
         decrypt_cache,
+        adaptive: adaptive_stats,
     }
 }
 
-/// One worker's closed/open loop: returns its latency samples and the
+/// One worker's closed/open loop: returns its latency samples, the
 /// virtual span of its sequential chain (busy time plus interarrival
-/// gaps).
+/// gaps) and its adaptive counters (zeroed on the classic path).
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     config: &LoadConfig,
     app: &OttApp,
@@ -417,19 +548,42 @@ fn run_worker(
     checkins: &AtomicU64,
     device: usize,
     worker: usize,
-) -> (Vec<u64>, u64) {
+    mut link: Option<ClientLink>,
+) -> (Vec<u64>, u64, AdaptiveLoadStats) {
     let warm = config.caches.any();
     let mut samples = Vec::with_capacity(config.plays_per_worker);
     let mut span_ms = 0u64;
+    let mut adaptive = AdaptiveLoadStats::default();
     for iter in 0..config.plays_per_worker {
         if let LoadMode::Open { interarrival_ms } = config.mode {
             clock.advance_ms(interarrival_ms);
             span_ms += interarrival_ms;
         }
         let title = FLEET_TITLES[iter % FLEET_TITLES.len()];
-        let lat = modeled_latency_ms(config.seed, device, worker, iter, warm);
-        if app.play(title).is_err() {
-            failed.fetch_add(1, Ordering::Relaxed);
+        // Under congestion a play's modeled service time additionally
+        // carries the rebuffer stalls its link imposed.
+        let mut lat = modeled_latency_ms(config.seed, device, worker, iter, warm);
+        match link.as_mut() {
+            Some(l) => match app.play_adaptive(title, &AdaptConfig::quick(), l) {
+                Ok(outcome) => {
+                    lat += outcome.rebuffer_ms;
+                    adaptive.absorb(AdaptiveLoadStats {
+                        switches_up: outcome.switches_up,
+                        switches_down: outcome.switches_down,
+                        license_fetches: outcome.license_fetches,
+                        rebuffer_ms: outcome.rebuffer_ms,
+                        played_ms: outcome.played_ms,
+                    });
+                }
+                Err(_) => {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            None => {
+                if app.play(title).is_err() {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         clock.advance_ms(lat);
         observe_play(lat);
@@ -445,7 +599,7 @@ fn run_worker(
             }
         }
     }
-    (samples, span_ms)
+    (samples, span_ms, adaptive)
 }
 
 fn observe_play(lat_ms: u64) {
@@ -900,7 +1054,10 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
     let mut report = FleetReport {
         devices: config.devices,
         peak_active_connections: peak,
-        elapsed_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+        // Clamp before converting: saturating to u64::MAX would poison
+        // any rate math that divides by elapsed time.
+        elapsed_ms: u64::try_from(started.elapsed().as_millis().min(u128::from(u64::MAX)))
+            .expect("clamped to u64 range"),
         ..FleetReport::default()
     };
     for tally in tallies {
@@ -964,6 +1121,26 @@ mod tests {
         });
         assert!(open.makespan_ms > closed.makespan_ms);
         assert!(open.throughput_centi_per_sec < closed.throughput_centi_per_sec);
+    }
+
+    #[test]
+    fn uncongested_run_reports_no_adaptive_stats() {
+        let report = run_load(&LoadConfig::quick());
+        assert!(report.adaptive.is_none());
+        assert!(!report.render().contains("adaptive:"));
+    }
+
+    #[test]
+    fn constricted_run_downswitches_and_is_deterministic() {
+        let config = LoadConfig { congestion: Congestion::Constricted, ..LoadConfig::quick() };
+        let a = run_load(&config);
+        let b = run_load(&config);
+        assert_eq!(a.render(), b.render(), "congested load runs are seed-deterministic");
+        assert_eq!(a.failed_plays, 0, "congestion is not a fault");
+        let stats = a.adaptive.expect("adaptive stats present under congestion");
+        assert!(stats.switches_down > 0, "constriction forces downswitches: {stats:?}");
+        assert!(stats.license_fetches > 0);
+        assert!(a.render().contains("adaptive:   constricted preset"));
     }
 
     #[test]

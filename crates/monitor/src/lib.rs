@@ -18,11 +18,14 @@
 //! - [`study`] — the orchestrated study over all ten apps;
 //! - [`report`] — Table-I rendering;
 //! - [`resilience`] — the Q5 fault-schedule sweep: which apps recover,
-//!   degrade, retry-storm or fail closed under injected faults.
+//!   degrade, retry-storm or fail closed under injected faults;
+//! - [`adapt`] — the adaptation sweep: rate switching, rebuffering and
+//!   license churn under bandwidth-constrained CDN links.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod apk;
 pub mod assets;
 pub mod classify;

@@ -15,7 +15,9 @@ use std::sync::Arc;
 use wideleak_android_drm::binder::Transport;
 use wideleak_android_drm::mediacrypto::MediaCrypto;
 use wideleak_android_drm::mediadrm::MediaDrm;
-use wideleak_android_drm::playback::{play_protected_content, MediaBundle, PlaybackTrace};
+use wideleak_android_drm::playback::{
+    play_adaptive_content, play_protected_content, AdaptiveChunk, MediaBundle, PlaybackTrace,
+};
 use wideleak_android_drm::DrmError;
 use wideleak_bmff::fragment::{InitSegment, MediaSegment};
 use wideleak_bmff::types::{KeyId, WIDEVINE_SYSTEM_ID};
@@ -25,14 +27,16 @@ use wideleak_cdm::wire::TlvWriter;
 use wideleak_cdm::CdmError;
 use wideleak_cenc::keys::MemoryKeyStore;
 use wideleak_cenc::track::decrypt_segment;
-use wideleak_dash::mpd::{ContentType, Mpd};
+use wideleak_dash::mpd::{AdaptationSet, ContentType, Mpd, Representation};
 use wideleak_device::catalog::{CdmVersion, SecurityLevel};
 use wideleak_device::net::{NetError, NetworkStack, RemoteEndpoint};
 use wideleak_device::Device;
 use wideleak_faults::{ResiliencePolicy, VirtualClock};
 
+use crate::adapt::{AdaptConfig, AdaptiveOutcome, BwMonitor, RateAdaptationController};
+use crate::bandwidth::ClientLink;
 use crate::cdn::{CdnAppConfig, URI_CHANNEL_IV};
-use crate::content::{kid_from_label, AudioProtection, L3_MAX_HEIGHT};
+use crate::content::{kid_from_label, AudioProtection, L3_MAX_HEIGHT, SEGMENTS_PER_REP};
 use crate::license::{uri_channel_label, LicensePolicy};
 use crate::OttError;
 
@@ -680,6 +684,193 @@ impl OttApp {
         }
     }
 
+    /// Plays a title adaptively: the rate controller walks the MPD's
+    /// representation ladder chunk by chunk, every segment fetch pays
+    /// simulated transfer time on the client's bandwidth `link`, and
+    /// representation switches re-license through the platform CDM
+    /// (per-tier keys → real license churn; hidden key ids → one open
+    /// license, no churn).
+    ///
+    /// The link is owned by the caller so a fixed mint order makes the
+    /// whole session a pure function of the ecosystem seed. Simulated
+    /// transfer time is mirrored onto the shared virtual clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend refusals and DRM failures; apps that bypass
+    /// the platform CDM (embedded DRM) cannot adapt.
+    pub fn play_adaptive(
+        &self,
+        title_id: &str,
+        config: &AdaptConfig,
+        link: &mut ClientLink,
+    ) -> Result<AdaptiveOutcome, OttError> {
+        if !self.attestation_passes() {
+            return Err(OttError::AttestationFailed);
+        }
+        if self.uses_embedded_drm() {
+            return Err(OttError::Protocol {
+                reason: "adaptive playback requires the platform CDM".into(),
+            });
+        }
+        self.ensure_provisioned()?;
+
+        let mpd = self.fetch_mpd(title_id)?;
+        let video_set = mpd
+            .adaptation_sets()
+            .find(|s| s.content_type == ContentType::Video)
+            .ok_or_else(|| OttError::Protocol { reason: "MPD has no video".into() })?;
+        let max_height =
+            if self.device_level == SecurityLevel::L1 { u32::MAX } else { L3_MAX_HEIGHT };
+        // The offline profile: the playable ladder in ascending declared
+        // bandwidth (deterministically tie-broken like single-rep picks).
+        let mut ladder: Vec<&Representation> = video_set
+            .representations
+            .iter()
+            .filter(|r| r.resolution.is_some_and(|(_, h)| h <= max_height))
+            .collect();
+        ladder.sort_by_key(|r| (r.bandwidth, r.resolution.map_or(0, |(_, h)| h), r.id.clone()));
+        if ladder.is_empty() {
+            return Err(OttError::Protocol { reason: "no playable resolution".into() });
+        }
+        let ladder_bps: Vec<u64> = ladder.iter().map(|r| u64::from(r.bandwidth)).collect();
+
+        struct LoopState<'l> {
+            link: &'l mut ClientLink,
+            monitor: BwMonitor,
+            controller: RateAdaptationController,
+            bundles: std::collections::HashMap<String, MediaBundle>,
+            buffer_ms: u64,
+            rebuffer_ms: u64,
+            license_times_ms: Vec<u64>,
+        }
+        let state = std::cell::RefCell::new(LoopState {
+            link,
+            monitor: BwMonitor::new(config.ewma_alpha_permille),
+            controller: RateAdaptationController::new(config),
+            bundles: std::collections::HashMap::new(),
+            buffer_ms: 0,
+            rebuffer_ms: 0,
+            license_times_ms: Vec::new(),
+        });
+
+        let license_path = format!("license/{}/{title_id}", self.profile.slug);
+        let token = self.account_token.clone();
+        let playback = play_adaptive_content(
+            self.binder.clone(),
+            WIDEVINE_SYSTEM_ID,
+            title_id,
+            config.chunks,
+            |i| {
+                let mut st = state.borrow_mut();
+                let estimate = st.monitor.estimate_bps();
+                let buffer = st.buffer_ms;
+                let tier = st.controller.decide(&ladder_bps, estimate, buffer);
+                let rep = ladder[tier];
+                if !st.bundles.contains_key(&rep.id) {
+                    let bundle = self
+                        .fetch_bundle(&mpd, &rep.id)
+                        .map_err(|e| DrmError::Cdm(CdmError::Rejected { reason: e.to_string() }))?;
+                    st.bundles.insert(rep.id.clone(), bundle);
+                }
+                // Charge the fetch at the representation's declared
+                // bandwidth over the segment's wall duration — the
+                // virtual encoded size, independent of the synthetic
+                // payload's byte count.
+                let bits = u64::from(rep.bandwidth) * config.segment_duration_ms / 1000;
+                let transfer = st.link.transfer(bits);
+                st.monitor.record(bits, transfer.elapsed_ms);
+                // Buffer model: playback drains while the fetch runs;
+                // a dry buffer is rebuffering; a full one idles the
+                // link (accruing burst) instead of fetching ahead.
+                let drained = transfer.elapsed_ms.min(st.buffer_ms);
+                st.rebuffer_ms += transfer.elapsed_ms - drained;
+                st.buffer_ms = st.buffer_ms - drained + config.segment_duration_ms;
+                if st.buffer_ms > config.max_buffer_ms {
+                    let excess = st.buffer_ms - config.max_buffer_ms;
+                    st.link.idle(excess);
+                    st.buffer_ms = config.max_buffer_ms;
+                }
+                self.clock.advance_ms(transfer.elapsed_ms);
+                if wideleak_telemetry::is_enabled() {
+                    wideleak_telemetry::observe(
+                        "adapt.transfer_ms",
+                        std::time::Duration::from_millis(transfer.elapsed_ms),
+                    );
+                    if transfer.elapsed_ms > transfer.stalled_ms {
+                        wideleak_telemetry::incr("adapt.chunk.fetched");
+                    }
+                    if transfer.stalled_ms > 0 {
+                        wideleak_telemetry::incr("adapt.chunk.stalled");
+                    }
+                }
+                let key_ids = if self.profile.metadata_kids_visible {
+                    rep.default_kid()
+                        .and_then(|hex| KeyId::from_hex(hex).ok())
+                        .map(|k| vec![k])
+                        .unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                let bundle = &st.bundles[&rep.id];
+                let seg = i % SEGMENTS_PER_REP as usize;
+                Ok(AdaptiveChunk {
+                    rep_id: rep.id.clone(),
+                    key_ids,
+                    init: bundle.init.clone(),
+                    segment: bundle.segments[seg].clone(),
+                })
+            },
+            |request| {
+                let mut st = state.borrow_mut();
+                let at = st.link.now_ms();
+                st.license_times_ms.push(at);
+                drop(st);
+                if wideleak_telemetry::is_enabled() {
+                    wideleak_telemetry::incr("adapt.license.fetch");
+                }
+                let mut w = TlvWriter::new();
+                w.string(1, &token).bytes(2, request);
+                self.send(&license_path, &w.finish())
+                    .map_err(|e| DrmError::Cdm(CdmError::Rejected { reason: e.to_string() }))
+            },
+            || self.next_nonce(),
+        )?;
+
+        let st = state.into_inner();
+        let tier_of: std::collections::HashMap<&str, usize> =
+            ladder.iter().enumerate().map(|(t, r)| (r.id.as_str(), t)).collect();
+        let mut switches_up = 0u64;
+        let mut switches_down = 0u64;
+        for pair in playback.rep_sequence.windows(2) {
+            let (from, to) = (tier_of[pair[0].as_str()], tier_of[pair[1].as_str()]);
+            match to.cmp(&from) {
+                std::cmp::Ordering::Greater => switches_up += 1,
+                std::cmp::Ordering::Less => switches_down += 1,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        if wideleak_telemetry::is_enabled() {
+            wideleak_telemetry::add("adapt.switch.up", switches_up);
+            wideleak_telemetry::add("adapt.switch.down", switches_down);
+            wideleak_telemetry::observe(
+                "adapt.rebuffer_ms",
+                std::time::Duration::from_millis(st.rebuffer_ms),
+            );
+        }
+        Ok(AdaptiveOutcome {
+            rep_sequence: playback.rep_sequence,
+            switches_up,
+            switches_down,
+            license_fetches: playback.license_fetches,
+            license_times_ms: st.license_times_ms,
+            rebuffer_ms: st.rebuffer_ms,
+            played_ms: config.chunks as u64 * config.segment_duration_ms,
+            video_samples: playback.frames.into_iter().map(|f| f.data).collect(),
+            final_estimate_bps: st.monitor.estimate_bps(),
+        })
+    }
+
     /// One pass of the platform-Widevine playback pipeline at a given
     /// security level (the resilience loop in [`play`](Self::play) may
     /// run this more than once).
@@ -796,11 +987,7 @@ impl OttApp {
             .find(|s| s.content_type == ContentType::Video)
             .ok_or_else(|| OttError::Protocol { reason: "MPD has no video".into() })?;
         let max_height = if level == SecurityLevel::L1 { u32::MAX } else { L3_MAX_HEIGHT };
-        let rep = video_set
-            .representations
-            .iter()
-            .filter(|r| r.resolution.is_some_and(|(_, h)| h <= max_height))
-            .max_by_key(|r| r.resolution.map(|(_, h)| h))
+        let rep = best_video_rep(video_set, max_height)
             .ok_or_else(|| OttError::Protocol { reason: "no playable resolution".into() })?;
         let resolution = rep.resolution.expect("filtered on resolution");
         // When metadata exposes key ids, request exactly what the
@@ -994,9 +1181,72 @@ impl OttApp {
     }
 }
 
+/// Picks the best playable representation at or below `max_height`.
+///
+/// Deterministic total order: height first, then declared bandwidth,
+/// then representation id — never MPD iteration order, so equal-height
+/// renditions always resolve the same way. Resolution-less
+/// representations are filtered out rather than sorting as `None`.
+pub(crate) fn best_video_rep(
+    video_set: &AdaptationSet,
+    max_height: u32,
+) -> Option<&Representation> {
+    video_set
+        .representations
+        .iter()
+        .filter(|r| r.resolution.is_some_and(|(_, h)| h <= max_height))
+        .max_by_key(|r| (r.resolution.map_or(0, |(_, h)| h), r.bandwidth, &r.id))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn rep(id: &str, bandwidth: u32, resolution: Option<(u32, u32)>) -> Representation {
+        let mut r = Representation::new(id, bandwidth);
+        r.resolution = resolution;
+        r
+    }
+
+    fn video_set(reps: Vec<Representation>) -> AdaptationSet {
+        AdaptationSet {
+            content_type: ContentType::Video,
+            lang: None,
+            content_protections: vec![],
+            representations: reps,
+        }
+    }
+
+    #[test]
+    fn rep_selection_pins_height_then_bandwidth_then_id() {
+        // Equal-height reps in adversarial declaration order: the pick
+        // must key on (height, bandwidth, id), not iteration order.
+        let set = video_set(vec![
+            rep("video-720p-b", 1_500_000, Some((1280, 720))),
+            rep("video-720p-a", 1_500_000, Some((1280, 720))),
+            rep("video-720p-lo", 1_200_000, Some((1280, 720))),
+            rep("video-540p", 1_080_000, Some((960, 540))),
+            rep("audio-like", u32::MAX, None),
+        ]);
+        let pick = best_video_rep(&set, u32::MAX).expect("a playable rep");
+        assert_eq!(pick.id, "video-720p-b", "highest bandwidth wins, then lexicographic id");
+
+        // Reversing declaration order must not change the outcome.
+        let mut reversed = set.clone();
+        reversed.representations.reverse();
+        assert_eq!(best_video_rep(&reversed, u32::MAX).unwrap().id, "video-720p-b");
+    }
+
+    #[test]
+    fn rep_selection_respects_height_cap_and_skips_resolution_less() {
+        let set = video_set(vec![
+            rep("video-1080p", 2_160_000, Some((1920, 1080))),
+            rep("video-540p", 1_080_000, Some((960, 540))),
+            rep("mystery", 9_999_999, None),
+        ]);
+        assert_eq!(best_video_rep(&set, 540).unwrap().id, "video-540p");
+        assert!(best_video_rep(&set, 100).is_none(), "nothing playable under the cap");
+    }
 
     #[test]
     fn ten_apps_in_table_order() {

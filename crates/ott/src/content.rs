@@ -38,6 +38,12 @@ pub const SUBTITLE_LANGS: [&str; 2] = ["en", "fr"];
 /// Segments per representation.
 pub const SEGMENTS_PER_REP: u32 = 2;
 
+/// Nominal wall duration of one media segment in milliseconds. The
+/// bandwidth model charges a segment fetch at its representation's
+/// declared bandwidth over this duration (the virtual encoded size),
+/// not at the synthetic payload's byte count.
+pub const SEGMENT_DURATION_MS: u64 = 4_000;
+
 /// Samples per segment.
 pub const SAMPLES_PER_SEGMENT: usize = 3;
 

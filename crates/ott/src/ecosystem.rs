@@ -19,6 +19,7 @@ use wideleak_faults::{corrupt_body, FaultInjector, FaultKind, FaultPlan, Plane, 
 
 use crate::accounts::AccountRegistry;
 use crate::apps::{encode_backend_error, evaluated_apps, AppProfile, EmbeddedWidevine, OttApp};
+use crate::bandwidth::{BandwidthConfig, ClientLink};
 use crate::cache::{CacheConfig, CacheStats, ProvisionCertCache};
 use crate::cdn::CdnServer;
 use crate::content::{demo_catalog, Title};
@@ -60,6 +61,11 @@ pub struct EcosystemConfig {
     /// one-call-per-socket mode; ≥ 2 enables request-id pipelining.
     /// Ignored by the in-memory transports.
     pub tcp_pipeline_depth: usize,
+    /// Bandwidth model applied to adaptive playbacks. `None` (the
+    /// default) leaves every non-adaptive path untouched and mints
+    /// unconstrained links for adaptive ones, keeping the Table I and
+    /// Q5 batteries byte-identical.
+    pub bandwidth: Option<BandwidthConfig>,
 }
 
 impl Default for EcosystemConfig {
@@ -74,6 +80,7 @@ impl Default for EcosystemConfig {
             caches: CacheConfig::none(),
             transport: TransportKind::InProcess,
             tcp_pipeline_depth: 1,
+            bandwidth: None,
         }
     }
 }
@@ -247,6 +254,7 @@ pub struct Ecosystem {
     profiles: Vec<AppProfile>,
     titles: Vec<Title>,
     device_counter: AtomicU64,
+    link_counter: AtomicU64,
 }
 
 impl std::fmt::Debug for Ecosystem {
@@ -321,6 +329,21 @@ impl Ecosystem {
             profiles,
             titles,
             device_counter: AtomicU64::new(0),
+            link_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Mints the next client's bandwidth link for an adaptive playback.
+    ///
+    /// Links are numbered in mint order, so a fixed sequence of
+    /// `adaptive_link` calls against a fresh ecosystem is a pure
+    /// function of the seed. Without a configured bandwidth model the
+    /// link is unconstrained (fetches complete in ~0 simulated time).
+    pub fn adaptive_link(&self) -> ClientLink {
+        let idx = self.link_counter.fetch_add(1, Ordering::SeqCst);
+        match &self.config.bandwidth {
+            Some(bw) => bw.link(self.config.seed, idx),
+            None => BandwidthConfig::unconstrained().link(self.config.seed, idx),
         }
     }
 

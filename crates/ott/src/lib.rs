@@ -5,8 +5,10 @@
 //! keybox records ([`trust`]), the provisioning server ([`provisioning`]),
 //! the license server with per-app key policies ([`license`]), the CDN
 //! ([`cdn`]), subscriber accounts ([`accounts`]), the app profiles that
-//! encode each app's *measured* behaviour from Table I ([`apps`]), and
-//! the wiring that boots devices and servers together ([`ecosystem`]).
+//! encode each app's *measured* behaviour from Table I ([`apps`]), the
+//! bandwidth-constrained network model ([`bandwidth`]) with its
+//! adaptive-bitrate controller ([`adapt`]), and the wiring that boots
+//! devices and servers together ([`ecosystem`]).
 //!
 //! The app profiles are the ground truth the WideLeak monitor
 //! (`wideleak-monitor`) must re-derive purely through hooks and network
@@ -16,7 +18,9 @@
 #![warn(missing_docs)]
 
 pub mod accounts;
+pub mod adapt;
 pub mod apps;
+pub mod bandwidth;
 pub mod cache;
 pub mod cdn;
 pub mod content;

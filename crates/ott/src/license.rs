@@ -334,6 +334,17 @@ impl LicenseServer {
             }
         };
 
+        if wideleak_telemetry::is_enabled() {
+            // Narrow (per-tier) requests are the license-churn signal the
+            // adaptation study watches; open requests cover every tier.
+            if request.key_ids.is_empty() {
+                wideleak_telemetry::incr("license.issued.open");
+            } else {
+                wideleak_telemetry::incr("license.issued.narrow");
+            }
+            wideleak_telemetry::add("license.keys_served", plan.len() as u64);
+        }
+
         // Session key and derivation contexts — always nonce-seeded and
         // recomputed, cached plan or not, so responses are byte-identical
         // either way.

@@ -1,0 +1,150 @@
+//! The adaptive-bitrate plane, end to end: the adaptation study must be
+//! a pure function of its seed, quality switches must never corrupt the
+//! decrypted output, the rate controller must respect its bandwidth
+//! budget whenever a cheaper representation exists, constriction must
+//! force downswitches whose license churn matches the key-rotation
+//! policy, and attaching a bandwidth model must leave the classic
+//! fixed-representation paths (Table I) byte-identical.
+
+use proptest::prelude::*;
+use wideleak::monitor::adapt::{render_adapt, run_adapt_study};
+use wideleak::monitor::report::render_table_1;
+use wideleak::monitor::study::run_study;
+use wideleak::ott::adapt::{AdaptConfig, RateAdaptationController};
+use wideleak::ott::bandwidth::{BandwidthConfig, BandwidthSchedule};
+use wideleak::ott::ecosystem::{Ecosystem, EcosystemConfig};
+
+/// A 4 Mbps link that constricts to 1.2 Mbps — below the 720p tier's
+/// declared 1.44 Mbps — twenty virtual seconds in.
+fn constricted() -> BandwidthConfig {
+    BandwidthConfig {
+        schedule: BandwidthSchedule::steps(vec![(0, 4_000_000), (20_000, 1_200_000)]),
+        burst_bits: 2_000_000,
+        spread_permille: 100,
+    }
+}
+
+fn eco_with_bandwidth(bandwidth: Option<BandwidthConfig>) -> Ecosystem {
+    let mut config = EcosystemConfig::fast_for_tests();
+    config.bandwidth = bandwidth;
+    Ecosystem::new(config)
+}
+
+fn play_one(eco: &Ecosystem, slug: &str) -> wideleak::ott::adapt::AdaptiveOutcome {
+    let stack = eco.boot_device(wideleak::device::catalog::DeviceModel::pixel_6(), false);
+    let app = eco.install_app(&stack, slug, "adaptation-test");
+    let mut link = eco.adaptive_link();
+    app.play_adaptive("title-001", &AdaptConfig::default(), &mut link)
+        .expect("adaptive playback succeeds")
+}
+
+#[test]
+fn adaptation_study_is_deterministic_per_seed() {
+    let first = render_adapt(&run_adapt_study(11, true));
+    let second = render_adapt(&run_adapt_study(11, true));
+    assert_eq!(first, second, "same seed renders byte-identically");
+    let other = render_adapt(&run_adapt_study(12, true));
+    assert_ne!(first, other, "a different seed shifts the link spreads");
+}
+
+#[test]
+fn decrypted_output_is_byte_identical_across_quality_switches() {
+    // Two fresh ecosystems, same seed: the constrained sessions must
+    // replay the same switch schedule AND the same decrypted bytes.
+    let a = play_one(&eco_with_bandwidth(Some(constricted())), "netflix");
+    let b = play_one(&eco_with_bandwidth(Some(constricted())), "netflix");
+    assert!(a.switches() > 0, "the constricted link forces switches");
+    assert_eq!(a.rep_sequence, b.rep_sequence);
+    assert_eq!(a.video_samples, b.video_samples);
+
+    // Against an unconstrained session: wherever the two sessions chose
+    // the same representation for the same chunk, the decrypted sample
+    // must be byte-identical — switching tiers (and rotating keys) must
+    // not perturb what any individual segment decrypts to.
+    let free = play_one(&eco_with_bandwidth(None), "netflix");
+    assert_eq!(free.rep_sequence.len(), a.rep_sequence.len());
+    let mut compared = 0;
+    for (i, rep) in a.rep_sequence.iter().enumerate() {
+        if rep == &free.rep_sequence[i] {
+            assert_eq!(a.video_samples[i], free.video_samples[i], "chunk {i} ({rep}) differs");
+            compared += 1;
+        }
+    }
+    assert!(compared > 0, "the sessions share at least one (chunk, rep) cell");
+}
+
+#[test]
+fn constriction_forces_downswitches_and_license_churn_matches_key_policy() {
+    // Netflix exposes key ids in metadata: every representation epoch is
+    // a narrow per-tier license, so licenses track switches exactly.
+    let visible = play_one(&eco_with_bandwidth(Some(constricted())), "netflix");
+    assert!(visible.switches_down > 0, "constriction forces a downswitch: {visible:?}");
+    assert_eq!(
+        visible.license_fetches,
+        visible.switches() + 1,
+        "one narrow license per representation epoch"
+    );
+    assert!(!visible.license_times_ms.is_empty());
+
+    // Hulu hides key ids: one open request covers every tier, so the
+    // session is reused across the very same switch schedule.
+    let hidden = play_one(&eco_with_bandwidth(Some(constricted())), "hulu");
+    assert!(hidden.switches_down > 0);
+    assert_eq!(hidden.license_fetches, 1, "an open license survives every switch");
+}
+
+#[test]
+fn unconstrained_adaptive_playback_climbs_to_the_top_tier() {
+    let outcome = play_one(&eco_with_bandwidth(None), "netflix");
+    assert_eq!(outcome.switches_down, 0);
+    assert_eq!(
+        outcome.rep_sequence.last().map(String::as_str),
+        Some("video-1080p"),
+        "headroom climbs the full ladder: {:?}",
+        outcome.rep_sequence
+    );
+    // Only startup fill may stall; one-a-millisecond rounding at worst.
+    assert!(outcome.rebuffer_permille() < 5, "rebuffer {} permille", outcome.rebuffer_permille());
+}
+
+#[test]
+fn bandwidth_model_leaves_table_1_untouched() {
+    // The bandwidth plane only gates adaptive sessions: the classic
+    // fixed-representation study must render byte-identically whether or
+    // not a (constricting!) model is attached.
+    let plain = run_study(&eco_with_bandwidth(None)).expect("study runs");
+    let constrained = run_study(&eco_with_bandwidth(Some(constricted()))).expect("study runs");
+    assert_eq!(render_table_1(&plain), render_table_1(&constrained));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The controller never picks a representation whose declared
+    /// bandwidth exceeds the safety-margined budget while a cheaper one
+    /// exists — across arbitrary ladders and whole decision sequences.
+    #[test]
+    fn controller_never_overspends_when_a_cheaper_rep_exists(
+        ladder in proptest::collection::vec(1_000u64..10_000_000, 1..6),
+        samples in proptest::collection::vec((0u64..12_000_000, 0u64..20_000), 1..12),
+    ) {
+        let mut ladder = ladder;
+        ladder.sort_unstable();
+        ladder.dedup();
+        let config = AdaptConfig::default();
+        let mut controller = RateAdaptationController::new(&config);
+        for (estimate, buffer_ms) in samples {
+            let chosen = controller.decide(&ladder, estimate, buffer_ms);
+            prop_assert!(chosen < ladder.len());
+            if chosen > 0 {
+                prop_assert!(
+                    ladder[chosen] <= controller.budget_bps(estimate),
+                    "picked {} bps on a {} bps budget with {} cheaper tiers",
+                    ladder[chosen],
+                    controller.budget_bps(estimate),
+                    chosen
+                );
+            }
+        }
+    }
+}
