@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod binder;
+pub mod campaign;
 pub mod exoplayer;
 pub mod mediacodec;
 pub mod mediacrypto;

@@ -659,7 +659,12 @@ impl TcpBinder {
                 self.checkin(Some(stream));
                 reply
             }
-            Ok((FrameBody::Call(_), _)) => {
+            Ok((
+                FrameBody::Call(_) | FrameBody::CampaignCall(_) | FrameBody::CampaignReply(_),
+                _,
+            )) => {
+                // Anything but a DRM reply on the DRM channel is a
+                // protocol violation.
                 self.checkin(None);
                 Err(DrmError::BadReply)
             }
@@ -780,7 +785,12 @@ impl TcpBinder {
                     let _decode = trace::span("tcp.decode");
                     return match decode_frame(&frame) {
                         Ok((FrameBody::Reply(reply), _)) => reply,
-                        Ok((FrameBody::Call(_), _)) => Err(DrmError::BadReply),
+                        Ok((
+                            FrameBody::Call(_)
+                            | FrameBody::CampaignCall(_)
+                            | FrameBody::CampaignReply(_),
+                            _,
+                        )) => Err(DrmError::BadReply),
                         // Corruption damaged only this copy of the
                         // frame; the shared connection stays up.
                         Err(wire_err) => Err(DrmError::Wire(wire_err)),

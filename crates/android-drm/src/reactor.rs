@@ -51,6 +51,7 @@ use std::time::{Duration, Instant};
 use wideleak_telemetry::{trace, CounterHandle, TraceContext};
 
 use crate::binder::{dispatch, DrmCall};
+use crate::campaign::{CampaignCall, CampaignError, CampaignHandler};
 use crate::server::MediaDrmServer;
 use crate::wire::{decode_frame_full, encode_frame_full, frame_len, FrameBody, HEADER_LEN};
 use crate::DrmError;
@@ -146,6 +147,34 @@ impl TcpDrmServer {
         server: Arc<MediaDrmServer>,
         config: ReactorConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, server, config, None)
+    }
+
+    /// Binds a *campaign worker* endpoint: in addition to DRM calls,
+    /// the server answers campaign control frames by delegating to
+    /// `handler` (on the dispatch pool, so a long-running shard never
+    /// stalls the IO loops). A server bound without a handler refuses
+    /// campaign frames with a typed
+    /// [`CampaignError::Protocol`](crate::campaign::CampaignError) reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn bind_campaign(
+        addr: &str,
+        server: Arc<MediaDrmServer>,
+        config: ReactorConfig,
+        handler: Arc<dyn CampaignHandler>,
+    ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, server, config, Some(handler))
+    }
+
+    fn bind_inner(
+        addr: &str,
+        server: Arc<MediaDrmServer>,
+        config: ReactorConfig,
+        campaign: Option<Arc<dyn CampaignHandler>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -178,10 +207,11 @@ impl TcpDrmServer {
         for i in 0..dispatch_workers {
             let jobs_rx = jobs_rx.clone();
             let server = Arc::clone(&server);
+            let campaign = campaign.clone();
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("netdrm-dispatch-{i}"))
-                    .spawn(move || worker_loop(&jobs_rx, &server))
+                    .spawn(move || worker_loop(&jobs_rx, &server, campaign.as_deref()))
                     .expect("spawning a dispatch worker"),
             );
         }
@@ -251,10 +281,16 @@ impl Drop for TcpDrmServer {
 struct Job {
     slot: usize,
     generation: u64,
-    call: DrmCall,
-    ctx: Option<TraceContext>,
+    work: Work,
     request_id: Option<u64>,
     done: mpsc::Sender<Completion>,
+}
+
+/// What a dispatch worker runs: a DRM transaction through the server
+/// router, or a campaign transaction through the registered handler.
+enum Work {
+    Drm { call: DrmCall, ctx: Option<TraceContext> },
+    Campaign(CampaignCall),
 }
 
 /// A finished dispatch on its way back to the owning event loop.
@@ -309,18 +345,35 @@ fn accept_loop(
     }
 }
 
-fn worker_loop(jobs: &crossbeam::channel::Receiver<Job>, server: &Arc<MediaDrmServer>) {
+fn worker_loop(
+    jobs: &crossbeam::channel::Receiver<Job>,
+    server: &Arc<MediaDrmServer>,
+    campaign: Option<&dyn CampaignHandler>,
+) {
     while let Ok(job) = jobs.recv() {
-        // When the frame carried the caller's trace context, adopt it
-        // around the dispatch so this process's spans stitch into the
-        // client's trace.
-        let reply = if let Some(ctx) = job.ctx {
-            let _g = trace::span_with_parent("server.handle", ctx);
-            dispatch(server, job.call)
-        } else {
-            dispatch(server, job.call)
+        let frame = match job.work {
+            Work::Drm { call, ctx } => {
+                // When the frame carried the caller's trace context,
+                // adopt it around the dispatch so this process's spans
+                // stitch into the client's trace.
+                let reply = if let Some(ctx) = ctx {
+                    let _g = trace::span_with_parent("server.handle", ctx);
+                    dispatch(server, call)
+                } else {
+                    dispatch(server, call)
+                };
+                encode_frame_full(&FrameBody::Reply(reply), None, job.request_id)
+            }
+            Work::Campaign(call) => {
+                let reply = match campaign {
+                    Some(handler) => handler.handle(call),
+                    None => Err(CampaignError::Protocol {
+                        what: "this endpoint serves no campaigns".into(),
+                    }),
+                };
+                encode_frame_full(&FrameBody::CampaignReply(reply), None, job.request_id)
+            }
         };
-        let frame = encode_frame_full(&FrameBody::Reply(reply), None, job.request_id);
         // A send failure means the owning loop is gone (shutdown); the
         // reply has nowhere to go.
         let _ = job.done.send(Completion { slot: job.slot, generation: job.generation, frame });
@@ -510,13 +563,25 @@ fn sweep_conn(
                 let job = Job {
                     slot,
                     generation: conn.generation,
-                    call,
-                    ctx: meta.ctx,
+                    work: Work::Drm { call, ctx: meta.ctx },
                     request_id: meta.request_id,
                     done: done_tx.clone(),
                 };
                 if jobs.send(job).is_err() {
                     // Shutdown already tore the worker pool down.
+                    return (work, true);
+                }
+            }
+            Ok((FrameBody::CampaignCall(call), meta, _)) => {
+                conn.inflight += 1;
+                let job = Job {
+                    slot,
+                    generation: conn.generation,
+                    work: Work::Campaign(call),
+                    request_id: meta.request_id,
+                    done: done_tx.clone(),
+                };
+                if jobs.send(job).is_err() {
                     return (work, true);
                 }
             }
@@ -528,6 +593,18 @@ fn sweep_conn(
                     conn,
                     encode_frame_full(
                         &FrameBody::Reply(Err(DrmError::BadReply)),
+                        None,
+                        meta.request_id,
+                    ),
+                );
+            }
+            Ok((FrameBody::CampaignReply(_), meta, _)) => {
+                push_reply(
+                    conn,
+                    encode_frame_full(
+                        &FrameBody::CampaignReply(Err(CampaignError::Protocol {
+                            what: "campaign reply frame at server".into(),
+                        })),
                         None,
                         meta.request_id,
                     ),

@@ -195,17 +195,24 @@ impl wideleak_faults::ErrorClass for WireError {
     }
 }
 
-/// What a frame carries: one transaction request or its reply.
+/// What a frame carries: one DRM transaction or its reply, or one
+/// campaign control-channel transaction or its reply.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FrameBody {
-    /// A client-to-server transaction.
+    /// A client-to-server DRM transaction.
     Call(DrmCall),
-    /// A server-to-client outcome.
+    /// A server-to-client DRM outcome.
     Reply(Result<DrmReply, DrmError>),
+    /// A coordinator-to-worker campaign transaction (v3+ frames only).
+    CampaignCall(crate::campaign::CampaignCall),
+    /// A worker-to-coordinator campaign outcome (v3+ frames only).
+    CampaignReply(Result<crate::campaign::CampaignReply, crate::campaign::CampaignError>),
 }
 
 const FRAME_TYPE_CALL: u8 = 0;
 const FRAME_TYPE_REPLY: u8 = 1;
+const FRAME_TYPE_CAMPAIGN_CALL: u8 = 2;
+const FRAME_TYPE_CAMPAIGN_REPLY: u8 = 3;
 
 /// The wire extensions a frame carried ahead of its body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -243,6 +250,12 @@ pub fn encode_frame_full(
     let (frame_type, payload) = match body {
         FrameBody::Call(call) => (FRAME_TYPE_CALL, encode_call(call)),
         FrameBody::Reply(reply) => (FRAME_TYPE_REPLY, encode_reply(reply)),
+        FrameBody::CampaignCall(call) => {
+            (FRAME_TYPE_CAMPAIGN_CALL, crate::campaign::encode_campaign_call(call))
+        }
+        FrameBody::CampaignReply(reply) => {
+            (FRAME_TYPE_CAMPAIGN_REPLY, crate::campaign::encode_campaign_reply(reply))
+        }
     };
     let ctx_len = ctx.map_or(0, |_| TraceContext::WIRE_LEN);
     let id_len = request_id.map_or(0, |_| 8);
@@ -379,6 +392,17 @@ pub fn decode_frame_full(buf: &[u8]) -> Result<(FrameBody, FrameMeta, usize), Wi
     let body = match buf[5] {
         FRAME_TYPE_CALL => FrameBody::Call(decode_call(&mut r)?),
         FRAME_TYPE_REPLY => FrameBody::Reply(decode_reply(&mut r)?),
+        // The campaign control channel arrived with v3; a frame claiming
+        // an older revision cannot legitimately carry one.
+        FRAME_TYPE_CAMPAIGN_CALL | FRAME_TYPE_CAMPAIGN_REPLY if buf[4] < 3 => {
+            return Err(WireError::Malformed { what: "campaign frame below wire v3" })
+        }
+        FRAME_TYPE_CAMPAIGN_CALL => {
+            FrameBody::CampaignCall(crate::campaign::decode_campaign_call(&mut r)?)
+        }
+        FRAME_TYPE_CAMPAIGN_REPLY => {
+            FrameBody::CampaignReply(crate::campaign::decode_campaign_reply(&mut r)?)
+        }
         _ => return Err(WireError::Malformed { what: "unknown frame type" }),
     };
     r.finish()?;
@@ -413,17 +437,19 @@ pub fn peek_request_id(frame: &[u8]) -> Option<u64> {
 // Primitive reader/writer
 // ---------------------------------------------------------------------
 
-struct Reader<'a> {
+/// The primitive little-endian payload reader the frame bodies decode
+/// through. Crate-visible so the campaign codec shares it.
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
         let end = self.pos.checked_add(n).ok_or(WireError::Malformed { what })?;
         if end > self.buf.len() {
             return Err(WireError::Malformed { what });
@@ -433,28 +459,31 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+    pub(crate) fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
         let b = self.take(2, what)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
         let b = self.take(4, what)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
         let b = self.take(8, what)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
         Ok(u64::from_le_bytes(a))
     }
 
-    fn array<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], WireError> {
+    pub(crate) fn array<const N: usize>(
+        &mut self,
+        what: &'static str,
+    ) -> Result<[u8; N], WireError> {
         let b = self.take(N, what)?;
         let mut a = [0u8; N];
         a.copy_from_slice(b);
@@ -464,12 +493,12 @@ impl<'a> Reader<'a> {
     /// A length-prefixed byte payload. The length is bounded by the
     /// remaining input, so a lying prefix cannot trigger a huge
     /// allocation.
-    fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, WireError> {
+    pub(crate) fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, WireError> {
         let len = self.u32(what)? as usize;
         Ok(self.take(len, what)?.to_vec())
     }
 
-    fn string(&mut self, what: &'static str) -> Result<String, WireError> {
+    pub(crate) fn string(&mut self, what: &'static str) -> Result<String, WireError> {
         String::from_utf8(self.bytes(what)?).map_err(|_| WireError::Malformed { what })
     }
 
@@ -477,12 +506,12 @@ impl<'a> Reader<'a> {
     /// reason fields are `&'static str` round-trip. The intern table only
     /// ever holds distinct reason strings, so its growth is bounded by
     /// the error vocabulary, not by traffic.
-    fn static_str(&mut self, what: &'static str) -> Result<&'static str, WireError> {
+    pub(crate) fn static_str(&mut self, what: &'static str) -> Result<&'static str, WireError> {
         Ok(intern(&self.string(what)?))
     }
 
     /// Rejects trailing garbage after a fully decoded payload.
-    fn finish(self) -> Result<(), WireError> {
+    pub(crate) fn finish(self) -> Result<(), WireError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -491,47 +520,52 @@ impl<'a> Reader<'a> {
     }
 }
 
-struct Writer {
+/// The primitive little-endian payload writer, mirror of [`Reader`].
+pub(crate) struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Writer { buf: Vec::new() }
     }
 
-    fn u8(&mut self, v: u8) -> &mut Self {
+    pub(crate) fn u8(&mut self, v: u8) -> &mut Self {
         self.buf.push(v);
         self
     }
 
-    fn u16(&mut self, v: u16) -> &mut Self {
+    pub(crate) fn u16(&mut self, v: u16) -> &mut Self {
         self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
 
-    fn u32(&mut self, v: u32) -> &mut Self {
+    pub(crate) fn u32(&mut self, v: u32) -> &mut Self {
         self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
 
-    fn u64(&mut self, v: u64) -> &mut Self {
+    pub(crate) fn u64(&mut self, v: u64) -> &mut Self {
         self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
 
-    fn raw(&mut self, v: &[u8]) -> &mut Self {
+    pub(crate) fn raw(&mut self, v: &[u8]) -> &mut Self {
         self.buf.extend_from_slice(v);
         self
     }
 
-    fn bytes(&mut self, v: &[u8]) -> &mut Self {
+    pub(crate) fn bytes(&mut self, v: &[u8]) -> &mut Self {
         self.u32(u32::try_from(v.len()).expect("field fits u32"));
         self.raw(v)
     }
 
-    fn string(&mut self, v: &str) -> &mut Self {
+    pub(crate) fn string(&mut self, v: &str) -> &mut Self {
         self.bytes(v.as_bytes())
+    }
+
+    pub(crate) fn into_inner(self) -> Vec<u8> {
+        self.buf
     }
 }
 

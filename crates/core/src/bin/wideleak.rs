@@ -11,6 +11,7 @@
 //! wideleak resilience       # the Q5 fault-schedule sweep
 //! wideleak adapt            # the adaptation study under congestion
 //! wideleak load             # the fleet load generator (--quick: CI size)
+//! wideleak campaign         # the sharded catalog campaign (--quick: CI size)
 //! wideleak serve [ADDR]     # stand up a wire-framed TCP media DRM server
 //! wideleak stats <file>     # re-render a telemetry JSONL export
 //! ```
@@ -30,11 +31,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use wideleak::android_drm::binder::{DrmCall, Transport, TransportKind};
 use wideleak::android_drm::netserver::{TcpBinder, TcpDrmServer};
+use wideleak::android_drm::reactor::ReactorConfig;
 use wideleak::attack::recover::{attack_all, attack_app};
 use wideleak::bmff::types::WIDEVINE_SYSTEM_ID;
 use wideleak::device::catalog::DeviceModel;
 use wideleak::load::{run_fleet, run_load, Congestion, FleetConfig, LoadConfig};
 use wideleak::monitor::adapt::{render_adapt, run_adapt_study};
+use wideleak::monitor::campaign::{run_campaign, CampaignConfig, ShardRunner, WorkerCommand};
 use wideleak::monitor::report::{render_call_histogram, render_insights, render_table_1};
 use wideleak::monitor::resilience::{render_q5, run_resilience_study_on};
 use wideleak::monitor::study::{run_study, study_app};
@@ -56,8 +59,12 @@ fn usage() -> ExitCode {
            load           drive the fleet load generator (--quick: CI size)\n\
                           --fleet N holds N concurrent TCP devices against one reactor server\n\
                           --congestion steady|constricted runs adaptive plays on constrained links\n\
+           campaign       run the sharded catalog campaign (--quick: CI size)\n\
+                          --workers N shards across N worker processes\n\
+                          --devices N / --sample-every N override the catalog sweep\n\
            serve [ADDR]   run a wire-framed TCP media DRM server (default 127.0.0.1:7564)\n\
                           --metrics ADDR adds a live Prometheus /metrics endpoint\n\
+                          --worker runs as a campaign shard worker (prints WORKER_READY)\n\
            call ADDR [N]  drive N license-path probes against a remote serve (default 1)\n\
            stats FILE     re-render a telemetry JSONL export as a summary\n\
            trace FILE...  analyse trace JSONL sinks (phases, exemplars, faults)\n\
@@ -115,6 +122,10 @@ fn main() -> ExitCode {
     let mut fleet_devices: Option<usize> = None;
     let mut congestion = Congestion::None;
     let mut quick = false;
+    let mut worker_mode = false;
+    let mut campaign_workers: Option<usize> = None;
+    let mut campaign_devices: Option<u64> = None;
+    let mut campaign_sample_every: Option<u64> = None;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -139,6 +150,19 @@ fn main() -> ExitCode {
             },
             "--fleet" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(devices) => fleet_devices = Some(devices),
+                None => return usage(),
+            },
+            "--worker" => worker_mode = true,
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => campaign_workers = Some(n),
+                None => return usage(),
+            },
+            "--devices" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => campaign_devices = Some(n),
+                None => return usage(),
+            },
+            "--sample-every" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => campaign_sample_every = Some(n),
                 None => return usage(),
             },
             "--congestion" => match args.next().as_deref().and_then(Congestion::parse) {
@@ -271,6 +295,97 @@ fn main() -> ExitCode {
         }
         trace::flush();
         return if failures == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    // `campaign` is the coordinator: it spawns copies of this binary in
+    // `serve --worker` mode and never boots an ecosystem itself (the
+    // workers each build their own from the derived shard seed).
+    if command == "campaign" {
+        let mut cc = if quick { CampaignConfig::quick(seed) } else { CampaignConfig::full(seed) };
+        if let Some(n) = campaign_workers {
+            cc.workers = n;
+        }
+        if let Some(n) = campaign_devices {
+            cc.spec.devices = n;
+        }
+        if let Some(n) = campaign_sample_every {
+            cc.spec.sample_every = n;
+        }
+        let cmd = match WorkerCommand::current_exe() {
+            Ok(cmd) => cmd,
+            Err(e) => {
+                eprintln!("campaign: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "wideleak: campaign over {} devices x {} workers (seed {seed})",
+            cc.spec.devices, cc.workers
+        );
+        return match run_campaign(&cc, &cmd) {
+            Ok(report) => {
+                print!("{}", report.render());
+                trace::flush();
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("campaign failed: {e} [{}]", e.class());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // `serve --worker` is the campaign shard worker: a campaign-enabled
+    // DRM endpoint on an ephemeral port, announced on stdout for the
+    // coordinator. It exits on coordinator request, on SIGINT, or when
+    // the coordinator's stdin pipe closes — so a killed coordinator
+    // takes its workers down instead of leaking them.
+    if command == "serve" && worker_mode {
+        let addr = slug.unwrap_or("127.0.0.1:0");
+        let runner = std::sync::Arc::new(ShardRunner::new());
+        // The worker-level server only answers control frames and ad-hoc
+        // DRM probes; shards build their own ecosystems from the spec's
+        // rsa_bits, so small keys here just make spawning cheap.
+        let mut worker_config = config;
+        worker_config.rsa_bits = 768;
+        let eco = Ecosystem::new(worker_config);
+        let drm = std::sync::Arc::new(eco.media_drm_server(DeviceModel::pixel_6()));
+        let server = match TcpDrmServer::bind_campaign(
+            addr,
+            drm,
+            ReactorConfig::default(),
+            runner.clone(),
+        ) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("serve: cannot bind worker {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        install_sigint_handler();
+        use std::io::Write as _;
+        println!("WORKER_READY {}", server.local_addr());
+        let _ = std::io::stdout().flush();
+        let orphaned = std::sync::Arc::new(AtomicBool::new(false));
+        {
+            // Watchdog: block on stdin until the coordinator's pipe
+            // closes (its WorkerProcess guard holds the write end).
+            let orphaned = orphaned.clone();
+            std::thread::spawn(move || {
+                let mut sink = Vec::new();
+                let _ = std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut sink);
+                orphaned.store(true, Ordering::SeqCst);
+            });
+        }
+        while !runner.shutdown_requested()
+            && !SIGINT_RECEIVED.load(Ordering::SeqCst)
+            && !orphaned.load(Ordering::SeqCst)
+        {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        drop(server);
+        trace::flush();
+        return ExitCode::SUCCESS;
     }
 
     // `serve` exports a standalone media DRM server; it never installs

@@ -101,6 +101,45 @@ impl DeviceModel {
         }
     }
 
+    /// One entry of the *generated* wide catalog: a pure function of
+    /// `device_id`, so any process holding an id range can materialise
+    /// exactly its shard of the fleet without coordination. The
+    /// generator sweeps model × Android × CDM-version combinations
+    /// across [`CATALOG_VENDORS`] and Android 6–14, with CDM versions
+    /// tied to the Android era ([`cdm_for_android`]), handsets on
+    /// Android ≤ 7 software-only and discontinued (the Nexus-5 class),
+    /// and every fourth modern handset a midrange L3 (L3 by hardware,
+    /// not by age). Deliberately seedless: the catalog is part of the
+    /// campaign's *identity*, so two campaigns over the same id range
+    /// measure the same fleet regardless of seeds or sharding.
+    #[must_use]
+    pub fn catalog(device_id: u64) -> Self {
+        let vendor = CATALOG_VENDORS[usize::try_from(device_id % CATALOG_VENDORS.len() as u64)
+            .expect("vendor index fits usize")];
+        // Stride the Android sweep by a constant coprime to the vendor
+        // count so adjacent ids vary both axes.
+        let android_version = CATALOG_ANDROID_VERSIONS[usize::try_from(
+            (device_id / 3) % CATALOG_ANDROID_VERSIONS.len() as u64,
+        )
+        .expect("android index fits usize")];
+        let legacy = android_version <= 7;
+        let security_level =
+            if legacy || device_id % 4 == 3 { SecurityLevel::L3 } else { SecurityLevel::L1 };
+        let cdm = cdm_for_android(android_version);
+        let cdm_version = CdmVersion::new(
+            cdm.major,
+            cdm.minor + u16::try_from(device_id % 3).expect("minor delta fits u16"),
+            u16::try_from(device_id % 5).expect("patch fits u16"),
+        );
+        DeviceModel {
+            name: format!("{vendor} {}{}", 100 + device_id / 24, security_level),
+            android_version,
+            cdm_version,
+            security_level,
+            discontinued: legacy,
+        }
+    }
+
     /// The process hosting the CDM: `mediadrmserver` from Android 7,
     /// `mediaserver` before (exactly the distinction the paper's Frida
     /// script makes).
@@ -120,6 +159,33 @@ impl DeviceModel {
             "libwvdrmengine.so"
         }
     }
+}
+
+/// The vendor names the generated catalog cycles through.
+pub const CATALOG_VENDORS: [&str; 8] =
+    ["Pixel", "Galaxy", "Xperia", "Redmi", "Moto", "Nord", "Reno", "Axon"];
+
+/// The Android major versions the generated catalog sweeps.
+pub const CATALOG_ANDROID_VERSIONS: [u8; 9] = [6, 7, 8, 9, 10, 11, 12, 13, 14];
+
+/// The baseline Widevine CDM release for an Android era — the version a
+/// handset of that generation shipped with (the paper's Nexus 5 pins
+/// Android 6 at CDM 3.1.x; the Pixel 6 pins Android 12 at 16.x). The
+/// generated catalog varies minor/patch per device around these.
+#[must_use]
+pub const fn cdm_for_android(android_version: u8) -> CdmVersion {
+    let major: u16 = match android_version {
+        0..=6 => 3,
+        7 => 4,
+        8 => 11,
+        9 => 13,
+        10 => 14,
+        11 => 15,
+        12 => 16,
+        13 => 17,
+        _ => 18,
+    };
+    CdmVersion::new(major, 0, 0)
 }
 
 #[cfg(test)]
@@ -161,6 +227,54 @@ mod tests {
         assert!(!p6.discontinued);
         assert_eq!(p6.drm_process_name(), "mediadrmserver");
         assert_eq!(p6.widevine_library(), "libwvhidl.so");
+    }
+
+    #[test]
+    fn generated_catalog_is_a_pure_function_of_id() {
+        for id in [0u64, 1, 17, 4095, 1 << 40] {
+            assert_eq!(DeviceModel::catalog(id), DeviceModel::catalog(id));
+        }
+        assert_ne!(DeviceModel::catalog(0), DeviceModel::catalog(1));
+    }
+
+    #[test]
+    fn generated_catalog_spans_thousands_of_combinations() {
+        use std::collections::BTreeSet;
+        let combos: BTreeSet<_> = (0..4096u64)
+            .map(|id| {
+                let m = DeviceModel::catalog(id);
+                (m.name.clone(), m.android_version, m.cdm_version, m.security_level)
+            })
+            .collect();
+        assert!(combos.len() > 2000, "only {} distinct combinations", combos.len());
+    }
+
+    #[test]
+    fn generated_catalog_respects_era_invariants() {
+        for id in 0..4096u64 {
+            let m = DeviceModel::catalog(id);
+            // Legacy handsets are software-only and out of support.
+            assert_eq!(m.discontinued, m.android_version <= 7, "{m:?}");
+            if m.android_version <= 7 {
+                assert_eq!(m.security_level, SecurityLevel::L3, "{m:?}");
+            }
+            // CDM majors track the Android era.
+            assert_eq!(m.cdm_version.major, cdm_for_android(m.android_version).major, "{m:?}");
+            // The generator never emits the unsimulated L2 tier.
+            assert_ne!(m.security_level, SecurityLevel::L2, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn generated_catalog_mixes_revocation_eras() {
+        // The default revocation floor is CDM 14.0.0: the sweep must
+        // produce devices on both sides of it for the compliance matrix
+        // to be interesting.
+        let below = (0..1024u64)
+            .filter(|&id| DeviceModel::catalog(id).cdm_version < CdmVersion::new(14, 0, 0))
+            .count();
+        assert!(below > 100, "only {below} revoked-era devices");
+        assert!(below < 924, "almost everything revoked: {below}");
     }
 
     #[test]

@@ -202,6 +202,28 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
+    /// Exact percentiles from a merged campaign histogram. Because the
+    /// histogram's buckets are one millisecond wide and its percentile
+    /// walk uses the same nearest-rank formula as [`Self::from_samples`],
+    /// this summary equals the one computed from the concatenation of
+    /// every shard's raw samples — the merge-oracle property the
+    /// campaign test battery pins.
+    #[must_use]
+    pub fn from_histogram(h: &wideleak_android_drm::campaign::LatencyHistogram) -> Self {
+        if h.count() == 0 {
+            return Self::default();
+        }
+        LatencySummary {
+            count: h.count(),
+            min_ms: h.min().unwrap_or(0),
+            mean_ms: h.mean().unwrap_or(0),
+            p50_ms: h.percentile(50, 100).unwrap_or(0),
+            p95_ms: h.percentile(95, 100).unwrap_or(0),
+            p99_ms: h.percentile(99, 100).unwrap_or(0),
+            max_ms: h.max().unwrap_or(0),
+        }
+    }
+
     fn from_samples(samples: &mut [u64]) -> Self {
         if samples.is_empty() {
             return Self::default();
@@ -803,8 +825,12 @@ struct DriverTally {
     sessions_opened: u64,
 }
 
-/// Splits `0..devices` into `drivers` contiguous ranges.
-fn partition(devices: usize, drivers: usize) -> Vec<Range<usize>> {
+/// Splits `0..devices` into `drivers` contiguous ranges (the first
+/// `devices % drivers` ranges take one extra). The fleet drivers here
+/// and the campaign coordinator's shard assignment both use this, so a
+/// shard is always a contiguous device-id range.
+#[must_use]
+pub fn partition(devices: usize, drivers: usize) -> Vec<Range<usize>> {
     let per = devices / drivers;
     let extra = devices % drivers;
     let mut ranges = Vec::with_capacity(drivers);

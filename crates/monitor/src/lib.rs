@@ -20,7 +20,10 @@
 //! - [`resilience`] — the Q5 fault-schedule sweep: which apps recover,
 //!   degrade, retry-storm or fail closed under injected faults;
 //! - [`adapt`] — the adaptation sweep: rate switching, rebuffering and
-//!   license churn under bandwidth-constrained CDN links.
+//!   license churn under bandwidth-constrained CDN links;
+//! - [`campaign`] — the sharded measurement campaign: worker processes
+//!   re-deriving the compliance matrix over the generated device
+//!   catalog, merged into one exact, shard-count-invariant report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@
 pub mod adapt;
 pub mod apk;
 pub mod assets;
+pub mod campaign;
 pub mod classify;
 pub mod netcap;
 pub mod report;
